@@ -1,0 +1,19 @@
+"""Shared benchmark plumbing.
+
+Every benchmark runs its experiment exactly once (``pedantic`` with one
+round) — these are *reproduction* benchmarks whose payload is the
+printed paper-versus-measured table, not microsecond timing stability.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run ``fn`` once under pytest-benchmark and return its result."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return _run

@@ -1,0 +1,23 @@
+"""Figure 8 bench: theoretical 2-QoS worst-case delay curves.
+
+Paper series (weights 4:1, mu=0.8, rho=1.2): QoS_h delay-free until
+~0.67 share, priority inversion at share 0.8, saturation at
+mu(1-1/rho)=0.133; QoS_l delay starts at 0.133 and falls to zero.
+"""
+
+from repro.experiments import fig08
+
+
+def test_fig08_theory_delay(run_once):
+    result = run_once(fig08.run)
+    print()
+    print(result.table())
+    assert result.inversion_share == 0.8
+    rows = {round(x, 3): (dh, dl) for x, dh, dl in result.rows}
+    assert rows[0.5][0] == 0.0  # delay-free region
+    assert abs(rows[1.0][0] - 0.1333) < 1e-3  # saturation value
+    assert abs(rows[0.0][1] - 0.1333) < 1e-3
+    assert rows[1.0][1] == 0.0
+    # Priority inversion beyond the boundary.
+    assert rows[0.9][0] > rows[0.9][1]
+    assert rows[0.75][0] < rows[0.75][1]

@@ -1,0 +1,22 @@
+"""Figure 9 bench: fluid 3-QoS worst-case delay, weights 8:4:1 vs 50:4:1.
+
+Paper takeaway: the admissible (no-inversion) region ends near
+QoS_h-share 0.57 with weights 8:4:1 and moves right to ~0.89 with
+50:4:1, at the cost of higher QoS_m delay.
+"""
+
+from repro.experiments import fig09
+
+
+def test_fig09_three_qos(run_once):
+    light, heavy = run_once(fig09.run_both_panels)
+    print()
+    print(light.table())
+    print(heavy.table())
+    assert abs(light.inversion_share() - 8 / 14) < 0.06
+    assert abs(heavy.inversion_share() - 50 / 56) < 0.06
+    assert heavy.inversion_share() > light.inversion_share()
+    # The cost: at mid shares QoS_m delay is no better with weight 50.
+    mid_light = [r for r in light.rows if abs(r[0] - 0.4) < 0.02][0]
+    mid_heavy = [r for r in heavy.rows if abs(r[0] - 0.4) < 0.02][0]
+    assert mid_heavy[2] >= mid_light[2] - 1e-9

@@ -1,0 +1,19 @@
+"""Figure 10 bench: packet simulator validates the closed-form theory.
+
+Paper: "the simulator results precisely track the theory including
+priority inversion points and delay values barring QoS_l's delay,
+which is slightly higher in the simulation" — both properties checked.
+"""
+
+from repro.experiments import fig10
+
+
+def test_fig10_sim_validation(run_once):
+    result = run_once(fig10.run)
+    print()
+    print(result.table())
+    assert result.max_abs_error_h() < 0.01
+    for x, sim_h, sim_l, thy_h, thy_l in result.rows:
+        assert abs(sim_h - thy_h) < 0.01
+        assert sim_l >= thy_l - 0.01  # packetization never undershoots
+        assert abs(sim_l - thy_l) < 0.02

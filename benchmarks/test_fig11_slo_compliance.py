@@ -1,0 +1,22 @@
+"""Figure 11 bench: achieved tail RNL tracks the configured SLO.
+
+Paper: sweeping the QoS_h SLO from 15 to 60 us, the achieved 99.9p RNL
+hugs the SLO line while the admitted QoS_h share reflects the
+SLO/throughput trade-off.  (Laptop scaling: 99th percentile + faster
+alpha; see the driver docstring.)
+"""
+
+from repro.experiments import fig11
+
+
+def test_fig11_slo_compliance(run_once):
+    result = run_once(fig11.run, slos_us=(15.0, 25.0, 40.0))
+    print()
+    print(result.table())
+    for point in result.points:
+        # Achieved tail within a factor ~2 band of the SLO — i.e., the
+        # SLO is neither wildly violated nor trivially over-satisfied.
+        assert point.achieved_tail_us < 2.0 * point.slo_us
+        assert point.achieved_tail_us > 0.2 * point.slo_us
+        # Meaningful traffic admitted at QoS_h in all cases.
+        assert point.qos_h_admitted_share > 0.15

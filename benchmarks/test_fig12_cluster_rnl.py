@@ -1,0 +1,23 @@
+"""Figure 12 bench: cluster tail RNL w/ vs w/o Aequitas.
+
+Paper (33 nodes): w/o Aequitas 129/543 us tails vs SLOs 15/25; with it
+16/26 — and QoS_l improves too (not zero-sum).  We assert the same
+structure at reduced node count: SLO classes violated without
+admission, tracked with it.
+"""
+
+from repro.experiments import fig12
+
+
+def test_fig12_cluster_rnl(run_once):
+    result = run_once(fig12.run, num_hosts=8, duration_ms=30.0, warmup_ms=15.0)
+    print()
+    print(result.table())
+    # Without Aequitas: both SLO classes violated.
+    assert result.without[0] > result.slo_us[0]
+    assert result.without[1] > result.slo_us[1]
+    # With Aequitas: tails land near the SLOs (within 1.5x at p99.9).
+    assert result.with_aequitas[0] < 1.5 * result.slo_us[0]
+    assert result.with_aequitas[1] < 1.5 * result.slo_us[1]
+    # Not a zero-sum game: the scavenger class improves as well.
+    assert result.with_aequitas[2] < result.without[2]

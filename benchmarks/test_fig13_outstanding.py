@@ -1,0 +1,21 @@
+"""Figure 13 bench: outstanding RPCs per switch port, before/after.
+
+Paper: with Aequitas the QoS_h+QoS_m outstanding count drops sharply
+(they finish faster) while QoS_l's rises; the tail decrease of the
+former outweighs the latter's increase — the Little's-law mechanism
+behind the non-zero-sum latency result.
+"""
+
+from repro.experiments import fig13
+
+
+def test_fig13_outstanding(run_once):
+    result = run_once(fig13.run, num_hosts=8, duration_ms=30.0, warmup_ms=15.0)
+    print()
+    print(result.table())
+    hm_without, hm_with = result.tail_outstanding("hm", 99.0)
+    l_without, l_with = result.tail_outstanding("l", 99.0)
+    # High/medium outstanding shrinks with admission control...
+    assert hm_with < hm_without
+    # ...while the scavenger class absorbs the downgraded work.
+    assert l_with >= l_without

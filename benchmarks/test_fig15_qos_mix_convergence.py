@@ -1,0 +1,26 @@
+"""Figure 15 bench: admitted QoS-mix is independent of the input mix.
+
+Paper: four very different input mixes all converge to the same
+SLO-determined admitted mix (~25/26/49), the self-consistent input
+((25,25,50)) sees almost no downgrades, and the QoS_h tail stays at
+the SLO throughout — the antidote to the race to the top.
+"""
+
+from repro.experiments import fig15
+
+
+def test_fig15_qos_mix_convergence(run_once):
+    result = run_once(
+        fig15.run, num_hosts=8, duration_ms=30.0, warmup_ms=15.0
+    )
+    print()
+    print(result.table())
+    # Admitted QoS_h share varies little across wildly different inputs.
+    assert result.spread_of_admitted_high() < 0.15
+    # Self-consistency: input == sustainable mix -> almost no downgrades.
+    self_consistent = result.cases[0]
+    assert self_consistent.input_mix == (0.25, 0.25, 0.50)
+    assert self_consistent.downgrade_fraction < 0.05
+    # SLO compliance for every input mix.
+    for case in result.cases:
+        assert case.qos_h_tail_us < 1.5 * result.slo_high_us

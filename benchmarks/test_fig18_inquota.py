@@ -1,0 +1,21 @@
+"""Figure 18 bench: in-quota channels keep p_admit ~ 1 (max-min).
+
+Paper: a channel using 10% of line rate on QoS_h (below fair share)
+keeps its admit probability near 1.0 and its full 10 Gbps; the other
+channel reclaims the slack.  Paper's 1st-percentile p_admit: 0.82.
+"""
+
+from repro.experiments import fig18
+
+
+def test_fig18_inquota(run_once):
+    result = run_once(fig18.run, duration_ms=60.0)
+    print()
+    print(result.table())
+    a = result.channel_a
+    print(f"Channel A p1(p_admit) = {a.p_admit_percentile(1.0):.2f} (paper: 0.82)")
+    assert a.steady_p_admit() > 0.9
+    assert a.p_admit_percentile(1.0) > 0.6
+    # A keeps its demand; B reclaims the excess (max-min, not equal).
+    assert a.steady_goodput_gbps() > 8.0
+    assert result.channel_b.steady_goodput_gbps() > a.steady_goodput_gbps()

@@ -1,0 +1,28 @@
+"""Figure 19 bench: Aequitas vs strict priority under the race to the top.
+
+Paper: as the QoS_h-share grows 50% -> 80%, SPQ's QoS_m tail explodes
+(starvation behind the high class) while Aequitas keeps both SLO
+classes predictable by downgrading the excess.
+"""
+
+from repro.experiments import fig19
+
+
+def test_fig19_spq(run_once):
+    result = run_once(
+        fig19.run,
+        shares=(0.5, 0.65, 0.8),
+        num_hosts=6,
+        duration_ms=24.0,
+        warmup_ms=12.0,
+    )
+    print()
+    print(result.table())
+    first, last = result.rows[0], result.rows[-1]
+    # SPQ's QoS_m tail grows sharply with the QoS_h share...
+    assert last.spq_m_us > 1.5 * first.spq_m_us
+    # ...and ends far above Aequitas' at the top of the sweep.
+    assert last.spq_m_us > 2.0 * last.aequitas_m_us
+    # Aequitas holds QoS_h near its SLO at every point.
+    for row in result.rows:
+        assert row.aequitas_h_us < 2.0 * result.slo_h_us

@@ -1,0 +1,28 @@
+"""Figure 20 bench: size-normalized SLOs across a 32/64 KB size mix.
+
+Paper: with per-MTU SLOs and size-proportional decrease, both size
+populations meet the same normalized SLO under Aequitas, while the
+baseline violates it for both.
+"""
+
+from repro.experiments import fig20
+
+
+def test_fig20_mixed_sizes(run_once):
+    result = run_once(
+        fig20.run, num_hosts=8, duration_ms=25.0, warmup_ms=12.0
+    )
+    print()
+    print(result.table())
+    for size_label in ("32KB", "64KB"):
+        with_aeq = result.tails["aequitas"][size_label]
+        without = result.tails["wfq"][size_label]
+        # Aequitas meets the normalized QoS_h SLO for both sizes.
+        assert with_aeq[0] < 1.5 * result.slo_h_us, size_label
+        # And improves (or at least never worsens) on the baseline.
+        assert with_aeq[0] <= without[0] * 1.1, size_label
+    # The two size classes see comparable normalized QoS_h tails
+    # (within 2x), i.e., no size is structurally disadvantaged.
+    t32 = result.tails["aequitas"]["32KB"][0]
+    t64 = result.tails["aequitas"]["64KB"][0]
+    assert max(t32, t64) / max(min(t32, t64), 1e-9) < 2.0

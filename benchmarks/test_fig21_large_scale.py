@@ -1,0 +1,24 @@
+"""Figure 21 bench: production sizes under extreme overload.
+
+Paper (144 nodes, 25x instantaneous burst): Aequitas improves QoS_h /
+QoS_m tails by 3.7x / 2.2x and shifts the admitted mix from (60,30,10)
+to roughly (20,26,54).  Scaled run (see driver docstring); the measured
+factors and mix shift should match those shapes.
+"""
+
+from repro.experiments import fig21
+
+
+def test_fig21_large_scale(run_once):
+    result = run_once(
+        fig21.run, num_hosts=8, duration_ms=30.0, warmup_ms=15.0, burst_rho=2.5
+    )
+    print()
+    print(result.table())
+    # Big tail improvements for the SLO classes (paper: 3.7x / 2.2x).
+    assert result.improvement(0) > 2.0
+    assert result.improvement(1) > 1.2
+    # The admitted mix shifts sharply toward the scavenger class
+    # (paper: QoS_l share 10% -> 54%).
+    assert result.with_mix[2] > 0.4
+    assert result.with_mix[0] < result.without_mix[0] / 2

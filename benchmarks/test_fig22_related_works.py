@@ -1,0 +1,35 @@
+"""Figure 22 bench: Aequitas vs pFabric, QJump, D3, PDQ, Homa.
+
+Paper: Aequitas admits the most SLO-compliant QoS_h traffic (70.3%) at
+full utilization; D3/PDQ drop to ~52% utilization through early
+termination; pFabric/Homa favor small RPCs and blow the large-RPC
+tails; QJump's host throttles give good packet latency but weaker
+RPC-level SLO compliance.
+"""
+
+from repro.experiments import fig22
+
+
+def test_fig22_related_works(run_once):
+    result = run_once(fig22.run)
+    print()
+    print(result.table())
+    aeq = result.outcome("aequitas")
+    # Aequitas: full utilization, the lowest QoS_h tail of any scheme,
+    # and a solid majority-admitted SLO-met fraction.  (Deviation noted
+    # in EXPERIMENTS.md: with our truncated size distribution the
+    # byte-weighted SLO-met metric flatters SRPT schemes, whose misses
+    # concentrate in a thin sliver of bytes; the paper's 5-decade size
+    # range punishes them much harder on that metric.)
+    assert aeq.utilization > 0.95
+    assert aeq.slo_met_h > 0.4
+    for scheme in ("pfabric", "qjump", "d3", "pdq", "homa"):
+        assert aeq.tails_us[0] <= result.outcome(scheme).tails_us[0] + 1e-9, scheme
+    # Early-terminating deadline schemes pay in utilization (paper ~52%).
+    for scheme in ("d3", "pdq"):
+        out = result.outcome(scheme)
+        assert out.utilization < aeq.utilization - 0.15, scheme
+        assert out.terminated > 0, scheme
+    # SRPT-based schemes blow out the QoS_h tail relative to Aequitas.
+    assert result.outcome("pfabric").tails_us[0] > 2 * aeq.tails_us[0]
+    assert result.outcome("homa").tails_us[0] > 2 * aeq.tails_us[0]

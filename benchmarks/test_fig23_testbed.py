@@ -1,0 +1,26 @@
+"""Figure 23 bench: the (simulated) testbed deployment.
+
+Paper (20 machines, weights 8:4:1, input mix 50/35/15, SLOs set for a
+20/30/50 target): normalized tails drop from 8.1/5.0/1.3 without
+Aequitas to 1.0/0.8/0.9 with it, and the admitted mix moves from the
+input toward the target.
+"""
+
+from repro.experiments import fig23
+
+
+def test_fig23_testbed(run_once):
+    result = run_once(
+        fig23.run, num_hosts=8, duration_ms=25.0, warmup_ms=12.0
+    )
+    print()
+    print(result.table())
+    for qos in (0, 1):
+        # Aequitas improves every SLO class relative to the baseline...
+        assert result.with_norm[qos] < result.without_norm[qos]
+    # ...and lands within a small factor of the reference (paper ~1.0).
+    assert result.with_norm[0] < 5.0
+    # The admitted mix moves from the input toward the target mix.
+    input_h, target_h = 0.5, result.target_mix[0]
+    assert result.with_mix[0] < result.without_mix[0]
+    assert abs(result.with_mix[0] - target_h) < abs(input_h - target_h)

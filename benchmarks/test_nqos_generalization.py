@@ -1,0 +1,19 @@
+"""Extension bench: Aequitas over five QoS levels.
+
+The paper's design "organically extends to larger numbers of QoS
+priority classes" (§5, Phase 1); it never demonstrates this.  We do:
+four SLO-carrying classes over weights 16:8:4:2:1 plus the scavenger,
+each class meeting its own target under a top-heavy overload.
+"""
+
+from repro.experiments import nqos
+
+
+def test_nqos_generalization(run_once):
+    result = run_once(nqos.run)
+    print()
+    print(result.table())
+    for qos, slo in result.slo_us.items():
+        assert result.tails_us[qos] < 1.5 * slo
+    tails = [result.tails_us[q] for q in range(4)]
+    assert tails == sorted(tails)  # strict class ordering preserved

@@ -1,0 +1,64 @@
+"""Operator tool: explore the admissible region and pick SLOs.
+
+The paper positions its simulator as "a tool for datacenter operators
+to help define the admissible region and set the right SLOs" (§6.1).
+This example does exactly that with the analysis package:
+
+1. prints the closed-form 2-QoS worst-case delay profile (Figure 8);
+2. sweeps the 3-QoS fluid model for two weight settings (Figure 9) and
+   reports where priority inversion begins;
+3. converts a chosen operating point into concrete per-MTU SLO targets
+   for a given burst period.
+
+Run:  python examples/admissible_region.py
+"""
+
+from repro.analysis.admissible import (
+    guaranteed_admitted_share,
+    max_admissible_high_share,
+)
+from repro.analysis.delay_bounds import TrafficModel, delay_h, delay_l
+from repro.analysis.fluid import sweep_three_qos
+
+
+def main() -> None:
+    mu, rho = 0.8, 1.4
+    print(f"Traffic model: average load mu={mu}, burst load rho={rho}\n")
+
+    # --- 2-QoS closed form ------------------------------------------------
+    model = TrafficModel(mu=mu, rho=1.2, phi=4.0)
+    print("2-QoS worst-case delay (weights 4:1, rho=1.2), normalized to the")
+    print("burst period:")
+    print(f"{'QoSh-share':>11} {'delay_h':>9} {'delay_l':>9}")
+    for pct in range(0, 101, 10):
+        x = pct / 100
+        print(f"{pct:10d}% {delay_h(x, model):9.3f} {delay_l(x, model):9.3f}")
+
+    # --- 3-QoS fluid sweep ------------------------------------------------
+    print("\n3-QoS fluid sweep (QoS_m:QoS_l fixed 2:1):")
+    for weights in ((8, 4, 1), (50, 4, 1)):
+        boundary = max_admissible_high_share(list(weights), mu=mu, rho=rho)
+        print(f"  weights {weights}: admissible QoS_h-share up to "
+              f"{100 * boundary:.0f}%")
+    print("  (raising the QoS_h weight widens its region but raises QoS_m"
+          " delay — Lemma 2)")
+
+    # --- Turning a point into SLOs ----------------------------------------
+    weights = (8, 4, 1)
+    period_us = 400.0
+    target_share = 0.4
+    rows = sweep_three_qos([target_share], weights=weights, mu=mu, rho=rho)
+    _, dh, dm, dl = rows[0]
+    print(f"\nOperating point: QoS_h-share {100 * target_share:.0f}% on "
+          f"weights {weights}, {period_us:.0f} us burst period")
+    print(f"  worst-case delays: QoS_h {dh * period_us:.1f} us, "
+          f"QoS_m {dm * period_us:.1f} us, QoS_l {dl * period_us:.1f} us")
+    print("  -> set SLOs at or above those worst cases, e.g. "
+          f"{max(dh * period_us, 5):.0f}/{max(dm * period_us, 10):.0f} us per MTU")
+    floor = guaranteed_admitted_share(weights, 0, mu, rho)
+    print(f"  regardless of SLO, at least {100 * floor:.0f}% of line rate is"
+          " admitted on QoS_h (Section 5.2 bound)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Quickstart: Aequitas admission control on a 3-node cluster.
+
+Two client hosts blast 32 KB performance-critical WRITE RPCs at one
+server at twice its link capacity.  Without admission control the tail
+RPC network latency (RNL) explodes; with Aequitas, hosts downgrade the
+excess to the scavenger QoS and the admitted traffic meets its SLO.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core.qos import Priority
+from repro.experiments.cluster import ClusterConfig, run_cluster
+from repro.experiments.fig11 import _three_node_traffic
+from repro.rpc.sizes import FixedSize
+
+
+def main() -> None:
+    common = dict(
+        num_hosts=3,
+        slo_high_us=15.0,  # QoS_h target: 15 us per MTU, p99
+        slo_med_us=25.0,
+        target_percentile=99.0,
+        alpha=0.05,  # laptop-scaled AIMD (see DESIGN.md)
+        size_dist=FixedSize(32 * 1024),
+        duration_ms=30.0,
+        warmup_ms=15.0,
+        seed=1,
+        traffic_fn=_three_node_traffic(load=1.0, qos_h_fraction=0.7),
+    )
+
+    print("Simulating 2x overload on a 100 Gbps server link...")
+    baseline = run_cluster(ClusterConfig(scheme="wfq", **common))
+    aequitas = run_cluster(ClusterConfig(scheme="aequitas", **common))
+
+    print()
+    print(f"{'':24}{'w/o Aequitas':>14}{'w/ Aequitas':>14}")
+    print(
+        f"{'QoS_h p99 RNL (us/MTU)':24}"
+        f"{baseline.rnl_tail_us(0, 99.0):14.1f}"
+        f"{aequitas.rnl_tail_us(0, 99.0):14.1f}"
+    )
+    print(
+        f"{'SLO (us/MTU)':24}{15.0:14.1f}{15.0:14.1f}"
+    )
+    share_b = baseline.admitted_mix().get(0, 0.0)
+    share_a = aequitas.admitted_mix().get(0, 0.0)
+    print(f"{'QoS_h admitted share':24}{share_b:14.1%}{share_a:14.1%}")
+    print(
+        f"{'downgraded RPCs':24}{baseline.metrics.downgrades:14d}"
+        f"{aequitas.metrics.downgrades:14d}"
+    )
+    print()
+    if aequitas.rnl_tail_us(0, 99.0) <= 1.5 * 15.0:
+        print("Aequitas admitted the sustainable share and met the SLO; the")
+        print("rest was explicitly downgraded to the scavenger class (the")
+        print("application is notified and may reshuffle its priorities).")
+    else:
+        print("Warning: tail above SLO — try a longer run for convergence.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+"""Multi-tenant guarantees: the quota-server extension (§5.2).
+
+Aequitas shares each QoS class fairly among RPC channels but offers no
+*per-tenant* admission guarantee — a tenant running many channels can
+crowd out a small one.  The paper sketches a centralized RPC quota
+server as the fix; this example runs it:
+
+Tenant "gold" (host 0) has a 20 Gbps QoS_h reservation.  Tenant "bulk"
+(hosts 1-2) floods QoS_h with no reservation.  Without the quota
+server, gold's admitted throughput sinks toward its AIMD fair share;
+with it, gold's reserved traffic always proceeds to the probabilistic
+stage while bulk's overflow is downgraded first.
+
+Run:  python examples/tenant_quotas.py
+"""
+
+import random
+
+from repro.core.admission import AdmissionParams
+from repro.core.qos import Priority
+from repro.core.quota import QuotaReservation, QuotaServer
+from repro.core.slo import SLOMap
+from repro.net.topology import build_star, wfq_factory
+from repro.rpc.sizes import FixedSize
+from repro.rpc.stack import MetricsCollector, RpcStack
+from repro.rpc.workload import OpenLoopSource, steady_pattern
+from repro.sim.engine import Simulator, ns_from_ms, ns_from_us
+from repro.transport.reliable import TransportConfig, TransportEndpoint
+from repro.transport.swift import SwiftCC, SwiftParams
+
+GOLD_RATE_BPS = 35e9
+DURATION_MS = 30.0
+
+
+def run(with_quota: bool):
+    sim = Simulator()
+    net = build_star(sim, 4, wfq_factory((8, 4, 1)))
+    slo_map = SLOMap.for_three_levels(
+        ns_from_us(15), ns_from_us(25), target_percentile=99.0
+    )
+    config = TransportConfig(
+        cc_factory=lambda: SwiftCC(SwiftParams(target_delay_ns=25_000)),
+        ack_bypass=True,
+    )
+    endpoints = [TransportEndpoint(sim, h, config) for h in net.hosts]
+    for a in endpoints:
+        for b in endpoints:
+            if a is not b:
+                a.register_peer(b)
+
+    server = None
+    if with_quota:
+        server = QuotaServer(lambda: sim.now, total_rate_bps={0: 100e9})
+        server.reserve(QuotaReservation("gold", 0, rate_bps=GOLD_RATE_BPS))
+
+    tenants = {0: "gold", 1: "bulk", 2: "bulk"}
+    metrics = MetricsCollector()
+    stacks = [
+        RpcStack(
+            sim, net.hosts[i], endpoints[i], slo_map,
+            AdmissionParams(alpha=0.05), metrics, seed=i,
+            quota_server=server,
+            tenant_of=lambda rpc: tenants.get(rpc.src, "bulk"),
+        )
+        for i in range(3)
+    ]
+    # Gold offers 35 Gbps of QoS_h (above its ~20 Gbps AIMD fair share
+    # of the admissible region); each bulk host offers 80 Gbps.
+    loads = {0: (0.35, 1.0), 1: (0.8, 1.0), 2: (0.8, 1.0)}
+    for i, (qos_h_frac, load) in loads.items():
+        OpenLoopSource(
+            sim, stacks[i], [3],
+            {Priority.PC: qos_h_frac, Priority.BE: 1.0 - qos_h_frac},
+            FixedSize(32 * 1024), steady_pattern(load),
+            rng=random.Random(100 + i), stop_ns=ns_from_ms(DURATION_MS),
+        )
+    sim.run(until=ns_from_ms(DURATION_MS))
+
+    def admitted_gbps(host):
+        flow = endpoints[host].flows.get((3, 0))
+        if flow is None:
+            return 0.0
+        return flow.acked_payload_bytes * 8 / (DURATION_MS * 1e6)
+
+    return admitted_gbps(0), admitted_gbps(1) + admitted_gbps(2), metrics
+
+
+def main() -> None:
+    print("Tenant 'gold' reserves 35 Gbps of QoS_h; tenants 'bulk' offer")
+    print("160 Gbps of unreserved QoS_h against one 100 Gbps server.\n")
+    for with_quota in (False, True):
+        gold, bulk, metrics = run(with_quota)
+        label = "with quota server " if with_quota else "Aequitas alone    "
+        print(
+            f"{label}: gold QoS_h {gold:5.1f} Gbps | bulk QoS_h {bulk:5.1f} Gbps"
+            f" | downgrades {metrics.downgrades}"
+        )
+    print("\nWith the reservation, gold's admitted rate holds near its")
+    print("guarantee regardless of how hard the bulk tenants push.")
+
+
+if __name__ == "__main__":
+    main()

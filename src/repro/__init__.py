@@ -1,0 +1,38 @@
+"""Aequitas (SIGCOMM 2022) reproduction.
+
+Top-level convenience re-exports; the subpackages are the real API:
+
+* :mod:`repro.core` — QoS model, SLOs, Algorithm-1 admission control,
+  quota server, downgrade-feedback policy;
+* :mod:`repro.sim` / :mod:`repro.net` / :mod:`repro.transport` /
+  :mod:`repro.rpc` — the simulated datacenter substrate;
+* :mod:`repro.baselines` — pFabric, QJump, D3, PDQ, Homa, SPQ;
+* :mod:`repro.analysis` — network-calculus delay bounds and the
+  admissible region;
+* :mod:`repro.experiments` — one driver per paper figure plus the
+  shared cluster harness;
+* :mod:`repro.stats` — percentiles, samplers, convergence detection.
+"""
+
+from repro.core import (
+    AdmissionController,
+    AdmissionParams,
+    Priority,
+    QoS,
+    QoSConfig,
+    SLO,
+    SLOMap,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionParams",
+    "Priority",
+    "QoS",
+    "QoSConfig",
+    "SLO",
+    "SLOMap",
+    "__version__",
+]

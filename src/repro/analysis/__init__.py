@@ -1,0 +1,35 @@
+"""Network-calculus analysis: delay bounds, fluid GPS, admissible region."""
+
+from repro.analysis.admissible import (
+    delay_vs_share_profile,
+    guaranteed_admitted_share,
+    inversion_free,
+    is_admissible_mix,
+    max_admissible_high_share,
+)
+from repro.analysis.delay_bounds import (
+    TrafficModel,
+    delay_h,
+    delay_h_infinite_phi,
+    delay_l,
+    priority_inversion_share,
+    sweep,
+)
+from repro.analysis.fluid import FluidResult, simulate_fluid, sweep_three_qos
+
+__all__ = [
+    "FluidResult",
+    "TrafficModel",
+    "delay_h",
+    "delay_h_infinite_phi",
+    "delay_l",
+    "delay_vs_share_profile",
+    "guaranteed_admitted_share",
+    "inversion_free",
+    "is_admissible_mix",
+    "max_admissible_high_share",
+    "priority_inversion_share",
+    "simulate_fluid",
+    "sweep",
+    "sweep_three_qos",
+]

@@ -1,0 +1,127 @@
+"""Closed-form worst-case WFQ delay bounds (Section 4 + Appendix B).
+
+The model: two QoS classes served by WFQ with weight ratio phi:1 on a
+link of unit rate; traffic arrives in the Figure-7 pattern — one unit
+period split into a burst phase at instantaneous load ``rho > 1`` and an
+idle phase, for an average load ``mu < 1``.  ``x`` is the QoS_h share of
+arrivals (QoS-mix).  Delays are *normalized* to the period length.
+
+``delay_h`` implements Equation 1 (five cases), ``delay_l`` Equation 8,
+and ``delay_h_infinite_phi`` the Lemma-2 limit (Equation 4).  The case
+structure matters: the priority-inversion point where
+``delay_h > delay_l`` is the boundary of the admissible region Aequitas
+protects (Lemma 1: x <= phi / (phi + 1)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class TrafficModel:
+    """Parameters of the Figure-7 arrival pattern.
+
+    Attributes:
+        mu: average load over the period, in (0, 1).
+        rho: burst (max instantaneous) load, > 1 for overload.
+        phi: QoS_h : QoS_l weight ratio, > 0.
+    """
+
+    mu: float = 0.8
+    rho: float = 1.2
+    phi: float = 4.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.mu < 1:
+            raise ValueError("average load mu must be in (0, 1)")
+        if self.rho <= 1:
+            raise ValueError("burst load rho must exceed 1 (overload model)")
+        if self.mu > self.rho:
+            raise ValueError("mu cannot exceed rho")
+        if self.phi <= 0:
+            raise ValueError("weight ratio phi must be positive")
+
+
+def delay_h(x: float, model: TrafficModel) -> float:
+    """Worst-case normalized delay of QoS_h at QoS_h-share ``x`` (Eq. 1)."""
+    _check_share(x)
+    mu, rho, phi = model.mu, model.rho, model.phi
+    w = phi / (phi + 1.0)  # guaranteed share of QoS_h
+    if x <= w / rho:
+        # Case 1: arrivals below the guaranteed rate -> no delay.
+        return 0.0
+    if x <= w:
+        # Case 2: both classes backlogged, QoS_h finishes first.
+        return mu * ((phi + 1.0) / phi * x - 1.0 / rho)
+    case3_hi = min(1.0 - 1.0 / ((phi + 1.0) * rho), 1.0 / rho)
+    if x <= case3_hi:
+        # Case 3: priority inversion — QoS_l finishes before QoS_h.
+        return mu * (1.0 - x) * (phi + 1.0 - phi / (rho * x))
+    if x <= 1.0 / rho:
+        # Case 4: QoS_l below its guaranteed rate, QoS_h still delayed.
+        return mu * (1.0 / rho - 1.0 / rho**2) / x
+    # Case 5: QoS_h alone exceeds line rate.
+    return mu * (1.0 - 1.0 / rho)
+
+
+def delay_l(x: float, model: TrafficModel) -> float:
+    """Worst-case normalized delay of QoS_l at QoS_h-share ``x`` (Eq. 8).
+
+    Unlike ``delay_h``, the Eq-8 domains are not totally ordered when
+    rho > phi + 1 (the case-4 region can begin below case 2's lower
+    bound), so each case carries its full two-sided domain check rather
+    than relying on if-chain waterfall.
+    """
+    _check_share(x)
+    mu, rho, phi = model.mu, model.rho, model.phi
+    w = phi / (phi + 1.0)
+    if x <= min(1.0 - 1.0 / rho, w):
+        # Case 1: QoS_l saturated behind QoS_h, full-backlog delay.
+        return mu * (1.0 - 1.0 / rho)
+    if 1.0 - 1.0 / rho < x <= max(w / rho, 1.0 - 1.0 / rho):
+        # Case 2 (mirror of Eq 1 case 4).
+        return mu * (1.0 / rho - 1.0 / rho**2) / (1.0 - x)
+    if max(w / rho, 1.0 - 1.0 / rho) < x <= w:
+        # Case 3 (mirror of Eq 1 case 3): QoS_h finishes first.
+        return mu * x / phi * (phi + 1.0 - 1.0 / (rho * (1.0 - x)))
+    if w < x <= 1.0 - 1.0 / ((phi + 1.0) * rho):
+        # Case 4: both backlogged, QoS_l drains at its guaranteed rate.
+        return mu * ((phi + 1.0) * (1.0 - x) - 1.0 / rho)
+    # Case 5: QoS_l arrivals below its guaranteed rate -> no delay.
+    return 0.0
+
+
+def delay_h_infinite_phi(x: float, model: TrafficModel) -> float:
+    """Lemma 2 / Equation 4: the phi -> infinity limit of ``delay_h``.
+
+    Beyond QoS_h-share 1/rho the delay is independent of weights; the
+    only remaining control is the amount of admitted traffic — the
+    observation that motivates admission control in the first place.
+    """
+    _check_share(x)
+    if x <= 1.0 / model.rho:
+        return 0.0
+    return model.mu * (x - 1.0 / model.rho)
+
+
+def priority_inversion_share(model: TrafficModel) -> float:
+    """Lemma 1: the QoS_h-share above which priority inversion can occur.
+
+    When both classes exceed their guaranteed rates, processing time is
+    proportional to a_i / phi_i; equality holds at x = phi / (phi + 1).
+    """
+    return model.phi / (model.phi + 1.0)
+
+
+def sweep(
+    model: TrafficModel, shares: Sequence[float]
+) -> List[Tuple[float, float, float]]:
+    """(x, delay_h, delay_l) rows across QoS_h shares — the Fig-8 curve."""
+    return [(x, delay_h(x, model), delay_l(x, model)) for x in shares]
+
+
+def _check_share(x: float) -> None:
+    if not 0.0 <= x <= 1.0:
+        raise ValueError(f"QoS_h-share must be in [0, 1], got {x}")

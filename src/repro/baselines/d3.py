@@ -1,0 +1,55 @@
+"""D3 baseline (Wilson et al., SIGCOMM 2011): deadline-driven rates.
+
+Each message requests rate = remaining_size / time_to_deadline from the
+network; requests are granted greedily FCFS and leftover capacity is
+shared.  Messages that cannot finish by their deadline are quenched —
+"better never than late".  See :mod:`repro.baselines.deadline` for the
+shared allocator; this module pins the D3 mode and the deadline policy
+the Fig-22 comparison uses (flat 250 us / 300 us deadlines for QoS_h /
+QoS_m derived from the mean production RPC size, since D3 does not
+normalize by size).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.baselines.deadline import DeadlineEndpoint, PortArbiter
+from repro.net.queues import FifoScheduler
+from repro.net.topology import SchedulerFactory
+from repro.rpc.message import Rpc
+from repro.sim.engine import Simulator
+
+#: Fig-22 deadlines (paper: "250us and 300us deadlines for QoS_h and
+#: QoS_m RPCs based on the average of production RPC-size distribution").
+D3_DEADLINES_NS = {0: 250_000, 1: 300_000}
+
+#: Deadline given to best-effort traffic: effectively none.
+BE_DEADLINE_NS = 1 << 40
+
+
+def d3_arbiter_map(
+    sim: Simulator, host_ids, capacity_bps: float
+) -> Dict[int, PortArbiter]:
+    """One idealized arbiter per destination bottleneck link."""
+    return {hid: PortArbiter(sim, capacity_bps, mode="d3") for hid in host_ids}
+
+
+def d3_deadline_fn(rpc: Rpc) -> int:
+    """Relative deadline by requested QoS (BE gets a huge one)."""
+    return D3_DEADLINES_NS.get(rpc.qos_requested, BE_DEADLINE_NS)
+
+
+def d3_scheduler_factory(buffer_bytes: int = 4 * 1024 * 1024) -> SchedulerFactory:
+    """D3 assumes plain FIFO switches; rates do the scheduling."""
+    return lambda: FifoScheduler(buffer_bytes)
+
+
+__all__ = [
+    "BE_DEADLINE_NS",
+    "D3_DEADLINES_NS",
+    "DeadlineEndpoint",
+    "d3_arbiter_map",
+    "d3_deadline_fn",
+    "d3_scheduler_factory",
+]

@@ -1,0 +1,52 @@
+"""PDQ baseline (Hong et al., SIGCOMM 2012): preemptive EDF scheduling.
+
+PDQ serializes flows: the earliest-deadline flow preempts the link at
+full rate while later flows pause, and flows whose projected finish
+time (queued behind the flows ahead) exceeds their deadline are
+terminated immediately.  Early termination keeps the link for winners
+but wastes everything already sent — the mechanism behind the ~50%
+network utilization in the Fig-22 comparison.
+
+The allocator lives in :mod:`repro.baselines.deadline` (mode='pdq');
+the deadline policy matches D3's (250 us / 300 us flat deadlines).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.baselines.d3 import BE_DEADLINE_NS, D3_DEADLINES_NS
+from repro.baselines.deadline import DeadlineEndpoint, PortArbiter
+from repro.net.queues import FifoScheduler
+from repro.net.topology import SchedulerFactory
+from repro.rpc.message import Rpc
+from repro.sim.engine import Simulator
+
+#: PDQ uses the same experiment deadlines as D3 in the comparison.
+PDQ_DEADLINES_NS = dict(D3_DEADLINES_NS)
+
+
+def pdq_arbiter_map(
+    sim: Simulator, host_ids, capacity_bps: float
+) -> Dict[int, PortArbiter]:
+    """One idealized EDF arbiter per destination bottleneck link."""
+    return {hid: PortArbiter(sim, capacity_bps, mode="pdq") for hid in host_ids}
+
+
+def pdq_deadline_fn(rpc: Rpc) -> int:
+    """Relative deadline by requested QoS (same policy as D3)."""
+    return PDQ_DEADLINES_NS.get(rpc.qos_requested, BE_DEADLINE_NS)
+
+
+def pdq_scheduler_factory(buffer_bytes: int = 4 * 1024 * 1024) -> SchedulerFactory:
+    """PDQ also assumes FIFO switches; the EDF arbiter does the work."""
+    return lambda: FifoScheduler(buffer_bytes)
+
+
+__all__ = [
+    "DeadlineEndpoint",
+    "PDQ_DEADLINES_NS",
+    "pdq_arbiter_map",
+    "pdq_deadline_fn",
+    "pdq_scheduler_factory",
+]

@@ -1,0 +1,58 @@
+"""pFabric baseline (Alizadeh et al., SIGCOMM 2013).
+
+pFabric decouples scheduling from rate control: hosts blast packets
+with a near-open window and *switches* schedule — each packet carries
+the message's remaining size and switch queues serve
+smallest-remaining-first (SRPT), dropping the largest-remaining packet
+on overflow.  Buffers are tiny (~2 BDP) and loss recovery uses a small
+fixed RTO.
+
+Our :class:`~repro.net.queues.PFabricScheduler` implements the switch
+side; this module supplies the host side: a fixed-window transport with
+an aggressive RTO, plus the scheduler/transport factory pair the
+cluster harness consumes.  pFabric is SLO-unaware and size-biased: it
+minimizes mean FCT but starves large RPCs under overload — the failure
+mode Fig 22 highlights for large PC RPCs.
+"""
+
+from __future__ import annotations
+
+from repro.net.packet import HEADER_BYTES, MTU_BYTES
+from repro.net.queues import PFabricScheduler
+from repro.net.topology import SchedulerFactory
+from repro.transport.base import FixedWindowCC
+from repro.transport.reliable import TransportConfig
+
+#: pFabric keeps switch buffers around two bandwidth-delay products.
+DEFAULT_PFABRIC_BUFFER_BYTES = 48 * (MTU_BYTES + HEADER_BYTES)
+
+#: Initial/fixed window: roughly one BDP worth of packets.
+DEFAULT_PFABRIC_WINDOW = 12
+
+#: Aggressive retransmission timeout (~3 RTTs) — losses are the
+#: scheduling signal in pFabric, so recovery must be fast.
+DEFAULT_PFABRIC_RTO_NS = 30_000
+
+
+def pfabric_scheduler_factory(
+    buffer_bytes: int = DEFAULT_PFABRIC_BUFFER_BYTES,
+) -> SchedulerFactory:
+    """Per-port SRPT scheduler with drop-largest on overflow."""
+    return lambda: PFabricScheduler(buffer_bytes)
+
+
+def pfabric_transport_config(
+    window: float = DEFAULT_PFABRIC_WINDOW,
+    rto_ns: int = DEFAULT_PFABRIC_RTO_NS,
+    ack_bypass: bool = False,
+) -> TransportConfig:
+    """Host transport: fixed window, fast RTO, no congestion control.
+
+    Data packets already carry ``remaining_mtus`` (set by the transport
+    when segmenting), which is all the switch needs for SRPT.
+    """
+    return TransportConfig(
+        cc_factory=lambda: FixedWindowCC(window),
+        rto_ns=rto_ns,
+        ack_bypass=ack_bypass,
+    )

@@ -1,0 +1,18 @@
+"""Strict Priority Queuing baseline (Section 6.7).
+
+SPQ pushes RPC priorities straight into the network as strict switch
+priorities.  No admission control, no fairness across classes: as long
+as QoS_h has backlog, lower classes starve.  The comparison in Fig 19
+shows SPQ cannot contain the "race to the top" — once applications mark
+too much traffic QoS_h, the QoS_m SLO collapses.
+"""
+
+from __future__ import annotations
+
+from repro.net.queues import StrictPriorityScheduler
+from repro.net.topology import SchedulerFactory
+
+
+def spq_factory(num_classes: int = 3, buffer_bytes: int = 4 * 1024 * 1024) -> SchedulerFactory:
+    """Per-port strict-priority scheduler factory."""
+    return lambda: StrictPriorityScheduler(num_classes, buffer_bytes)

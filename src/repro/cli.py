@@ -1,0 +1,199 @@
+"""Command-line entry point: regenerate any paper figure from a shell.
+
+Usage::
+
+    python -m repro list                 # show available experiments
+    python -m repro fig12                # run one figure, print its table
+    python -m repro fig11 --quick        # smaller/faster parameters
+    python -m repro all --quick          # everything (the bench payload)
+
+Each experiment prints the same rows/series the paper reports; see
+EXPERIMENTS.md for the paper-versus-measured record.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, Tuple
+
+from repro.experiments import (
+    fig08,
+    fig09,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    fig16,
+    fig17,
+    fig18,
+    fig19,
+    fig20,
+    fig21,
+    fig22,
+    fig23,
+    fig24,
+    fig28_29,
+    nqos,
+)
+
+#: name -> (description, full-run thunk, quick-run thunk)
+_EXPERIMENTS: Dict[str, Tuple[str, Callable, Callable]] = {
+    "fig08": (
+        "theoretical 2-QoS worst-case delay",
+        lambda: fig08.run(),
+        lambda: fig08.run(points=21),
+    ),
+    "fig09": (
+        "fluid 3-QoS delay, weights 8:4:1 and 50:4:1",
+        lambda: _both_tables(fig09.run_both_panels()),
+        lambda: _both_tables(fig09.run_both_panels()),
+    ),
+    "fig10": (
+        "packet simulator vs theory",
+        lambda: fig10.run(),
+        lambda: fig10.run(shares=[0.1, 0.4, 0.7, 0.85]),
+    ),
+    "fig11": (
+        "achieved RNL tracks the SLO (3-node)",
+        lambda: fig11.run(),
+        lambda: fig11.run(slos_us=(15.0, 40.0)),
+    ),
+    "fig12": (
+        "cluster tails w/ vs w/o Aequitas",
+        lambda: fig12.run(),
+        lambda: fig12.run(num_hosts=6, duration_ms=24.0, warmup_ms=12.0),
+    ),
+    "fig13": (
+        "outstanding RPCs per switch port",
+        lambda: fig13.run(),
+        lambda: fig13.run(num_hosts=6, duration_ms=24.0, warmup_ms=12.0),
+    ),
+    "fig14": (
+        "baseline tail vs QoS_h-share",
+        lambda: fig14.run(),
+        lambda: fig14.run(shares=(0.1, 0.3, 0.5), num_hosts=6),
+    ),
+    "fig15": (
+        "admitted QoS-mix vs input mix",
+        lambda: fig15.run(),
+        lambda: fig15.run(num_hosts=6, duration_ms=24.0, warmup_ms=12.0),
+    ),
+    "fig16": (
+        "admitted traffic vs burstiness (C/rho)",
+        lambda: fig16.run(),
+        lambda: fig16.run(rhos=(1.4, 1.8, 2.2), num_hosts=6),
+    ),
+    "fig17": (
+        "fairness across unequal channels",
+        lambda: fig17.run(duration_ms=100.0),
+        lambda: fig17.run(duration_ms=50.0),
+    ),
+    "fig18": (
+        "in-quota channel protection (max-min)",
+        lambda: fig18.run(),
+        lambda: fig18.run(duration_ms=40.0),
+    ),
+    "fig19": (
+        "Aequitas vs strict priority queuing",
+        lambda: fig19.run(),
+        lambda: fig19.run(shares=(0.5, 0.8), num_hosts=6, duration_ms=20.0,
+                          warmup_ms=10.0),
+    ),
+    "fig20": (
+        "mixed 32/64 KB RPC sizes",
+        lambda: fig20.run(),
+        lambda: fig20.run(num_hosts=6, duration_ms=20.0, warmup_ms=10.0),
+    ),
+    "fig21": (
+        "production sizes under extreme overload",
+        lambda: fig21.run(burst_rho=2.5),
+        lambda: fig21.run(num_hosts=6, duration_ms=20.0, warmup_ms=10.0,
+                          burst_rho=2.5),
+    ),
+    "fig22": (
+        "comparison vs pFabric/QJump/D3/PDQ/Homa",
+        lambda: fig22.run(),
+        lambda: fig22.run(num_hosts=5, duration_ms=10.0, warmup_ms=4.0),
+    ),
+    "fig23": (
+        "simulated testbed deployment",
+        lambda: fig23.run(),
+        lambda: fig23.run(num_hosts=6, duration_ms=20.0, warmup_ms=10.0),
+    ),
+    "fig24": (
+        "Phase-1 rollout across a cluster ensemble",
+        lambda: fig24.run(),
+        lambda: fig24.run(num_clusters=3, num_hosts=5, duration_ms=8.0,
+                          warmup_ms=3.0),
+    ),
+    "fig28": (
+        "alpha/beta sensitivity (Appendix C)",
+        lambda: fig28_29.run(),
+        lambda: fig28_29.run(duration_ms=40.0),
+    ),
+    "nqos": (
+        "five-QoS-level generalization",
+        lambda: nqos.run(),
+        lambda: nqos.run(duration_ms=15.0, warmup_ms=7.0),
+    ),
+}
+
+
+class _TablePair:
+    def __init__(self, text: str):
+        self._text = text
+
+    def table(self) -> str:
+        return self._text
+
+
+def _both_tables(pair) -> _TablePair:
+    return _TablePair(pair[0].table() + "\n\n" + pair[1].table())
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate Aequitas (SIGCOMM 2022) evaluation figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment name (see 'list'), 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller parameters for a fast look",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        width = max(len(name) for name in _EXPERIMENTS)
+        for name, (desc, _, __) in _EXPERIMENTS.items():
+            print(f"{name:<{width}}  {desc}")
+        return 0
+
+    names = list(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    unknown = [n for n in names if n not in _EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print("use 'list' to see what is available", file=sys.stderr)
+        return 2
+
+    for name in names:
+        desc, full, quick = _EXPERIMENTS[name]
+        print(f"== {name}: {desc} ==")
+        start = time.time()
+        result = (quick if args.quick else full)()
+        print(result.table())
+        print(f"[{time.time() - start:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,48 @@
+"""Aequitas core: QoS model, SLOs, and the Algorithm-1 admission controller."""
+
+from repro.core.admission import (
+    AdmissionController,
+    AdmissionDecision,
+    AdmissionParams,
+    DEFAULT_ALPHA,
+    DEFAULT_BETA,
+    DEFAULT_FLOOR,
+)
+from repro.core.channel import ChannelRegistry
+from repro.core.feedback import DowngradeAwarePolicy, PolicyParams
+from repro.core.quota import QuotaReservation, QuotaServer
+from repro.core.qos import (
+    Priority,
+    QoS,
+    QoSConfig,
+    WEIGHTS_2_QOS,
+    WEIGHTS_3_QOS,
+    WEIGHTS_3_QOS_HEAVY,
+    map_priority_to_qos,
+    map_qos_to_priority,
+)
+from repro.core.slo import SLO, SLOMap
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "AdmissionParams",
+    "ChannelRegistry",
+    "DEFAULT_ALPHA",
+    "DEFAULT_BETA",
+    "DEFAULT_FLOOR",
+    "DowngradeAwarePolicy",
+    "PolicyParams",
+    "Priority",
+    "QuotaReservation",
+    "QuotaServer",
+    "QoS",
+    "QoSConfig",
+    "SLO",
+    "SLOMap",
+    "WEIGHTS_2_QOS",
+    "WEIGHTS_3_QOS",
+    "WEIGHTS_3_QOS_HEAVY",
+    "map_priority_to_qos",
+    "map_qos_to_priority",
+]

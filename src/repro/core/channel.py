@@ -1,0 +1,56 @@
+"""Per-destination admission state: the RPC-channel registry.
+
+The paper maintains admit probability "on a per-(src-host, dst-host,
+QoS) basis".  A :class:`ChannelRegistry` lives on each sending host and
+lazily creates one :class:`AdmissionController` per destination; the RPC
+stack routes issue/completion callbacks through it.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Hashable, Optional
+
+from repro.core.admission import AdmissionController, AdmissionParams
+from repro.core.slo import SLOMap
+from repro.sim.rng import substream
+
+
+class ChannelRegistry:
+    """Lazily instantiated per-destination admission controllers.
+
+    Each destination gets an independent RNG substream derived from the
+    registry seed and the destination key, so adding destinations never
+    perturbs the admission coin flips of existing ones.
+    """
+
+    def __init__(
+        self,
+        slo_map: SLOMap,
+        params: AdmissionParams = AdmissionParams(),
+        seed: int = 0,
+        clock: Optional[Callable[[], int]] = None,
+    ):
+        self._slo_map = slo_map
+        self._params = params
+        self._seed = seed
+        self._clock = clock
+        self._controllers: Dict[Hashable, AdmissionController] = {}
+
+    def controller(self, dst: Hashable) -> AdmissionController:
+        """The admission controller for a destination (created on demand)."""
+        ctrl = self._controllers.get(dst)
+        if ctrl is None:
+            rng: random.Random = substream(self._seed, f"admit:{dst}")
+            ctrl = AdmissionController(
+                self._slo_map, self._params, rng=rng, clock=self._clock
+            )
+            self._controllers[dst] = ctrl
+        return ctrl
+
+    def controllers(self) -> Dict[Hashable, AdmissionController]:
+        """Snapshot of all instantiated controllers, keyed by destination."""
+        return dict(self._controllers)
+
+    def __len__(self) -> int:
+        return len(self._controllers)

@@ -1,0 +1,99 @@
+"""Application-side use of downgrade notifications.
+
+Algorithm 1 explicitly notifies the application when an RPC is
+downgraded, "so the application has the freedom to control which RPCs
+are more critical and issue only those at higher QoS to prevent
+downgrades" (§5.1).  How applications use the hint is out of the
+paper's scope; this module supplies a reasonable reference policy so
+the incentive loop can be simulated end to end:
+
+:class:`DowngradeAwarePolicy` watches the recent downgrade fraction on
+a channel and, when it exceeds a threshold, voluntarily *demotes* the
+application's least-critical tier of PC traffic to NC (and NC to BE)
+until the downgrade pressure subsides — i.e., the application sheds
+priority load instead of racing to the top.  Applications rank their
+own RPCs by an ``importance`` in [0, 1]; the policy maintains a cutoff
+below which requests are issued one class lower.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque
+
+from repro.core.qos import Priority
+
+_DEMOTE = {
+    Priority.PC: Priority.NC,
+    Priority.NC: Priority.BE,
+    Priority.BE: Priority.BE,
+}
+
+
+@dataclass(frozen=True)
+class PolicyParams:
+    """Tunables of the reference downgrade-response policy.
+
+    Attributes:
+        window: number of recent RPC outcomes considered.
+        high_watermark: downgrade fraction above which the cutoff rises
+            (the app demotes more of its own traffic).
+        low_watermark: fraction below which the cutoff decays back.
+        step: cutoff adjustment per observation window.
+    """
+
+    window: int = 200
+    high_watermark: float = 0.2
+    low_watermark: float = 0.05
+    step: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.window < 10:
+            raise ValueError("window too small to estimate a fraction")
+        if not 0 <= self.low_watermark < self.high_watermark <= 1:
+            raise ValueError("need 0 <= low < high <= 1")
+        if not 0 < self.step <= 1:
+            raise ValueError("step must be in (0, 1]")
+
+
+class DowngradeAwarePolicy:
+    """Adaptive priority selection driven by downgrade feedback."""
+
+    def __init__(self, params: PolicyParams = PolicyParams()):
+        self.params = params
+        self._outcomes: Deque[bool] = deque(maxlen=params.window)
+        self._cutoff = 0.0
+        self.demotions = 0
+
+    @property
+    def cutoff(self) -> float:
+        """Importance below which requested priority is demoted."""
+        return self._cutoff
+
+    def downgrade_fraction(self) -> float:
+        if not self._outcomes:
+            return 0.0
+        return sum(self._outcomes) / len(self._outcomes)
+
+    def choose_priority(self, wanted: Priority, importance: float) -> Priority:
+        """Priority to actually request for an RPC of given importance."""
+        if not 0.0 <= importance <= 1.0:
+            raise ValueError("importance must be in [0, 1]")
+        if importance < self._cutoff:
+            self.demotions += 1
+            return _DEMOTE[wanted]
+        return wanted
+
+    def observe(self, downgraded: bool) -> None:
+        """Feed one RPC outcome (was it downgraded by the network?)."""
+        self._outcomes.append(downgraded)
+        if len(self._outcomes) < self._outcomes.maxlen:
+            return
+        frac = self.downgrade_fraction()
+        if frac > self.params.high_watermark:
+            self._cutoff = min(1.0, self._cutoff + self.params.step)
+            self._outcomes.clear()
+        elif frac < self.params.low_watermark:
+            self._cutoff = max(0.0, self._cutoff - self.params.step)
+            self._outcomes.clear()

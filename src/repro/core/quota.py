@@ -1,0 +1,155 @@
+"""Centralized per-tenant RPC quota server (the paper's §5.2 extension).
+
+Aequitas alone guarantees latency SLOs for admitted traffic but "does
+not guarantee the amount of traffic admitted on a per-application or
+per-tenant basis".  The paper sketches the fix — "one can augment
+Aequitas to provide application/tenant traffic rate guarantees with a
+centralized RPC quota server" — and leaves it to future work.  This
+module implements that augmentation:
+
+* the operator reserves a byte rate per (tenant, QoS), validated
+  against the QoS capacity (no oversubscribed guarantees);
+* a logically centralized :class:`QuotaServer` meters each tenant's
+  admitted bytes with a token bucket per reservation;
+* traffic covered by a reservation is admitted outright — the operator
+  provisioned for it, which is what a guarantee means (RESERVED);
+* everything else rides the spare-capacity pool: within it, the RPC
+  proceeds to the normal probabilistic AIMD stage (SPARE); beyond it,
+  the RPC is downgraded before the probabilistic check (DENIED), so
+  reserved tenants keep their share under any competing load.
+
+"Centralized" here means shared state among the stacks of one cluster;
+in the simulator that is a plain shared object, standing in for the
+quota-server RPC service a production deployment would run.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, Tuple
+
+
+class QuotaVerdict(enum.Enum):
+    """Outcome of the quota gate for one RPC.
+
+    RESERVED traffic is covered by its tenant's guarantee and bypasses
+    the probabilistic admission stage entirely (the operator provisioned
+    for it — that is what a guarantee means).  SPARE traffic proceeds to
+    the normal AIMD stage.  DENIED traffic is downgraded immediately.
+    """
+
+    RESERVED = "reserved"
+    SPARE = "spare"
+    DENIED = "denied"
+
+
+@dataclass(frozen=True)
+class QuotaReservation:
+    """A guaranteed admission rate for one tenant at one QoS level."""
+
+    tenant: Hashable
+    qos: int
+    rate_bps: float
+    burst_bytes: int = 256 * 1024
+
+    def __post_init__(self) -> None:
+        if self.rate_bps <= 0:
+            raise ValueError("reserved rate must be positive")
+        if self.burst_bytes <= 0:
+            raise ValueError("burst must be positive")
+
+
+class _Bucket:
+    __slots__ = ("tokens", "last_ns", "rate_bps", "burst")
+
+    def __init__(self, rate_bps: float, burst: int):
+        self.rate_bps = rate_bps
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self.last_ns = 0
+
+    def try_take(self, nbytes: int, now_ns: int) -> bool:
+        elapsed = now_ns - self.last_ns
+        if elapsed > 0:
+            self.tokens = min(self.burst, self.tokens + elapsed * self.rate_bps / 8e9)
+            self.last_ns = now_ns
+        if self.tokens >= nbytes:
+            self.tokens -= nbytes
+            return True
+        return False
+
+
+class QuotaServer:
+    """Cluster-wide per-tenant admission quotas over the QoS classes.
+
+    ``check_admit(tenant, qos, nbytes)`` returns a
+    :class:`QuotaVerdict`: RESERVED (covered by the tenant's
+    guarantee), SPARE (may proceed to the probabilistic stage on the
+    unreserved headroom — the server stays work-conserving), or DENIED
+    (the QoS is contended beyond reservations: downgrade now).
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], int],
+        total_rate_bps: Dict[int, float],
+        work_conserving: bool = True,
+    ):
+        self._clock = clock
+        self._reservations: Dict[Tuple[Hashable, int], _Bucket] = {}
+        self._reserved_rate: Dict[int, float] = {}
+        self._total_rate = dict(total_rate_bps)
+        self._spare: Dict[int, _Bucket] = {}
+        self.work_conserving = work_conserving
+        self.denied = 0
+        self.admitted_reserved = 0
+        self.admitted_spare = 0
+
+    def reserve(self, reservation: QuotaReservation) -> None:
+        """Register (or replace) a tenant's reservation."""
+        qos = reservation.qos
+        key = (reservation.tenant, qos)
+        if key in self._reservations:
+            old = self._reservations[key].rate_bps
+            self._reserved_rate[qos] -= old
+        self._reservations[key] = _Bucket(
+            reservation.rate_bps, reservation.burst_bytes
+        )
+        self._reserved_rate[qos] = (
+            self._reserved_rate.get(qos, 0.0) + reservation.rate_bps
+        )
+        total = self._total_rate.get(qos)
+        if total is not None and self._reserved_rate[qos] > total:
+            raise ValueError(
+                f"QoS {qos} oversubscribed: reserved "
+                f"{self._reserved_rate[qos]:.3g} > capacity {total:.3g} bps"
+            )
+        self._rebuild_spare(qos)
+
+    def _rebuild_spare(self, qos: int) -> None:
+        total = self._total_rate.get(qos)
+        if total is None:
+            return
+        spare_rate = max(total - self._reserved_rate.get(qos, 0.0), total * 0.01)
+        self._spare[qos] = _Bucket(spare_rate, 512 * 1024)
+
+    def reserved_rate_bps(self, qos: int) -> float:
+        return self._reserved_rate.get(qos, 0.0)
+
+    def check_admit(self, tenant: Hashable, qos: int, nbytes: int) -> QuotaVerdict:
+        """Quota gate: how may this RPC proceed at its requested QoS?"""
+        now = self._clock()
+        bucket = self._reservations.get((tenant, qos))
+        if bucket is not None and bucket.try_take(nbytes, now):
+            self.admitted_reserved += 1
+            return QuotaVerdict.RESERVED
+        spare = self._spare.get(qos)
+        if spare is None:
+            # No capacity model for this QoS: quota does not constrain.
+            return QuotaVerdict.SPARE
+        if self.work_conserving and spare.try_take(nbytes, now):
+            self.admitted_spare += 1
+            return QuotaVerdict.SPARE
+        self.denied += 1
+        return QuotaVerdict.DENIED

@@ -1,0 +1,111 @@
+"""SLO specification for RPC network latency (RNL).
+
+Following Section 5.1 ("Handling different RPC sizes"), the latency
+target is *normalized per MTU*: an RPC of ``size`` MTUs gets an absolute
+RNL budget of ``size * latency_target_per_mtu``.  This lets one SLO value
+cover a heterogeneous size distribution, and larger RPCs naturally get a
+proportionally larger absolute budget.
+
+The SLO is defined at a tail percentile (99th or 99.9th in the paper).
+The percentile feeds Algorithm 1's ``increment_window``:
+
+    increment_window = latency_target * 100 / (100 - target_pctl)
+
+i.e. an SLO at a higher tail makes additive increase more conservative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+from repro.core.qos import QoS, QoSConfig
+
+
+@dataclass(frozen=True)
+class SLO:
+    """An RNL SLO for one QoS level.
+
+    Attributes:
+        latency_target_ns: per-MTU RNL target in nanoseconds.
+        target_percentile: the tail percentile the target applies to,
+            e.g. 99.0 or 99.9.  Must lie in (0, 100).
+    """
+
+    latency_target_ns: int
+    target_percentile: float = 99.9
+
+    def __post_init__(self) -> None:
+        if self.latency_target_ns <= 0:
+            raise ValueError("latency target must be positive")
+        if not 0.0 < self.target_percentile < 100.0:
+            raise ValueError("target percentile must be in (0, 100)")
+
+    @property
+    def increment_window_ns(self) -> int:
+        """Algorithm 1 line 4: window between additive increases.
+
+        With target_pctl = 99.9 the window is 1000x the latency target;
+        with 99 it is 100x.  Intuition: at the p-th percentile SLO, about
+        (100 - p)% of RPCs are allowed to miss; the additive-increase
+        clock must be slow enough that one admit-probability increment
+        corresponds to roughly one tolerable miss.
+        """
+        return int(self.latency_target_ns * 100.0 / (100.0 - self.target_percentile))
+
+    def budget_ns(self, size_mtus: int) -> int:
+        """Absolute RNL budget for an RPC of the given size in MTUs."""
+        return self.latency_target_ns * max(1, size_mtus)
+
+    def is_met(self, rnl_ns: int, size_mtus: int) -> bool:
+        """Whether a measured RNL meets the normalized target (line 15)."""
+        return rnl_ns < self.budget_ns(size_mtus)
+
+
+class SLOMap:
+    """Per-QoS SLO targets supplied by the operator.
+
+    The lowest QoS level is the scavenger class and must not carry an
+    SLO (the paper offers "no SLOs" for QoS_l).
+    """
+
+    def __init__(self, targets: Mapping[int, SLO], qos_config: QoSConfig):
+        self._qos_config = qos_config
+        self._targets: Dict[int, SLO] = dict(targets)
+        lowest = qos_config.lowest
+        if lowest in self._targets:
+            raise ValueError("the scavenger (lowest) QoS class cannot carry an SLO")
+        for level in self._targets:
+            if not 0 <= level < qos_config.num_levels:
+                raise ValueError(f"SLO for unknown QoS level {level}")
+
+    @classmethod
+    def for_three_levels(
+        cls,
+        high_target_ns: int,
+        medium_target_ns: int,
+        target_percentile: float = 99.9,
+        qos_config: QoSConfig = QoSConfig(),
+    ) -> "SLOMap":
+        """Convenience constructor for the canonical 3-QoS deployment."""
+        return cls(
+            {
+                int(QoS.HIGH): SLO(high_target_ns, target_percentile),
+                int(QoS.MEDIUM): SLO(medium_target_ns, target_percentile),
+            },
+            qos_config,
+        )
+
+    @property
+    def qos_config(self) -> QoSConfig:
+        return self._qos_config
+
+    def get(self, level: int) -> SLO:
+        return self._targets[level]
+
+    def has_slo(self, level: int) -> bool:
+        return level in self._targets
+
+    def levels(self):
+        """QoS levels that carry an SLO, highest priority first."""
+        return sorted(self._targets)

@@ -1,0 +1,24 @@
+"""Experiment drivers — one module per paper figure.
+
+Each module exposes ``run(...)`` returning a result dataclass with a
+``table()`` method that prints the same rows/series the paper reports.
+``cluster`` holds the shared harness all simulation figures build on.
+"""
+
+from repro.experiments.cluster import (
+    ClusterConfig,
+    ClusterResult,
+    SCHEMES,
+    attach_traffic,
+    build_cluster,
+    run_cluster,
+)
+
+__all__ = [
+    "ClusterConfig",
+    "ClusterResult",
+    "SCHEMES",
+    "attach_traffic",
+    "build_cluster",
+    "run_cluster",
+]

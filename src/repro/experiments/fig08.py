@@ -1,0 +1,51 @@
+"""Figure 8: theoretical 2-QoS worst-case delay versus QoS_h-share.
+
+Closed-form evaluation of Equations 1 and 8 with the paper's settings:
+weights 4:1, mu = 0.8, rho = 1.2.  The curves exhibit the piecewise
+regions derived in Appendix B, including the priority-inversion point
+at x = phi / (phi + 1) = 0.8 beyond which QoS_h delay exceeds QoS_l's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.analysis.delay_bounds import (
+    TrafficModel,
+    delay_h,
+    delay_l,
+    priority_inversion_share,
+)
+
+
+@dataclass
+class Fig8Result:
+    model: TrafficModel
+    rows: List[Tuple[float, float, float]]  # (share, delay_h, delay_l)
+    inversion_share: float
+
+    def table(self) -> str:
+        lines = [
+            f"Fig 8 — theoretical WFQ delay (phi={self.model.phi:g}, "
+            f"mu={self.model.mu:g}, rho={self.model.rho:g})",
+            f"{'QoSh-share':>10} {'delay_h':>10} {'delay_l':>10}",
+        ]
+        for x, dh, dl in self.rows:
+            lines.append(f"{x:10.2f} {dh:10.4f} {dl:10.4f}")
+        lines.append(f"priority inversion beyond share = {self.inversion_share:.3f}")
+        return "\n".join(lines)
+
+
+def run(
+    mu: float = 0.8,
+    rho: float = 1.2,
+    phi: float = 4.0,
+    points: int = 41,
+) -> Fig8Result:
+    model = TrafficModel(mu=mu, rho=rho, phi=phi)
+    shares = [i / (points - 1) for i in range(points)]
+    rows = [(x, delay_h(x, model), delay_l(x, model)) for x in shares]
+    return Fig8Result(
+        model=model, rows=rows, inversion_share=priority_inversion_share(model)
+    )

@@ -1,0 +1,59 @@
+"""Figure 9: simulated (fluid) worst-case delay with 3 QoS levels.
+
+Sweeps QoS_h-share with the QoS_m : QoS_l remainder fixed at 2:1 under
+mu = 0.8, rho = 1.4, for two weight settings: 8:4:1 (panel a) and
+50:4:1 (panel b).  The paper's takeaways, both checked in tests:
+
+* QoS-mix shapes the whole delay profile;
+* raising the QoS_h weight from 8 to 50 pushes the priority-inversion
+  point (the admissible region boundary) to the right, at the cost of
+  higher QoS_m delay (Lemma 1 / Lemma 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.analysis.fluid import sweep_three_qos
+
+
+@dataclass
+class Fig9Result:
+    weights: Tuple[float, ...]
+    rows: List[Tuple[float, float, float, float]]  # (x, d_h, d_m, d_l)
+
+    def inversion_share(self) -> float:
+        """First swept share where some higher class is slower than a
+        lower one (the right edge of the admissible region)."""
+        for x, dh, dm, dl in self.rows:
+            if dh > dm + 1e-9 or dm > dl + 1e-9:
+                return x
+        return 1.0
+
+    def table(self) -> str:
+        lines = [
+            f"Fig 9 — fluid 3-QoS worst-case delay, weights {self.weights}",
+            f"{'QoSh-share':>10} {'delay_h':>9} {'delay_m':>9} {'delay_l':>9}",
+        ]
+        for x, dh, dm, dl in self.rows:
+            lines.append(f"{x:10.2f} {dh:9.4f} {dm:9.4f} {dl:9.4f}")
+        lines.append(f"admissible region ends near share = {self.inversion_share():.2f}")
+        return "\n".join(lines)
+
+
+def run(
+    weights: Sequence[float] = (8, 4, 1),
+    mu: float = 0.8,
+    rho: float = 1.4,
+    shares: Sequence[float] = None,
+) -> Fig9Result:
+    if shares is None:
+        shares = [0.05 + 0.05 * i for i in range(18)]  # 5% .. 90%
+    rows = sweep_three_qos(shares, weights=weights, mu=mu, rho=rho)
+    return Fig9Result(weights=tuple(weights), rows=rows)
+
+
+def run_both_panels() -> Tuple[Fig9Result, Fig9Result]:
+    """Panels (a) 8:4:1 and (b) 50:4:1 of Figure 9."""
+    return run(weights=(8, 4, 1)), run(weights=(50, 4, 1))

@@ -1,0 +1,102 @@
+"""Figure 12: cluster-wide per-QoS tail RNL, with and without Aequitas.
+
+All-to-all cluster (the paper's 33-node setup, node count scaled by the
+caller), input QoS-mix (0.6, 0.3, 0.1), burst pattern mu=0.8 / rho=1.4,
+SLOs 15 us / 25 us per MTU.  Without admission control the QoS_h and
+QoS_m tails blow far past the SLOs; with Aequitas they track the SLOs,
+and — the non-zero-sum observation — QoS_l's tail *also* improves
+because fewer RPCs contend overall (Little's law).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.qos import Priority
+from repro.experiments.cluster import ClusterConfig, ClusterResult, run_cluster
+from repro.rpc.sizes import FixedSize, SizeDistribution
+
+
+@dataclass
+class Fig12Result:
+    slo_us: Dict[int, float]
+    without: Dict[int, float]  # per-QoS tail RNL (us/MTU), scheme="wfq"
+    with_aequitas: Dict[int, float]
+    without_result: ClusterResult
+    with_result: ClusterResult
+
+    def improvement(self, qos: int) -> float:
+        """Tail RNL reduction factor from enabling Aequitas."""
+        return self.without[qos] / max(self.with_aequitas[qos], 1e-9)
+
+    def table(self) -> str:
+        lines = [
+            "Fig 12 — per-QoS tail RNL (us/MTU), w/o vs w/ Aequitas",
+            f"{'QoS':>6} {'SLO':>7} {'w/o':>9} {'w/':>9} {'factor':>7}",
+        ]
+        for qos in (0, 1, 2):
+            slo = self.slo_us.get(qos)
+            lines.append(
+                f"{qos:>6} {slo if slo is not None else '-':>7} "
+                f"{self.without[qos]:9.1f} {self.with_aequitas[qos]:9.1f} "
+                f"{self.improvement(qos):7.2f}"
+            )
+        return "\n".join(lines)
+
+
+def make_config(
+    scheme: str,
+    num_hosts: int = 10,
+    duration_ms: float = 40.0,
+    warmup_ms: float = 20.0,
+    size_dist: Optional[SizeDistribution] = None,
+    priority_mix: Optional[Dict[Priority, float]] = None,
+    seed: int = 12,
+    **overrides,
+) -> ClusterConfig:
+    """The shared Fig-12/13 cluster parameterization."""
+    params = dict(
+        scheme=scheme,
+        num_hosts=num_hosts,
+        slo_high_us=15.0,
+        slo_med_us=25.0,
+        mu=0.8,
+        rho=1.4,
+        period_us=400.0,
+        priority_mix=priority_mix
+        or {Priority.PC: 0.6, Priority.NC: 0.3, Priority.BE: 0.1},
+        size_dist=size_dist or FixedSize(32 * 1024),
+        duration_ms=duration_ms,
+        warmup_ms=warmup_ms,
+        seed=seed,
+    )
+    params.update(overrides)
+    return ClusterConfig(**params)
+
+
+def run(
+    num_hosts: int = 10,
+    duration_ms: float = 40.0,
+    warmup_ms: float = 20.0,
+    report_percentile: float = 99.9,
+    seed: int = 12,
+) -> Fig12Result:
+    results: Dict[str, ClusterResult] = {}
+    for scheme in ("wfq", "aequitas"):
+        cfg = make_config(
+            scheme, num_hosts=num_hosts, duration_ms=duration_ms,
+            warmup_ms=warmup_ms, seed=seed,
+        )
+        results[scheme] = run_cluster(cfg)
+    tails = {
+        scheme: {q: res.rnl_tail_us(q, report_percentile) for q in (0, 1, 2)}
+        for scheme, res in results.items()
+    }
+    return Fig12Result(
+        slo_us={0: 15.0, 1: 25.0},
+        without=tails["wfq"],
+        with_aequitas=tails["aequitas"],
+        without_result=results["wfq"],
+        with_result=results["aequitas"],
+    )

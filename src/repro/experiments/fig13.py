@@ -1,0 +1,118 @@
+"""Figure 13: outstanding RPCs per switch port, before/after Aequitas.
+
+Why Aequitas is not a zero-sum game: with admission control, QoS_h+QoS_m
+carry fewer concurrent RPCs (they finish faster), and the *decrease* in
+outstanding high/medium RPCs outweighs the increase in QoS_l, so even
+the scavenger class sees less contention at the tail (Little's law).
+
+We track, per destination host (i.e. per last-hop switch port), the
+number of issued-but-incomplete RPCs split into the QoS_h+QoS_m group
+and the QoS_l group, sampled on a fixed cadence; the result is the CDF
+across (port, sample) pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.experiments.cluster import attach_traffic, build_cluster
+from repro.experiments.fig12 import make_config
+from repro.sim.engine import ns_from_ms, ns_from_us
+from repro.stats.summary import cdf_points, percentile
+
+
+@dataclass
+class OutstandingTrace:
+    """Samples of outstanding-RPC counts pooled over switch ports."""
+
+    high_medium: List[int]
+    low: List[int]
+
+
+@dataclass
+class Fig13Result:
+    without: OutstandingTrace
+    with_aequitas: OutstandingTrace
+
+    def tail_outstanding(self, group: str, pctl: float = 99.0) -> Tuple[float, float]:
+        """(w/o, w/) tail outstanding count for 'hm' or 'l'."""
+        if group == "hm":
+            return (
+                percentile(self.without.high_medium, pctl),
+                percentile(self.with_aequitas.high_medium, pctl),
+            )
+        return (
+            percentile(self.without.low, pctl),
+            percentile(self.with_aequitas.low, pctl),
+        )
+
+    def cdf(self, group: str, with_aequitas: bool):
+        trace = self.with_aequitas if with_aequitas else self.without
+        return cdf_points(trace.high_medium if group == "hm" else trace.low)
+
+    def table(self) -> str:
+        hm = self.tail_outstanding("hm")
+        lo = self.tail_outstanding("l")
+        return "\n".join(
+            [
+                "Fig 13 — p99 outstanding RPCs per switch port",
+                f"{'group':>8} {'w/o':>8} {'w/':>8}",
+                f"{'h+m':>8} {hm[0]:8.1f} {hm[1]:8.1f}",
+                f"{'l':>8} {lo[0]:8.1f} {lo[1]:8.1f}",
+            ]
+        )
+
+
+def _run_with_tracking(scheme: str, num_hosts: int, duration_ms: float,
+                       warmup_ms: float, sample_us: float, seed: int) -> OutstandingTrace:
+    cfg = make_config(scheme, num_hosts=num_hosts, duration_ms=duration_ms,
+                      warmup_ms=warmup_ms, seed=seed)
+    result = build_cluster(cfg)
+    sim = result.sim
+
+    outstanding_hm: Dict[int, int] = {h: 0 for h in range(num_hosts)}
+    outstanding_l: Dict[int, int] = {h: 0 for h in range(num_hosts)}
+
+    def on_issue(rpc):
+        if rpc.qos_run in (0, 1):
+            outstanding_hm[rpc.dst] += 1
+        else:
+            outstanding_l[rpc.dst] += 1
+
+    def on_complete(rpc):
+        if rpc.qos_run in (0, 1):
+            outstanding_hm[rpc.dst] -= 1
+        else:
+            outstanding_l[rpc.dst] -= 1
+
+    result.metrics.on_issue_hook = on_issue
+    result.metrics.on_complete_hook = on_complete
+
+    samples_hm: List[int] = []
+    samples_l: List[int] = []
+    interval = ns_from_us(sample_us)
+    warmup_ns = ns_from_ms(warmup_ms)
+
+    def sample():
+        if sim.now >= warmup_ns:
+            samples_hm.extend(outstanding_hm.values())
+            samples_l.extend(outstanding_l.values())
+        sim.schedule(interval, sample)
+
+    sim.schedule(interval, sample)
+    attach_traffic(result)
+    sim.run(until=ns_from_ms(duration_ms))
+    return OutstandingTrace(high_medium=samples_hm, low=samples_l)
+
+
+def run(
+    num_hosts: int = 10,
+    duration_ms: float = 40.0,
+    warmup_ms: float = 20.0,
+    sample_us: float = 100.0,
+    seed: int = 13,
+) -> Fig13Result:
+    without = _run_with_tracking("wfq", num_hosts, duration_ms, warmup_ms, sample_us, seed)
+    with_aeq = _run_with_tracking("aequitas", num_hosts, duration_ms, warmup_ms, sample_us, seed)
+    return Fig13Result(without=without, with_aequitas=with_aeq)

@@ -1,0 +1,64 @@
+"""Figure 16: admitted traffic is inversely proportional to burstiness.
+
+Section 5.2 derives the guaranteed admitted share X_i <= g_i * mu / rho;
+Figure 16 confirms empirically that as the burst load rho grows, the
+QoS_h share Aequitas admits shrinks like C / rho.  We sweep rho, record
+the admitted share, and report the least-squares C for the C/rho fit
+plus the fit's relative error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.experiments.cluster import run_cluster
+from repro.experiments.fig12 import make_config
+
+
+@dataclass
+class Fig16Result:
+    rows: List[Tuple[float, float]]  # (rho, admitted QoS_h share)
+    fit_c: float
+
+    def fit_error(self) -> float:
+        """Mean relative deviation of the shares from the C/rho curve."""
+        errs = [
+            abs(share - self.fit_c / rho) / share for rho, share in self.rows if share > 0
+        ]
+        return sum(errs) / len(errs) if errs else float("nan")
+
+    def table(self) -> str:
+        lines = [
+            "Fig 16 — admitted QoS_h share vs burst load rho",
+            f"{'rho':>5} {'share(%)':>9} {'C/rho(%)':>9}",
+        ]
+        for rho, share in self.rows:
+            lines.append(f"{rho:5.1f} {100 * share:9.1f} {100 * self.fit_c / rho:9.1f}")
+        lines.append(f"fitted C = {self.fit_c:.3f}, mean rel. error = {self.fit_error():.1%}")
+        return "\n".join(lines)
+
+
+def run(
+    rhos: Sequence[float] = (1.4, 1.6, 1.8, 2.0, 2.2),
+    num_hosts: int = 8,
+    duration_ms: float = 30.0,
+    warmup_ms: float = 15.0,
+    seed: int = 16,
+) -> Fig16Result:
+    rows = []
+    for rho in rhos:
+        cfg = make_config(
+            "aequitas",
+            num_hosts=num_hosts,
+            duration_ms=duration_ms,
+            warmup_ms=warmup_ms,
+            seed=seed,
+            rho=rho,
+        )
+        result = run_cluster(cfg)
+        rows.append((rho, result.admitted_mix().get(0, 0.0)))
+    # Least squares for share ~ C / rho:  C = sum(s/rho) / sum(1/rho^2).
+    num = sum(share / rho for rho, share in rows)
+    den = sum(1.0 / rho**2 for rho, _ in rows)
+    return Fig16Result(rows=rows, fit_c=num / den)

@@ -1,0 +1,171 @@
+"""Figure 17 (and the machinery for Figs 18/28/29): AIMD fairness.
+
+Two RPC channels from different hosts target the same server; Channel A
+requests 40% of its line-rate RPC stream on QoS_h, Channel B 80%.  With
+a strict QoS_h SLO the channels must share the admissible QoS_h
+capacity; fairness means they converge to *equal admitted throughput*,
+which requires *different* admit probabilities (the constant-decrement,
+RPC-clocked MD makes a heavier channel decrease faster — §5.1).
+
+The run records per-channel admit-probability and QoS_h-goodput traces,
+from which convergence time (§6.6) and fairness gaps are computed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.qos import Priority
+from repro.experiments.cluster import ClusterConfig, build_cluster
+from repro.rpc.sizes import FixedSize
+from repro.rpc.workload import OpenLoopSource, steady_pattern
+from repro.sim.engine import ns_from_ms, ns_from_us
+from repro.stats.convergence import convergence_time_ns, relative_gap, steady_value
+from repro.stats.sampler import PeriodicSampler
+
+
+@dataclass
+class ChannelTrace:
+    qos_h_fraction: float
+    p_admit: List[Tuple[int, float]]
+    goodput_gbps: List[Tuple[int, float]]
+
+    def steady_p_admit(self) -> float:
+        return steady_value(self.p_admit)
+
+    def steady_goodput_gbps(self) -> float:
+        return steady_value(self.goodput_gbps)
+
+    def p_admit_percentile(self, pctl: float) -> float:
+        from repro.stats.summary import percentile
+
+        return percentile([v for _, v in self.p_admit], pctl)
+
+
+@dataclass
+class FairnessResult:
+    channel_a: ChannelTrace
+    channel_b: ChannelTrace
+    beta: float
+    alpha: float
+
+    def throughput_gap(self) -> float:
+        """Relative gap between the channels' steady QoS_h goodput."""
+        return relative_gap(
+            self.channel_a.steady_goodput_gbps(), self.channel_b.steady_goodput_gbps()
+        )
+
+    def convergence_ms(self, tolerance: float = 0.15) -> Optional[float]:
+        """Time until both channels' QoS_h goodput settles (§6.6).
+
+        Convergence is judged on the *running time-average* of goodput
+        rather than the instantaneous admit probability: AIMD saws
+        around its operating point by design (the faster alpha used for
+        laptop-scale runs makes the sawtooth proportionally larger), so
+        the meaningful convergence notion is when the average admitted
+        rate stops drifting.
+        """
+        times = []
+        for tr in (self.channel_a, self.channel_b):
+            running: List[Tuple[int, float]] = []
+            total = 0.0
+            for i, (t, v) in enumerate(tr.goodput_gbps):
+                total += v
+                running.append((t, total / (i + 1)))
+            t = convergence_time_ns(running, tolerance=tolerance, smooth_window=1)
+            if t is None:
+                return None
+            times.append(t)
+        return max(times) / 1e6
+
+    def table(self) -> str:
+        a, b = self.channel_a, self.channel_b
+        conv = self.convergence_ms()
+        return "\n".join(
+            [
+                f"Fairness run (alpha={self.alpha}, beta={self.beta})",
+                f"{'channel':>8} {'QoSh-req':>9} {'p_admit':>8} {'goodput(Gbps)':>14}",
+                f"{'A':>8} {100 * a.qos_h_fraction:8.0f}% {a.steady_p_admit():8.2f} "
+                f"{a.steady_goodput_gbps():14.1f}",
+                f"{'B':>8} {100 * b.qos_h_fraction:8.0f}% {b.steady_p_admit():8.2f} "
+                f"{b.steady_goodput_gbps():14.1f}",
+                f"throughput gap = {self.throughput_gap():.1%}, "
+                f"convergence ~ {conv if conv is None else round(conv, 1)} ms",
+            ]
+        )
+
+
+def run_two_channels(
+    share_a: float = 0.4,
+    share_b: float = 0.8,
+    slo_high_us: float = 15.0,
+    alpha: float = 0.05,
+    beta: float = 0.01,
+    duration_ms: float = 60.0,
+    sample_us: float = 500.0,
+    rpc_kb: int = 32,
+    seed: int = 17,
+) -> FairnessResult:
+    """The §6.5 two-channel microbenchmark (server = host 2)."""
+    cfg = ClusterConfig(
+        scheme="aequitas",
+        num_hosts=3,
+        slo_high_us=slo_high_us,
+        slo_med_us=slo_high_us + 10.0,
+        target_percentile=99.0,
+        alpha=alpha,
+        beta=beta,
+        size_dist=FixedSize(rpc_kb * 1024),
+        duration_ms=duration_ms,
+        warmup_ms=duration_ms / 3.0,
+        seed=seed,
+    )
+    result = build_cluster(cfg)
+    sim = result.sim
+    shares = (share_a, share_b)
+    traces: List[ChannelTrace] = []
+    stop_ns = ns_from_ms(duration_ms)
+
+    for idx, qos_h_share in enumerate(shares):
+        stack = result.stacks[idx]
+        rng = random.Random(seed * 101 + idx)
+        OpenLoopSource(
+            sim,
+            stack,
+            [2],
+            {Priority.PC: qos_h_share, Priority.BE: 1.0 - qos_h_share},
+            cfg.size_dist,
+            steady_pattern(1.0, period_ns=cfg.pattern.period_ns),
+            line_rate_bps=cfg.line_rate_bps,
+            rng=rng,
+            stop_ns=stop_ns,
+        )
+        controller = stack.registry.controller(2)
+        p_sampler = PeriodicSampler(
+            sim, ns_from_us(sample_us), lambda c=controller: c.p_admit(0)
+        )
+        flow = stack.endpoint.flow_to(2, 0)
+        state = {"last": 0}
+
+        def goodput_probe(flow=flow, state=state, interval_ns=ns_from_us(sample_us)):
+            delta = flow.acked_payload_bytes - state["last"]
+            state["last"] = flow.acked_payload_bytes
+            return delta * 8.0 / interval_ns  # Gbps
+
+        g_sampler = PeriodicSampler(sim, ns_from_us(sample_us), goodput_probe)
+        traces.append(
+            ChannelTrace(qos_h_fraction=qos_h_share, p_admit=p_sampler.samples,
+                         goodput_gbps=g_sampler.samples)
+        )
+
+    sim.run(until=stop_ns)
+    return FairnessResult(
+        channel_a=traces[0], channel_b=traces[1], beta=beta, alpha=alpha
+    )
+
+
+def run(**kwargs) -> FairnessResult:
+    """Figure 17 defaults: 40% vs 80% QoS_h demand."""
+    return run_two_channels(**kwargs)

@@ -1,0 +1,32 @@
+"""Figure 18: in-quota channels are not penalized (max-min fairness).
+
+Channel A requests only 10% of its stream on QoS_h — below its fair
+share — while Channel B requests 80%.  The expected behavior: A's admit
+probability stays pinned near 1.0 (its RPCs are essentially never
+downgraded) and B reclaims the head-room A leaves, i.e. max-min rather
+than equal division.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig17 import FairnessResult, run_two_channels
+
+
+def run(
+    share_a: float = 0.1,
+    share_b: float = 0.8,
+    alpha: float = 0.05,
+    beta: float = 0.01,
+    duration_ms: float = 60.0,
+    seed: int = 18,
+    **kwargs,
+) -> FairnessResult:
+    return run_two_channels(
+        share_a=share_a,
+        share_b=share_b,
+        alpha=alpha,
+        beta=beta,
+        duration_ms=duration_ms,
+        seed=seed,
+        **kwargs,
+    )

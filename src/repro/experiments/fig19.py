@@ -1,0 +1,88 @@
+"""Figure 19: Aequitas versus Strict Priority Queuing under the race to
+the top.
+
+Fix QoS_m at 20% of traffic and sweep the QoS_h share from 50% to 80%
+(applications "racing to the top").  SPQ has no admission: as more
+traffic claims QoS_h, QoS_m is starved behind it and its tail explodes.
+Aequitas downgrades the excess, keeping both SLO classes predictable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.core.qos import Priority
+from repro.experiments.cluster import run_cluster
+from repro.experiments.fig12 import make_config
+
+
+@dataclass
+class Fig19Row:
+    qos_h_share: float
+    aequitas_h_us: float
+    aequitas_m_us: float
+    spq_h_us: float
+    spq_m_us: float
+
+
+@dataclass
+class Fig19Result:
+    rows: List[Fig19Row]
+    slo_h_us: float
+    slo_m_us: float
+
+    def table(self) -> str:
+        lines = [
+            "Fig 19 — Aequitas vs SPQ as QoS_h-share grows (tail RNL, us/MTU)",
+            f"{'share(%)':>9} {'aeq_h':>7} {'aeq_m':>7} {'spq_h':>7} {'spq_m':>7}",
+        ]
+        for r in self.rows:
+            lines.append(
+                f"{100 * r.qos_h_share:9.0f} {r.aequitas_h_us:7.1f} "
+                f"{r.aequitas_m_us:7.1f} {r.spq_h_us:7.1f} {r.spq_m_us:7.1f}"
+            )
+        lines.append(f"SLOs: QoS_h {self.slo_h_us:g} us, QoS_m {self.slo_m_us:g} us")
+        return "\n".join(lines)
+
+
+def run(
+    shares: Sequence[float] = (0.5, 0.6, 0.7, 0.8),
+    num_hosts: int = 8,
+    duration_ms: float = 30.0,
+    warmup_ms: float = 15.0,
+    report_percentile: float = 99.9,
+    seed: int = 19,
+) -> Fig19Result:
+    rows = []
+    for share in shares:
+        mix = {
+            Priority.PC: share,
+            Priority.NC: 0.2,
+            Priority.BE: max(1.0 - share - 0.2, 1e-6),
+        }
+        tails = {}
+        for scheme in ("aequitas", "spq"):
+            cfg = make_config(
+                scheme,
+                num_hosts=num_hosts,
+                duration_ms=duration_ms,
+                warmup_ms=warmup_ms,
+                priority_mix=mix,
+                seed=seed,
+            )
+            result = run_cluster(cfg)
+            tails[scheme] = (
+                result.rnl_tail_us(0, report_percentile),
+                result.rnl_tail_us(1, report_percentile),
+            )
+        rows.append(
+            Fig19Row(
+                qos_h_share=share,
+                aequitas_h_us=tails["aequitas"][0],
+                aequitas_m_us=tails["aequitas"][1],
+                spq_h_us=tails["spq"][0],
+                spq_m_us=tails["spq"][1],
+            )
+        )
+    return Fig19Result(rows=rows, slo_h_us=15.0, slo_m_us=25.0)

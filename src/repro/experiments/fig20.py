@@ -1,0 +1,105 @@
+"""Figure 20: size-normalized SLOs across a non-uniform size mix.
+
+Half the hosts issue 32 KB RPCs, the other half 64 KB.  Because the SLO
+is specified per MTU and the multiplicative decrease is proportional to
+RPC size, Aequitas treats a 16-MTU RPC like two 8-MTU RPCs, and both
+size populations meet the same *normalized* SLO.  The table mirrors the
+paper's: per-QoS normalized tails for all traffic and for each size
+class, with and without Aequitas.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.experiments.cluster import ClusterConfig, run_cluster
+from repro.experiments.fig12 import make_config
+from repro.rpc.sizes import FixedSize
+from repro.rpc.workload import OpenLoopSource
+from repro.sim.engine import ns_from_ms
+from repro.stats.summary import percentile
+
+_SIZES = (32 * 1024, 64 * 1024)
+
+
+def _mixed_size_traffic(sim, stacks, cfg: ClusterConfig) -> None:
+    """Even hosts send 32 KB RPCs, odd hosts 64 KB, all-to-all."""
+    host_ids = [s.host.host_id for s in stacks]
+    for stack in stacks:
+        size = _SIZES[stack.host.host_id % 2]
+        dsts = [h for h in host_ids if h != stack.host.host_id]
+        rng = random.Random(cfg.seed * 7919 + stack.host.host_id)
+        OpenLoopSource(
+            sim,
+            stack,
+            dsts,
+            cfg.priority_mix,
+            FixedSize(size),
+            cfg.pattern,
+            line_rate_bps=cfg.line_rate_bps,
+            rng=rng,
+            stop_ns=ns_from_ms(cfg.duration_ms),
+        )
+
+
+@dataclass
+class Fig20Result:
+    # tails[scheme][size_label][qos] = normalized tail RNL in us/MTU;
+    # size_label in ("total", "32KB", "64KB").
+    tails: Dict[str, Dict[str, Dict[int, float]]]
+    slo_h_us: float
+    slo_m_us: float
+
+    def table(self) -> str:
+        lines = [
+            "Fig 20 — normalized tail RNL (us/MTU) with mixed 32/64 KB RPCs",
+            f"{'slice':>7} {'scheme':>9} {'qos_h':>7} {'qos_m':>7} {'qos_l':>8}",
+        ]
+        for size_label in ("total", "32KB", "64KB"):
+            for scheme in ("wfq", "aequitas"):
+                t = self.tails[scheme][size_label]
+                lines.append(
+                    f"{size_label:>7} {scheme:>9} {t[0]:7.1f} {t[1]:7.1f} {t[2]:8.1f}"
+                )
+        lines.append(f"SLOs: {self.slo_h_us:g}/{self.slo_m_us:g} us per MTU")
+        return "\n".join(lines)
+
+
+def run(
+    num_hosts: int = 8,
+    duration_ms: float = 30.0,
+    warmup_ms: float = 15.0,
+    report_percentile: float = 99.9,
+    seed: int = 20,
+) -> Fig20Result:
+    tails: Dict[str, Dict[str, Dict[int, float]]] = {}
+    for scheme in ("wfq", "aequitas"):
+        cfg = make_config(
+            scheme,
+            num_hosts=num_hosts,
+            duration_ms=duration_ms,
+            warmup_ms=warmup_ms,
+            seed=seed,
+            traffic_fn=_mixed_size_traffic,
+        )
+        result = run_cluster(cfg)
+        warm = result.warmup_ns
+        by_slice: Dict[str, Dict[int, float]] = {}
+        for label, selector in (
+            ("total", lambda rpc: True),
+            ("32KB", lambda rpc: rpc.payload_bytes == _SIZES[0]),
+            ("64KB", lambda rpc: rpc.payload_bytes == _SIZES[1]),
+        ):
+            per_qos = {}
+            for qos in (0, 1, 2):
+                samples = [
+                    rpc.rnl_ns / rpc.size_mtus
+                    for rpc in result.metrics.completed
+                    if rpc.qos_run == qos and rpc.issued_ns >= warm and selector(rpc)
+                ]
+                per_qos[qos] = percentile(samples, report_percentile) / 1000.0
+            by_slice[label] = per_qos
+        tails[scheme] = by_slice
+    return Fig20Result(tails=tails, slo_h_us=15.0, slo_m_us=25.0)

@@ -1,0 +1,107 @@
+"""Figure 22: Aequitas versus pFabric, QJump, D3, PDQ, and Homa.
+
+All six schemes run the same workload: all-to-all, production-like RPC
+size distributions, input QoS-mix 50/30/20.  Three metrics per scheme:
+
+* % of QoS_h traffic meeting its SLO *at its initially assigned QoS*
+  (downgraded / terminated / unfinished = miss) — Aequitas should lead;
+* network utilization (completed / offered payload) — D3 and PDQ lose
+  roughly half to early termination ("better never than late");
+* per-QoS tail RNL — pFabric/Homa favor small RPCs, so their large-RPC
+  tails blow out even at high utilization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.core.qos import Priority
+from repro.experiments.cluster import run_cluster
+from repro.experiments.fig12 import make_config
+from repro.rpc.sizes import production_mixture
+from repro.rpc.workload import byte_mix_to_rpc_mix
+
+COMPARED_SCHEMES = ("aequitas", "pfabric", "qjump", "d3", "pdq", "homa")
+
+
+@dataclass
+class SchemeOutcome:
+    scheme: str
+    slo_met_h: float
+    utilization: float
+    tails_us: Dict[int, float]  # absolute tail RNL per QoS, us
+    terminated: int
+
+
+@dataclass
+class Fig22Result:
+    outcomes: List[SchemeOutcome]
+
+    def outcome(self, scheme: str) -> SchemeOutcome:
+        for o in self.outcomes:
+            if o.scheme == scheme:
+                return o
+        raise KeyError(scheme)
+
+    def ranked_by_slo_met(self) -> List[str]:
+        return [
+            o.scheme
+            for o in sorted(self.outcomes, key=lambda o: o.slo_met_h, reverse=True)
+        ]
+
+    def table(self) -> str:
+        lines = [
+            "Fig 22 — related-work comparison (production sizes, 50/30/20 mix)",
+            f"{'scheme':>9} {'SLOmet_h':>9} {'util':>6} {'tail_h':>8} {'tail_m':>8} {'tail_l':>9}",
+        ]
+        for o in self.outcomes:
+            lines.append(
+                f"{o.scheme:>9} {100 * o.slo_met_h:8.1f}% {100 * o.utilization:5.1f}% "
+                f"{o.tails_us[0]:8.0f} {o.tails_us[1]:8.0f} {o.tails_us[2]:9.0f}"
+            )
+        return "\n".join(lines)
+
+
+def run(
+    schemes: Sequence[str] = COMPARED_SCHEMES,
+    num_hosts: int = 6,
+    duration_ms: float = 15.0,
+    warmup_ms: float = 6.0,
+    report_percentile: float = 99.9,
+    seed: int = 22,
+) -> Fig22Result:
+    sizes = production_mixture()
+    outcomes = []
+    for scheme in schemes:
+        overrides = {}
+        if scheme == "aequitas":
+            # Laptop-scaled AIMD so admission converges within the run
+            # (the paper's constants need seconds; see DESIGN.md).
+            overrides = dict(alpha=0.05, target_percentile=99.0)
+        cfg = make_config(
+            scheme,
+            num_hosts=num_hosts,
+            duration_ms=duration_ms,
+            warmup_ms=warmup_ms,
+            size_dist=sizes,
+            priority_mix=byte_mix_to_rpc_mix(
+                {Priority.PC: 0.5, Priority.NC: 0.3, Priority.BE: 0.2}, sizes
+            ),
+            seed=seed,
+            **overrides,
+        )
+        result = run_cluster(cfg)
+        outcomes.append(
+            SchemeOutcome(
+                scheme=scheme,
+                slo_met_h=result.slo_met_fraction(0),
+                utilization=result.goodput_fraction(),
+                tails_us={
+                    q: result.rnl_tail_us(q, report_percentile, normalized=False)
+                    for q in (0, 1, 2)
+                },
+                terminated=result.metrics.terminated,
+            )
+        )
+    return Fig22Result(outcomes=outcomes)

@@ -1,0 +1,186 @@
+"""Figure 24: Phase-1 production rollout — alignment alone already pays.
+
+The paper's fleetwide Phase-1 deployment (priority->QoS alignment, no
+admission control yet) drove RPC/QoS misalignment from up to 80%
+to ~zero over five weeks and cut high-priority 99th-p RNL by up to 53%
+across 50 sampled clusters (10% on average), with a few clusters
+regressing slightly.
+
+Substitution (no production fleet available): a Monte-Carlo ensemble of
+simulated clusters.  Each cluster draws a random *misalignment matrix*
+shaped like Figure 4 — a chunk of PC traffic riding QoS_m/QoS_l and a
+large fraction of BE traffic riding QoS_h/QoS_m — and runs twice:
+misaligned versus aligned (Phase 1), both *without* admission control.
+Reported per cluster: the change in 99th-p RNL for PC-priority traffic.
+The misalignment-over-time panel is generated from a staged rollout
+schedule over the ensemble (clusters flip to aligned in waves), since
+rollout pacing is an operational artifact, not a system property.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.core.qos import Priority
+from repro.experiments.cluster import run_cluster
+from repro.experiments.fig12 import make_config
+from repro.rpc.message import Rpc
+from repro.rpc.sizes import FixedSize
+from repro.stats.summary import percentile
+
+
+def make_misaligned_mapper(rng: random.Random):
+    """A Figure-4-shaped random priority->QoS mapping.
+
+    PC mostly lands on QoS_h but leaks downward; BE leaks heavily
+    upward (the "race to the top" steady state before Phase 1).
+    """
+    pc_split = _jitter(rng, (0.80, 0.15, 0.05))
+    nc_split = _jitter(rng, (0.25, 0.55, 0.20))
+    be_split = _jitter(rng, (0.40, 0.10, 0.50))
+    table = {Priority.PC: pc_split, Priority.NC: nc_split, Priority.BE: be_split}
+
+    def mapper(rpc: Rpc) -> int:
+        split = table[rpc.priority]
+        roll = rng.random()
+        if roll < split[0]:
+            return 0
+        if roll < split[0] + split[1]:
+            return 1
+        return 2
+
+    mapper.table = table  # type: ignore[attr-defined]
+    return mapper
+
+
+def _jitter(rng: random.Random, base: Tuple[float, float, float]):
+    vals = [max(0.02, b + rng.uniform(-0.1, 0.1)) for b in base]
+    total = sum(vals)
+    return tuple(v / total for v in vals)
+
+
+def misalignment_fraction(mapper) -> float:
+    """Traffic-weighted fraction of RPCs mapped off their aligned QoS."""
+    aligned = {Priority.PC: 0, Priority.NC: 1, Priority.BE: 2}
+    total = 0.0
+    for prio, split in mapper.table.items():
+        total += 1.0 - split[aligned[prio]]
+    return total / len(mapper.table)
+
+
+@dataclass
+class ClusterOutcome:
+    cluster_id: int
+    misalignment_before: float
+    pc_tail_before_us: float
+    pc_tail_after_us: float
+
+    @property
+    def rnl_change_pct(self) -> float:
+        """Negative = improvement, as in the paper's right panel."""
+        return 100.0 * (self.pc_tail_after_us - self.pc_tail_before_us) / max(
+            self.pc_tail_before_us, 1e-9
+        )
+
+
+@dataclass
+class Fig24Result:
+    clusters: List[ClusterOutcome]
+    rollout_weeks: List[Tuple[int, float]]  # (week, fleet misalignment %)
+
+    def mean_rnl_change_pct(self) -> float:
+        return sum(c.rnl_change_pct for c in self.clusters) / len(self.clusters)
+
+    def best_improvement_pct(self) -> float:
+        return min(c.rnl_change_pct for c in self.clusters)
+
+    def table(self) -> str:
+        lines = [
+            "Fig 24 — Phase-1 alignment across a simulated cluster ensemble",
+            f"{'cluster':>8} {'misalign':>9} {'before':>8} {'after':>8} {'change':>8}",
+        ]
+        for c in self.clusters:
+            lines.append(
+                f"{c.cluster_id:>8} {100 * c.misalignment_before:8.0f}% "
+                f"{c.pc_tail_before_us:8.1f} {c.pc_tail_after_us:8.1f} "
+                f"{c.rnl_change_pct:+7.1f}%"
+            )
+        lines.append(
+            f"mean 99p PC-RNL change: {self.mean_rnl_change_pct():+.1f}% "
+            f"(best {self.best_improvement_pct():+.1f}%)"
+        )
+        lines.append("rollout: " + ", ".join(f"wk{w}={m:.0f}%" for w, m in self.rollout_weeks))
+        return "\n".join(lines)
+
+
+def _pc_tail(result, pctl: float) -> float:
+    samples = [
+        rpc.rnl_ns / rpc.size_mtus
+        for rpc in result.metrics.completed
+        if rpc.priority == Priority.PC and rpc.issued_ns >= result.warmup_ns
+    ]
+    return percentile(samples, pctl) / 1000.0
+
+
+def run(
+    num_clusters: int = 6,
+    num_hosts: int = 6,
+    duration_ms: float = 15.0,
+    warmup_ms: float = 5.0,
+    report_percentile: float = 99.0,
+    seed: int = 24,
+) -> Fig24Result:
+    clusters = []
+    for cid in range(num_clusters):
+        rng = random.Random(seed * 1009 + cid)
+        mapper = make_misaligned_mapper(rng)
+        mix = {Priority.PC: 0.35, Priority.NC: 0.35, Priority.BE: 0.30}
+        outcomes = {}
+        for phase, qos_mapper in (("before", mapper), ("after", None)):
+            cfg = make_config(
+                "wfq",
+                num_hosts=num_hosts,
+                duration_ms=duration_ms,
+                warmup_ms=warmup_ms,
+                priority_mix=mix,
+                size_dist=FixedSize(32 * 1024),
+                seed=seed * 31 + cid,
+            )
+            result = run_cluster(cfg) if qos_mapper is None else _run_misaligned(
+                cfg, qos_mapper
+            )
+            outcomes[phase] = _pc_tail(result, report_percentile)
+        clusters.append(
+            ClusterOutcome(
+                cluster_id=cid,
+                misalignment_before=misalignment_fraction(mapper),
+                pc_tail_before_us=outcomes["before"],
+                pc_tail_after_us=outcomes["after"],
+            )
+        )
+    # Staged rollout: clusters flip to aligned in weekly waves.
+    weeks = []
+    for week in range(6):
+        flipped = min(len(clusters), round(len(clusters) * week / 5.0))
+        remaining = clusters[flipped:]
+        fleet = (
+            100.0 * sum(c.misalignment_before for c in remaining) / len(clusters)
+            if remaining
+            else 0.0
+        )
+        weeks.append((week, fleet))
+    return Fig24Result(clusters=clusters, rollout_weeks=weeks)
+
+
+def _run_misaligned(cfg, qos_mapper):
+    from repro.experiments.cluster import attach_traffic, build_cluster
+    from repro.sim.engine import ns_from_ms
+
+    result = build_cluster(cfg)
+    for stack in result.stacks:
+        stack.qos_mapper = qos_mapper
+    attach_traffic(result)
+    result.sim.run(until=ns_from_ms(cfg.duration_ms))
+    return result

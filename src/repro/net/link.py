@@ -1,0 +1,105 @@
+"""Ports and links.
+
+A :class:`Port` models one egress interface: a packet scheduler feeding
+a transmitter of fixed line rate, followed by a propagation-delay wire
+to the downstream node.  Transmission is non-preemptive: once a packet
+starts serializing it finishes.  The port keeps itself busy as long as
+the scheduler has backlog (work conservation), which is the property the
+paper's WFQ analysis assumes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, List, Optional, Tuple
+
+from repro.net.packet import Packet
+from repro.net.queues import Scheduler
+from repro.sim.engine import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.node import Node
+
+#: Default line rate used throughout the evaluation (Section 6: "All
+#: results are at 100Gbps link rates").
+DEFAULT_LINE_RATE_BPS = 100e9
+
+#: Default one-way propagation delay per hop.
+DEFAULT_PROP_DELAY_NS = 500
+
+
+class Port:
+    """An egress port: scheduler + serializer + wire.
+
+    ``on_transmit`` hooks (if any) observe every packet as it begins
+    serialization — experiments use them to meter per-QoS goodput.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        scheduler: Scheduler,
+        rate_bps: float = DEFAULT_LINE_RATE_BPS,
+        prop_delay_ns: int = DEFAULT_PROP_DELAY_NS,
+        name: str = "port",
+    ):
+        if rate_bps <= 0:
+            raise ValueError("line rate must be positive")
+        if prop_delay_ns < 0:
+            raise ValueError("propagation delay cannot be negative")
+        self.sim = sim
+        self.scheduler = scheduler
+        self.rate_bps = rate_bps
+        self.prop_delay_ns = prop_delay_ns
+        self.name = name
+        self.peer: Optional["Node"] = None
+        self.busy = False
+        self.bytes_sent = 0
+        self.packets_sent = 0
+        self.packets_dropped = 0
+        self.on_transmit: List[Callable[[Packet, int], None]] = []
+
+    def connect(self, peer: "Node") -> None:
+        """Attach the downstream node this port feeds."""
+        self.peer = peer
+
+    def serialization_ns(self, size_bytes: int) -> int:
+        """Time to clock ``size_bytes`` onto the wire at line rate."""
+        return max(1, int(round(size_bytes * 8 * 1e9 / self.rate_bps)))
+
+    def send(self, pkt: Packet) -> bool:
+        """Enqueue a packet for transmission.  Returns False on drop."""
+        if self.peer is None:
+            raise RuntimeError(f"{self.name} is not connected")
+        if not self.scheduler.enqueue(pkt):
+            self.packets_dropped += 1
+            return False
+        if not self.busy:
+            self._start_next()
+        return True
+
+    def _start_next(self) -> None:
+        pkt = self.scheduler.dequeue()
+        if pkt is None:
+            self.busy = False
+            return
+        self.busy = True
+        tx_ns = self.serialization_ns(pkt.size_bytes)
+        for hook in self.on_transmit:
+            hook(pkt, self.sim.now)
+        self.sim.schedule(tx_ns, self._finish_transmit, pkt)
+
+    def _finish_transmit(self, pkt: Packet) -> None:
+        self.bytes_sent += pkt.size_bytes
+        self.packets_sent += 1
+        # Deliver after the wire's propagation delay, then immediately
+        # look for more backlog (work conservation).
+        self.sim.schedule(self.prop_delay_ns, self.peer.receive, pkt)
+        self._start_next()
+
+    @property
+    def utilization_bytes(self) -> int:
+        return self.bytes_sent
+
+    def queue_depth(self) -> Tuple[int, int]:
+        """(packets, bytes) currently waiting in the scheduler."""
+        return self.scheduler.packets_queued, self.scheduler.bytes_queued

@@ -1,0 +1,307 @@
+"""Output-port packet schedulers: FIFO, WFQ, DWRR, strict priority, pFabric.
+
+WFQ is the paper's building block.  We implement Self-Clocked Fair
+Queueing (SCFQ), the practical virtual-time approximation of GPS used by
+commodity switch ASICs: each class keeps a FIFO; an arriving packet gets
+a finish tag ``max(V, last_finish[class]) + size/weight``; the scheduler
+serves the smallest finish tag and sets the virtual time V to the tag of
+the packet in service.  This yields the per-class minimum guaranteed
+rate g_i = phi_i / sum(phi) * r and work conservation the analysis in
+Section 4 relies on.
+
+All schedulers share one buffer-accounting scheme: a byte-capacity cap,
+shared across classes (mirroring "buffer space is shared across the
+ports based on usage" at a per-port granularity).  ``enqueue`` returns
+False on a drop so the caller (the port) can count it.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.net.packet import MTU_BYTES, Packet
+
+
+class SchedulerStats:
+    """Counters every scheduler keeps, split per QoS class."""
+
+    def __init__(self, num_classes: int):
+        self.enqueued = [0] * num_classes
+        self.dequeued = [0] * num_classes
+        self.dropped = [0] * num_classes
+        self.max_bytes_per_class = [0] * num_classes
+
+    def record_enqueue(self, qos: int, class_bytes: int) -> None:
+        self.enqueued[qos] += 1
+        if class_bytes > self.max_bytes_per_class[qos]:
+            self.max_bytes_per_class[qos] = class_bytes
+
+    @property
+    def total_dropped(self) -> int:
+        return sum(self.dropped)
+
+
+class Scheduler:
+    """Interface every port scheduler implements."""
+
+    def __init__(self, num_classes: int, buffer_bytes: int):
+        if buffer_bytes <= 0:
+            raise ValueError("buffer must be positive")
+        self.num_classes = num_classes
+        self.buffer_bytes = buffer_bytes
+        self.bytes_queued = 0
+        self.packets_queued = 0
+        self.stats = SchedulerStats(num_classes)
+
+    def enqueue(self, pkt: Packet) -> bool:
+        raise NotImplementedError
+
+    def dequeue(self) -> Optional[Packet]:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        return self.packets_queued
+
+    def _check_class(self, qos: int) -> None:
+        if not 0 <= qos < self.num_classes:
+            raise ValueError(f"packet QoS {qos} out of range for {self.num_classes} classes")
+
+
+class FifoScheduler(Scheduler):
+    """Single shared FIFO; QoS is ignored (the no-QoS baseline)."""
+
+    def __init__(self, buffer_bytes: int, num_classes: int = 1):
+        super().__init__(num_classes, buffer_bytes)
+        self._queue: Deque[Packet] = deque()
+
+    def enqueue(self, pkt: Packet) -> bool:
+        qos = min(pkt.qos, self.num_classes - 1)
+        if self.bytes_queued + pkt.size_bytes > self.buffer_bytes:
+            self.stats.dropped[qos] += 1
+            return False
+        self._queue.append(pkt)
+        self.bytes_queued += pkt.size_bytes
+        self.packets_queued += 1
+        self.stats.record_enqueue(qos, self.bytes_queued)
+        return True
+
+    def dequeue(self) -> Optional[Packet]:
+        if not self._queue:
+            return None
+        pkt = self._queue.popleft()
+        self.bytes_queued -= pkt.size_bytes
+        self.packets_queued -= 1
+        self.stats.dequeued[min(pkt.qos, self.num_classes - 1)] += 1
+        return pkt
+
+
+class _ClassedScheduler(Scheduler):
+    """Shared plumbing for schedulers with one FIFO per QoS class."""
+
+    def __init__(self, num_classes: int, buffer_bytes: int):
+        super().__init__(num_classes, buffer_bytes)
+        self._queues: List[Deque[Packet]] = [deque() for _ in range(num_classes)]
+        self._class_bytes = [0] * num_classes
+
+    def class_backlog_bytes(self, qos: int) -> int:
+        """Bytes currently queued in one class (used by tests/metrics)."""
+        return self._class_bytes[qos]
+
+    def _admit(self, pkt: Packet) -> bool:
+        self._check_class(pkt.qos)
+        if self.bytes_queued + pkt.size_bytes > self.buffer_bytes:
+            self.stats.dropped[pkt.qos] += 1
+            return False
+        self._queues[pkt.qos].append(pkt)
+        self.bytes_queued += pkt.size_bytes
+        self._class_bytes[pkt.qos] += pkt.size_bytes
+        self.packets_queued += 1
+        self.stats.record_enqueue(pkt.qos, self._class_bytes[pkt.qos])
+        return True
+
+    def _remove(self, qos: int) -> Packet:
+        pkt = self._queues[qos].popleft()
+        self.bytes_queued -= pkt.size_bytes
+        self._class_bytes[qos] -= pkt.size_bytes
+        self.packets_queued -= 1
+        self.stats.dequeued[qos] += 1
+        return pkt
+
+
+class WfqScheduler(_ClassedScheduler):
+    """Weighted fair queueing via SCFQ virtual finish tags.
+
+    ``weights[i]`` is the WFQ weight phi_i of QoS class i (index 0 is
+    the highest class by convention, but SCFQ itself only cares about
+    the weight values).
+    """
+
+    def __init__(self, weights: Sequence[float], buffer_bytes: int):
+        if any(w <= 0 for w in weights):
+            raise ValueError("WFQ weights must be positive")
+        super().__init__(len(weights), buffer_bytes)
+        self.weights = tuple(float(w) for w in weights)
+        self._virtual_time = 0.0
+        self._last_finish = [0.0] * len(weights)
+        # Finish tag of the head packet of each backlogged class.
+        self._head_tags: List[Tuple[float, int]] = []  # heap of (tag, qos)
+        self._tags: List[Deque[float]] = [deque() for _ in weights]
+
+    def enqueue(self, pkt: Packet) -> bool:
+        if not self._admit(pkt):
+            return False
+        start = max(self._virtual_time, self._last_finish[pkt.qos])
+        finish = start + pkt.size_bytes / self.weights[pkt.qos]
+        self._last_finish[pkt.qos] = finish
+        was_empty = len(self._queues[pkt.qos]) == 1
+        self._tags[pkt.qos].append(finish)
+        if was_empty:
+            heapq.heappush(self._head_tags, (finish, pkt.qos))
+        return True
+
+    def dequeue(self) -> Optional[Packet]:
+        while self._head_tags:
+            tag, qos = heapq.heappop(self._head_tags)
+            if not self._tags[qos] or self._tags[qos][0] != tag:
+                # Stale heap entry (head already served); skip it.
+                continue
+            self._tags[qos].popleft()
+            pkt = self._remove(qos)
+            self._virtual_time = max(self._virtual_time, tag)
+            if self._tags[qos]:
+                heapq.heappush(self._head_tags, (self._tags[qos][0], qos))
+            if self.packets_queued == 0:
+                # System empties: reset virtual time so tags don't grow
+                # without bound over long runs.
+                self._virtual_time = 0.0
+                self._last_finish = [0.0] * self.num_classes
+            return pkt
+        return None
+
+
+class StrictPriorityScheduler(_ClassedScheduler):
+    """Strict priority: always serve the lowest-numbered backlogged class.
+
+    This is the SPQ baseline of Section 6.7 — it starves lower classes
+    under high-class overload, which is exactly the failure mode the
+    comparison demonstrates.
+    """
+
+    def enqueue(self, pkt: Packet) -> bool:
+        return self._admit(pkt)
+
+    def dequeue(self) -> Optional[Packet]:
+        for qos in range(self.num_classes):
+            if self._queues[qos]:
+                return self._remove(qos)
+        return None
+
+
+class DwrrScheduler(_ClassedScheduler):
+    """Deficit Weighted Round Robin (Shreedhar & Varghese).
+
+    An alternative WFQ realization (the paper names DWRR alongside
+    virtual-time PGPS); each class's quantum is weight * MTU bytes.
+    """
+
+    def __init__(self, weights: Sequence[float], buffer_bytes: int, quantum_bytes: int = MTU_BYTES):
+        if any(w <= 0 for w in weights):
+            raise ValueError("DWRR weights must be positive")
+        super().__init__(len(weights), buffer_bytes)
+        self.weights = tuple(float(w) for w in weights)
+        self._quanta = [w * quantum_bytes for w in self.weights]
+        self._deficit = [0.0] * len(weights)
+        self._active: Deque[int] = deque()
+        self._in_active = [False] * len(weights)
+
+    def enqueue(self, pkt: Packet) -> bool:
+        if not self._admit(pkt):
+            return False
+        if not self._in_active[pkt.qos]:
+            self._active.append(pkt.qos)
+            self._in_active[pkt.qos] = True
+            self._deficit[pkt.qos] = 0.0
+        return True
+
+    def dequeue(self) -> Optional[Packet]:
+        # Round-robin over active classes, granting each its quantum.
+        for _ in range(2 * len(self._active) + 1):
+            if not self._active:
+                return None
+            qos = self._active[0]
+            queue = self._queues[qos]
+            if not queue:
+                self._active.popleft()
+                self._in_active[qos] = False
+                continue
+            head = queue[0]
+            if self._deficit[qos] < head.size_bytes:
+                self._deficit[qos] += self._quanta[qos]
+                self._active.rotate(-1)
+                continue
+            self._deficit[qos] -= head.size_bytes
+            pkt = self._remove(qos)
+            if not queue:
+                self._active.popleft()
+                self._in_active[qos] = False
+                self._deficit[qos] = 0.0
+            return pkt
+        return None
+
+
+class PFabricScheduler(Scheduler):
+    """pFabric switch queue: serve smallest remaining size first.
+
+    The queue is a min-heap keyed on ``remaining_mtus`` (ties broken by
+    arrival order).  When the buffer is full, pFabric drops the *largest*
+    remaining-size packet in the queue if the arrival is smaller,
+    otherwise drops the arrival — the paper's "minimal near-optimal"
+    switch behavior.
+    """
+
+    def __init__(self, buffer_bytes: int, num_classes: int = 3):
+        super().__init__(num_classes, buffer_bytes)
+        self._heap: List[Tuple[int, int, Packet]] = []
+        self._counter = itertools.count()
+        self._evicted: Dict[int, bool] = {}
+
+    def enqueue(self, pkt: Packet) -> bool:
+        qos = min(pkt.qos, self.num_classes - 1)
+        while self.bytes_queued + pkt.size_bytes > self.buffer_bytes:
+            victim = self._largest_queued()
+            if victim is None or victim.remaining_mtus <= pkt.remaining_mtus:
+                self.stats.dropped[qos] += 1
+                return False
+            self._evicted[victim.uid] = True
+            self.bytes_queued -= victim.size_bytes
+            self.packets_queued -= 1
+            self.stats.dropped[min(victim.qos, self.num_classes - 1)] += 1
+        heapq.heappush(self._heap, (pkt.remaining_mtus, next(self._counter), pkt))
+        self.bytes_queued += pkt.size_bytes
+        self.packets_queued += 1
+        self.stats.record_enqueue(qos, self.bytes_queued)
+        return True
+
+    def _largest_queued(self) -> Optional[Packet]:
+        largest = None
+        for _, __, pkt in self._heap:
+            if pkt.uid in self._evicted:
+                continue
+            if largest is None or pkt.remaining_mtus > largest.remaining_mtus:
+                largest = pkt
+        return largest
+
+    def dequeue(self) -> Optional[Packet]:
+        while self._heap:
+            _, __, pkt = heapq.heappop(self._heap)
+            if pkt.uid in self._evicted:
+                del self._evicted[pkt.uid]
+                continue
+            self.bytes_queued -= pkt.size_bytes
+            self.packets_queued -= 1
+            self.stats.dequeued[min(pkt.qos, self.num_classes - 1)] += 1
+            return pkt
+        return None

@@ -1,0 +1,36 @@
+"""RPC layer: RPC objects, size distributions, workloads, and the stack."""
+
+from repro.rpc.message import Rpc
+from repro.rpc.sizes import (
+    ChoiceSize,
+    FixedSize,
+    LogNormalSize,
+    SizeDistribution,
+    production_mixture,
+    production_size_dist,
+)
+from repro.rpc.stack import MetricsCollector, RpcStack
+from repro.rpc.workload import (
+    BurstPattern,
+    OpenLoopSource,
+    PriorityMix,
+    all_to_all_sources,
+    steady_pattern,
+)
+
+__all__ = [
+    "BurstPattern",
+    "ChoiceSize",
+    "FixedSize",
+    "LogNormalSize",
+    "MetricsCollector",
+    "OpenLoopSource",
+    "PriorityMix",
+    "Rpc",
+    "RpcStack",
+    "SizeDistribution",
+    "all_to_all_sources",
+    "production_mixture",
+    "production_size_dist",
+    "steady_pattern",
+]

@@ -1,0 +1,55 @@
+"""RPC objects and completion records.
+
+An :class:`Rpc` is what applications issue: a destination, a priority
+class, and a payload.  This reproduction models WRITE-style RPCs (the
+payload flows src -> dst and the transport-level ACK of the last packet
+closes the measurement), matching the paper's experiments ("32KB WRITE
+RPCs") and its observation that one direction dominates bytes (400:1 for
+WRITEs), so the payload direction defines RNL.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.qos import Priority
+from repro.net.packet import mtus_for_bytes
+
+
+@dataclass
+class Rpc:
+    """One RPC through its lifecycle.
+
+    ``qos_requested`` is set by the Phase-1 priority mapping;
+    ``qos_run``/``downgraded`` by the admission decision;
+    ``completed_ns``/``rnl_ns`` when the transport finishes.
+    """
+
+    src: int
+    dst: int
+    priority: Priority
+    payload_bytes: int
+    issued_ns: int
+    rpc_id: int = field(default_factory=itertools.count(1).__next__)
+    qos_requested: Optional[int] = None
+    qos_run: Optional[int] = None
+    downgraded: bool = False
+    terminated: bool = False
+    completed_ns: Optional[int] = None
+    rnl_ns: Optional[int] = None
+
+    @property
+    def size_mtus(self) -> int:
+        return mtus_for_bytes(self.payload_bytes)
+
+    @property
+    def completed(self) -> bool:
+        return self.completed_ns is not None
+
+    def normalized_rnl_ns(self) -> float:
+        """RNL per MTU — comparable against the per-MTU SLO target."""
+        if self.rnl_ns is None:
+            raise RuntimeError("RPC has not completed")
+        return self.rnl_ns / self.size_mtus

@@ -1,0 +1,282 @@
+"""The RPC stack: where Aequitas lives.
+
+Per Figure 6 of the paper, the RPC stack sits between applications and
+the transport.  On issue it (1) maps the RPC's priority class to a
+requested QoS (Phase 1), (2) runs the admission decision (Phase 2),
+possibly downgrading to the scavenger class, and (3) hands the payload
+to the per-QoS transport flow.  On completion it measures RNL and feeds
+it back into the admission controller for the (destination, QoS) the
+RPC actually ran at.
+
+``admission_enabled=False`` gives the "w/o Aequitas" baseline: Phase-1
+mapping only, every RPC runs at its requested QoS.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.core.admission import AdmissionParams
+from repro.core.channel import ChannelRegistry
+from repro.core.qos import Priority, map_priority_to_qos
+from repro.core.slo import SLOMap
+from repro.net.node import Host
+from repro.rpc.message import Rpc
+from repro.sim.engine import Simulator
+from repro.transport.base import Message
+from repro.transport.reliable import TransportEndpoint
+
+
+class MetricsCollector:
+    """Accumulates completed RPCs and issue-side counters for analysis.
+
+    One collector is usually shared by every stack in an experiment so
+    cluster-wide distributions (the paper's fleet view) fall out
+    directly.
+    """
+
+    def __init__(self) -> None:
+        self.completed: List[Rpc] = []
+        self.issued: List[Rpc] = []
+        self.issued_bytes_by_qos_requested: dict = {}
+        self.run_bytes_by_qos: dict = {}
+        self.downgrades = 0
+        self.terminated = 0
+        # Optional live hooks (used by experiments to track outstanding
+        # RPCs per destination without post-processing).
+        self.on_issue_hook: Optional[Callable[[Rpc], None]] = None
+        self.on_complete_hook: Optional[Callable[[Rpc], None]] = None
+
+    @property
+    def issued_count(self) -> int:
+        return len(self.issued)
+
+    def record_issue(self, rpc: Rpc) -> None:
+        self.issued.append(rpc)
+        req = rpc.qos_requested
+        self.issued_bytes_by_qos_requested[req] = (
+            self.issued_bytes_by_qos_requested.get(req, 0) + rpc.payload_bytes
+        )
+        self.run_bytes_by_qos[rpc.qos_run] = (
+            self.run_bytes_by_qos.get(rpc.qos_run, 0) + rpc.payload_bytes
+        )
+        if rpc.downgraded:
+            self.downgrades += 1
+        if self.on_issue_hook is not None:
+            self.on_issue_hook(rpc)
+
+    def record_completion(self, rpc: Rpc) -> None:
+        self.completed.append(rpc)
+        if self.on_complete_hook is not None:
+            self.on_complete_hook(rpc)
+
+    def record_termination(self, rpc: Rpc) -> None:
+        self.terminated += 1
+
+    # -- derived views --------------------------------------------------
+    def normalized_rnl_ns(self, qos_run: int, since_ns: int = 0) -> List[float]:
+        """Per-MTU RNL samples of RPCs that ran at the given QoS."""
+        return [
+            rpc.rnl_ns / rpc.size_mtus
+            for rpc in self.completed
+            if rpc.qos_run == qos_run and rpc.issued_ns >= since_ns
+        ]
+
+    def absolute_rnl_ns(self, qos_run: int, since_ns: int = 0) -> List[int]:
+        return [
+            rpc.rnl_ns
+            for rpc in self.completed
+            if rpc.qos_run == qos_run and rpc.issued_ns >= since_ns
+        ]
+
+    def admitted_mix(self, since_ns: int = 0) -> dict:
+        """Byte share of traffic per QoS it actually ran at.
+
+        ``since_ns`` restricts to RPCs issued after the warmup so the
+        converged mix is not diluted by the AIMD transient.
+        """
+        return self._mix(since_ns, "qos_run")
+
+    def offered_mix(self, since_ns: int = 0) -> dict:
+        """Byte share of traffic per requested QoS."""
+        return self._mix(since_ns, "qos_requested")
+
+    def _mix(self, since_ns: int, attr: str) -> dict:
+        by_qos: dict = {}
+        for rpc in self.issued:
+            if rpc.issued_ns < since_ns:
+                continue
+            qos = getattr(rpc, attr)
+            by_qos[qos] = by_qos.get(qos, 0) + rpc.payload_bytes
+        total = sum(by_qos.values())
+        return {q: b / total for q, b in by_qos.items()} if total else {}
+
+    def slo_met_fraction(
+        self,
+        qos: int,
+        slo_map: SLOMap,
+        since_ns: int = 0,
+        until_ns: Optional[int] = None,
+    ) -> float:
+        """Fraction of traffic (bytes) requested at ``qos`` that completed
+        *at that QoS* within the SLO — the Fig-22 success metric: traffic
+        meeting SLO targets "from their initially assigned QoS levels".
+        Downgraded, terminated, or unfinished RPCs count as misses.
+
+        ``until_ns`` bounds the issue window so RPCs issued too close to
+        the end of the run (which could not have finished) are excluded
+        from the denominator.
+        """
+        slo = slo_map.get(qos)
+        met = 0
+        total = 0
+        for rpc in self.issued:
+            if rpc.qos_requested != qos or rpc.issued_ns < since_ns:
+                continue
+            if until_ns is not None and rpc.issued_ns > until_ns:
+                continue
+            total += rpc.payload_bytes
+            if (
+                rpc.completed
+                and rpc.qos_run == qos
+                and slo.is_met(rpc.rnl_ns, rpc.size_mtus)
+            ):
+                met += rpc.payload_bytes
+        if total == 0:
+            return 0.0
+        return met / total
+
+    def goodput_fraction(self, since_ns: int = 0, until_ns: Optional[int] = None) -> float:
+        """Completed / issued payload bytes in the window — the network-
+        utilization proxy of Fig 22 (achieved goodput over input arrival
+        rate).  Early-terminating schemes (D3/PDQ) lose goodput here.
+        """
+        done = 0
+        total = 0
+        for rpc in self.issued:
+            if rpc.issued_ns < since_ns:
+                continue
+            if until_ns is not None and rpc.issued_ns > until_ns:
+                continue
+            total += rpc.payload_bytes
+            if rpc.completed:
+                done += rpc.payload_bytes
+        if total == 0:
+            return 0.0
+        return done / total
+
+
+class RpcStack:
+    """Per-host RPC layer: admission + transport hand-off + measurement."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        endpoint: TransportEndpoint,
+        slo_map: SLOMap,
+        params: AdmissionParams = AdmissionParams(),
+        metrics: Optional[MetricsCollector] = None,
+        seed: int = 0,
+        admission_enabled: bool = True,
+        on_downgrade: Optional[Callable[[Rpc], None]] = None,
+        deadline_fn: Optional[Callable[[Rpc], int]] = None,
+        qos_mapper: Optional[Callable[[Rpc], int]] = None,
+        quota_server: Optional[object] = None,
+        tenant_of: Optional[Callable[[Rpc], object]] = None,
+    ):
+        self.sim = sim
+        self.host = host
+        self.endpoint = endpoint
+        self.slo_map = slo_map
+        self.metrics = metrics if metrics is not None else MetricsCollector()
+        self.admission_enabled = admission_enabled
+        self.on_downgrade = on_downgrade
+        self.deadline_fn = deadline_fn
+        # Optional override of the Phase-1 priority->QoS mapping.  The
+        # production study of Fig 4/24 models *misaligned* deployments
+        # where e.g. BE traffic rides QoS_h; pass a mapper to recreate
+        # such a cluster, or None for the aligned Phase-1 bijection.
+        self.qos_mapper = qos_mapper
+        # Optional §5.2 extension: a cluster-wide QuotaServer granting
+        # per-tenant admission-rate guarantees ahead of the
+        # probabilistic stage.  ``tenant_of`` maps an RPC to its tenant
+        # (default: the source host).
+        self.quota_server = quota_server
+        self.tenant_of = tenant_of or (lambda rpc: rpc.src)
+        self.registry = ChannelRegistry(
+            slo_map, params, seed=seed * 1_000_003 + host.host_id, clock=lambda: sim.now
+        )
+
+    def issue(self, dst: int, priority: Priority, payload_bytes: int) -> Rpc:
+        """Issue one RPC.  Returns the live RPC object (completes later)."""
+        rpc = Rpc(
+            src=self.host.host_id,
+            dst=dst,
+            priority=priority,
+            payload_bytes=payload_bytes,
+            issued_ns=self.sim.now,
+        )
+        if self.qos_mapper is not None:
+            qos_requested = self.qos_mapper(rpc)
+        else:
+            qos_requested = int(map_priority_to_qos(priority))
+        rpc.qos_requested = qos_requested
+        verdict = None
+        if (
+            self.quota_server is not None
+            and self.slo_map.has_slo(qos_requested)
+        ):
+            verdict = self.quota_server.check_admit(
+                self.tenant_of(rpc), qos_requested, payload_bytes
+            )
+        if verdict is not None and verdict.value == "denied":
+            rpc.qos_run = self.slo_map.qos_config.lowest
+            rpc.downgraded = True
+            if self.on_downgrade is not None:
+                self.on_downgrade(rpc)
+        elif verdict is not None and verdict.value == "reserved":
+            # Covered by the tenant's guarantee: bypass the
+            # probabilistic stage (the operator provisioned for this).
+            rpc.qos_run = qos_requested
+        elif self.admission_enabled:
+            decision = self.registry.controller(dst).on_rpc_issue_qos(qos_requested)
+            rpc.qos_run = decision.qos_run
+            rpc.downgraded = decision.downgraded
+            if decision.downgraded and self.on_downgrade is not None:
+                # Explicit downgrade notification back to the application
+                # (Algorithm 1 lines 10-11).
+                self.on_downgrade(rpc)
+        else:
+            rpc.qos_run = qos_requested
+        self.metrics.record_issue(rpc)
+        deadline = None
+        if self.deadline_fn is not None:
+            deadline = self.sim.now + self.deadline_fn(rpc)
+        msg = Message(
+            dst=dst,
+            payload_bytes=payload_bytes,
+            qos=rpc.qos_run,
+            created_ns=self.sim.now,
+            on_complete=self._on_msg_complete,
+            deadline_ns=deadline,
+            context=rpc,
+        )
+        self.endpoint.send_message(msg)
+        return rpc
+
+    def _on_msg_complete(self, msg: Message) -> None:
+        rpc: Rpc = msg.context
+        if msg.terminated:
+            # Early termination (D3/PDQ "better never than late"): the
+            # RPC never finishes; it stays incomplete in the metrics.
+            rpc.terminated = True
+            self.metrics.record_termination(rpc)
+            return
+        rpc.completed_ns = msg.completed_ns
+        rpc.rnl_ns = msg.rnl_ns
+        if self.admission_enabled:
+            self.registry.controller(rpc.dst).on_rpc_completion(
+                rpc.rnl_ns, rpc.size_mtus, rpc.qos_run
+            )
+        self.metrics.record_completion(rpc)

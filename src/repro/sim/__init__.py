@@ -1,0 +1,29 @@
+"""Discrete-event simulation kernel (clock, event heap, seeded RNG)."""
+
+from repro.sim.engine import (
+    NS_PER_MS,
+    NS_PER_SEC,
+    NS_PER_US,
+    Event,
+    Simulator,
+    ns_from_ms,
+    ns_from_sec,
+    ns_from_us,
+    us_from_ns,
+)
+from repro.sim.rng import make_rng, poisson_interarrivals_ns, substream
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "NS_PER_US",
+    "NS_PER_MS",
+    "NS_PER_SEC",
+    "ns_from_us",
+    "ns_from_ms",
+    "ns_from_sec",
+    "us_from_ns",
+    "make_rng",
+    "substream",
+    "poisson_interarrivals_ns",
+]

@@ -1,0 +1,175 @@
+"""Discrete-event simulation kernel.
+
+The kernel is deliberately small: a binary-heap event queue keyed by an
+integer-nanosecond timestamp plus a monotonically increasing sequence
+number (so ties are FIFO and runs are deterministic), a clock, and a
+``run`` loop.  Everything else in the simulator — links, switches,
+transports, RPC stacks — is built by scheduling plain callables.
+
+Time is kept in integer nanoseconds throughout the code base.  Floating
+point time is a classic source of nondeterminism in event simulators
+(two events that should tie end up ordered by rounding noise); integers
+make every run bit-reproducible for a given seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional, Tuple
+
+NS_PER_US = 1_000
+NS_PER_MS = 1_000_000
+NS_PER_SEC = 1_000_000_000
+
+
+def ns_from_us(us: float) -> int:
+    """Convert microseconds to integer nanoseconds."""
+    return int(round(us * NS_PER_US))
+
+
+def ns_from_ms(ms: float) -> int:
+    """Convert milliseconds to integer nanoseconds."""
+    return int(round(ms * NS_PER_MS))
+
+
+def ns_from_sec(sec: float) -> int:
+    """Convert seconds to integer nanoseconds."""
+    return int(round(sec * NS_PER_SEC))
+
+
+def us_from_ns(ns: int) -> float:
+    """Convert integer nanoseconds to (float) microseconds."""
+    return ns / NS_PER_US
+
+
+class Event:
+    """Handle for a scheduled callback.
+
+    Cancellation is lazy: :meth:`cancel` marks the event and the run loop
+    skips it when popped.  This keeps the heap operations O(log n) without
+    the bookkeeping of a priority queue that supports removal.
+
+    Heap entries are ``(time, seq, event)`` tuples so ordering is decided
+    by C-level integer comparison (``seq`` is unique, so the Event itself
+    is never compared) — this matters: event ordering is the hottest
+    operation in the simulator.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: int, seq: int, fn: Callable[..., None], args: Tuple[Any, ...]):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark this event so the simulator drops it instead of firing it."""
+        self.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(t={self.time}ns, fn={getattr(self.fn, '__name__', self.fn)}, {state})"
+
+
+class Simulator:
+    """A deterministic discrete-event simulator with an integer-ns clock.
+
+    Usage::
+
+        sim = Simulator()
+        sim.schedule(100, callback, arg1, arg2)   # fire 100 ns from now
+        sim.run(until=ns_from_ms(10))
+    """
+
+    def __init__(self) -> None:
+        self._now: int = 0
+        self._heap: List[Tuple[int, int, Event]] = []
+        self._seq: int = 0
+        self._events_processed: int = 0
+        self._stopped: bool = False
+
+    @property
+    def now(self) -> int:
+        """Current simulation time in nanoseconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events fired so far (excludes cancelled events)."""
+        return self._events_processed
+
+    def schedule(self, delay_ns: int, fn: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay_ns`` nanoseconds from now.
+
+        Returns an :class:`Event` handle that can be cancelled.  Negative
+        delays are rejected: an event may never fire in the past.
+        """
+        if delay_ns < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay_ns}ns)")
+        time = self._now + delay_ns
+        event = Event(time, self._seq, fn, args)
+        heapq.heappush(self._heap, (time, self._seq, event))
+        self._seq += 1
+        return event
+
+    def schedule_at(self, time_ns: int, fn: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at absolute simulation time ``time_ns``."""
+        return self.schedule(time_ns - self._now, fn, *args)
+
+    def stop(self) -> None:
+        """Stop the run loop after the currently executing event returns."""
+        self._stopped = True
+
+    def peek_time(self) -> Optional[int]:
+        """Timestamp of the next pending event, or ``None`` if idle."""
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
+        return heap[0][0] if heap else None
+
+    def step(self) -> bool:
+        """Fire the next event.  Returns False when no events remain."""
+        heap = self._heap
+        while heap:
+            time, _, event = heapq.heappop(heap)
+            if event.cancelled:
+                continue
+            self._now = time
+            self._events_processed += 1
+            event.fn(*event.args)
+            return True
+        return False
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> None:
+        """Run until the event queue drains, ``until`` is reached, or
+        ``max_events`` more events have fired.
+
+        ``until`` is an absolute timestamp; events scheduled exactly at
+        ``until`` still fire (the loop stops once the next event would be
+        strictly later).  When the loop stops because of ``until``, the
+        clock is advanced to ``until`` so subsequent scheduling is relative
+        to the requested horizon.
+        """
+        self._stopped = False
+        heap = self._heap
+        pop = heapq.heappop
+        fired = 0
+        while not self._stopped and heap:
+            if max_events is not None and fired >= max_events:
+                return
+            time, _, event = heap[0]
+            if event.cancelled:
+                pop(heap)
+                continue
+            if until is not None and time > until:
+                self._now = until
+                return
+            pop(heap)
+            self._now = time
+            self._events_processed += 1
+            event.fn(*event.args)
+            fired += 1
+        if until is not None and self._now < until:
+            self._now = until

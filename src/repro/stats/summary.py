@@ -1,0 +1,53 @@
+"""Percentile/CDF helpers used by experiments and reports."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+def percentile(samples: Sequence[float], pctl: float) -> float:
+    """Tail percentile (e.g. 99.9) of a sample set; NaN when empty."""
+    if len(samples) == 0:
+        return float("nan")
+    return float(np.percentile(np.asarray(samples, dtype=float), pctl))
+
+
+def p99(samples: Sequence[float]) -> float:
+    return percentile(samples, 99.0)
+
+
+def p999(samples: Sequence[float]) -> float:
+    return percentile(samples, 99.9)
+
+
+def cdf_points(samples: Sequence[float]) -> List[Tuple[float, float]]:
+    """Empirical CDF as (value, cumulative fraction) pairs."""
+    if len(samples) == 0:
+        return []
+    arr = np.sort(np.asarray(samples, dtype=float))
+    n = len(arr)
+    return [(float(v), (i + 1) / n) for i, v in enumerate(arr)]
+
+
+def mean(samples: Sequence[float]) -> float:
+    if len(samples) == 0:
+        return float("nan")
+    return float(np.mean(np.asarray(samples, dtype=float)))
+
+
+def summarize(samples: Sequence[float]) -> dict:
+    """Mean / p50 / p99 / p999 / max in one dict (NaN when empty)."""
+    if len(samples) == 0:
+        nan = float("nan")
+        return {"count": 0, "mean": nan, "p50": nan, "p99": nan, "p999": nan, "max": nan}
+    arr = np.asarray(samples, dtype=float)
+    return {
+        "count": int(arr.size),
+        "mean": float(arr.mean()),
+        "p50": float(np.percentile(arr, 50)),
+        "p99": float(np.percentile(arr, 99)),
+        "p999": float(np.percentile(arr, 99.9)),
+        "max": float(arr.max()),
+    }

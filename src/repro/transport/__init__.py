@@ -1,0 +1,16 @@
+"""Transport layer: reliable message delivery + Swift congestion control."""
+
+from repro.transport.base import CongestionControl, FixedWindowCC, Message
+from repro.transport.reliable import Flow, TransportConfig, TransportEndpoint
+from repro.transport.swift import SwiftCC, SwiftParams
+
+__all__ = [
+    "CongestionControl",
+    "FixedWindowCC",
+    "Flow",
+    "Message",
+    "SwiftCC",
+    "SwiftParams",
+    "TransportConfig",
+    "TransportEndpoint",
+]

@@ -1,0 +1,401 @@
+"""Reliable message transport with pluggable congestion control.
+
+One :class:`TransportEndpoint` lives on each host.  It multiplexes
+messages onto per-(destination, QoS) :class:`Flow` objects — mirroring
+the paper's prototype where an RPC channel "is mapped to multiple
+per-QoS TCP sockets".  Each flow:
+
+* segments messages into MTU-sized packets, FIFO within the flow;
+* keeps at most ``cwnd`` packets outstanding (window from the CC
+  module, Swift by default), pacing sub-packet windows;
+* retransmits on timeout, feeding loss signals back into CC;
+* acknowledges every data packet; the ACK for a message's last
+  outstanding packet completes the message.
+
+RNL (the paper's measurement, Appendix A) falls out naturally:
+``Message.t0_ns`` is stamped when the message is handed to the
+transport, ``Message.completed_ns`` when its last packet is ACKed —
+so sender-side queueing behind congestion-control backoff is included,
+which is the effect that makes packet-level metrics insufficient for
+RPC SLOs (Section 2.2.1).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, Tuple
+
+from repro.net.node import Host
+from repro.net.packet import CONTROL_BYTES, Packet, PacketKind, data_packet
+from repro.sim.engine import Simulator
+from repro.transport.base import CongestionControl, Message
+from repro.transport.swift import SwiftCC
+
+#: Factory producing a fresh CC instance per flow.
+CCFactory = Callable[[], CongestionControl]
+
+
+@dataclass(frozen=True)
+class TransportConfig:
+    """Endpoint-wide transport settings.
+
+    Attributes:
+        cc_factory: builds the per-flow congestion controller.
+        base_rtt_ns: unloaded fabric RTT (pacing/RTO baseline).
+        rto_ns: retransmission timeout.
+        ack_qos: QoS level ACKs ride on (highest by default — ACKs are
+            tiny and latency-critical).
+        ack_bypass: when True, ACKs are delivered by a scheduled callback
+            after ``base_rtt_ns // 2`` instead of traversing the reverse
+            network path.  Halves the event count for large experiments;
+            the forward data path is simulated identically.
+        max_burst: cap on back-to-back sends in one kick (keeps single
+            events short).
+    """
+
+    cc_factory: CCFactory = SwiftCC
+    base_rtt_ns: int = 4_000
+    rto_ns: int = 200_000
+    ack_qos: int = 0
+    ack_bypass: bool = False
+    max_burst: int = 64
+
+    def __post_init__(self) -> None:
+        if self.base_rtt_ns <= 0 or self.rto_ns <= 0:
+            raise ValueError("RTT and RTO must be positive")
+
+
+@dataclass
+class _Outstanding:
+    """Book-keeping for one in-flight packet."""
+
+    msg: Message
+    seq: int
+    payload: int
+    sent_ns: int
+    retransmits: int = 0
+
+
+@dataclass
+class _MsgState:
+    msg: Message
+    total_packets: int
+    acked_packets: int = 0
+    acked_bytes: int = 0
+
+
+class Flow:
+    """One (src, dst, qos) reliable stream."""
+
+    _flow_ids = itertools.count(1)
+
+    def __init__(
+        self,
+        sim: Simulator,
+        endpoint: "TransportEndpoint",
+        dst: int,
+        qos: int,
+        config: TransportConfig,
+    ):
+        self.sim = sim
+        self.endpoint = endpoint
+        self.src = endpoint.host.host_id
+        self.dst = dst
+        self.qos = qos
+        self.config = config
+        self.flow_id = next(Flow._flow_ids)
+        self.cc: CongestionControl = config.cc_factory()
+        self._pending: Deque[Tuple[Message, int]] = deque()  # (msg, next seq)
+        self._messages: Dict[int, _MsgState] = {}
+        self._outstanding: Dict[Tuple[int, int], _Outstanding] = {}
+        self._next_allowed_send_ns = 0
+        self._timer_armed = False
+        self._kick_scheduled = False
+        # Stats
+        self.acked_payload_bytes = 0
+        self.retransmitted_packets = 0
+        self.sent_packets = 0
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send_message(self, msg: Message) -> None:
+        """Accept a message; stamps t0 (start of RNL)."""
+        msg.t0_ns = self.sim.now
+        self._messages[msg.msg_id] = _MsgState(msg, msg.size_mtus)
+        self._pending.append((msg, 0))
+        self._maybe_send()
+
+    @property
+    def inflight(self) -> int:
+        return len(self._outstanding)
+
+    @property
+    def backlog_messages(self) -> int:
+        """Messages accepted but not yet fully transmitted."""
+        return len(self._pending)
+
+    def _window(self) -> int:
+        return max(1, int(self.cc.cwnd))
+
+    def _maybe_send(self) -> None:
+        sent = 0
+        now = self.sim.now
+        while self._pending and sent < self.config.max_burst:
+            if self.inflight >= self._window():
+                return
+            if self.cc.cwnd < 1.0:
+                if self.inflight > 0:
+                    return
+                if now < self._next_allowed_send_ns:
+                    self._schedule_kick(self._next_allowed_send_ns - now)
+                    return
+            gate = self._extra_gate_ns()
+            if gate > 0:
+                self._schedule_kick(gate)
+                return
+            msg, seq = self._pending[0]
+            self._transmit(msg, seq, retransmit=False)
+            if seq + 1 >= msg.size_mtus:
+                self._pending.popleft()
+            else:
+                self._pending[0] = (msg, seq + 1)
+            sent += 1
+            if self.cc.cwnd < 1.0:
+                gap = self.cc.pacing_gap_ns(self.config.base_rtt_ns)
+                self._next_allowed_send_ns = self.sim.now + gap
+                return
+
+    def _extra_gate_ns(self) -> int:
+        """Hook for subclasses that gate sends beyond the CC window.
+
+        Called with the head-of-line packet about to be sent; return 0 to
+        allow the send (chargeable side effects are permitted — the send
+        then definitely happens), or a positive wait in nanoseconds.
+        Baselines use this for token buckets (QJump) and explicit rate
+        grants (D3/PDQ).
+        """
+        return 0
+
+    def _packet_qos(self, msg: Message, remaining_mtus: int) -> int:
+        """QoS level stamped on a data packet (hook: Homa uses dynamic
+        priorities derived from the message's remaining size)."""
+        return self.qos
+
+    def _transmit(self, msg: Message, seq: int, retransmit: bool) -> None:
+        payload = msg.packet_payload(seq)
+        remaining = msg.size_mtus - seq
+        pkt = data_packet(
+            src=self.src,
+            dst=self.dst,
+            payload_bytes=payload,
+            qos=self._packet_qos(msg, remaining),
+            flow_id=self.flow_id,
+            seq=seq,
+            msg_id=msg.msg_id,
+            remaining_mtus=remaining,
+            deadline_ns=msg.deadline_ns,
+        )
+        pkt.sent_time_ns = self.sim.now
+        key = (msg.msg_id, seq)
+        entry = self._outstanding.get(key)
+        if entry is None:
+            self._outstanding[key] = _Outstanding(msg, seq, payload, self.sim.now)
+        else:
+            entry.sent_ns = self.sim.now
+            entry.retransmits += 1
+            self.retransmitted_packets += 1
+        self.sent_packets += 1
+        self.endpoint.host.send(pkt)
+        self._arm_timer()
+
+    def _schedule_kick(self, delay_ns: int) -> None:
+        if self._kick_scheduled:
+            return
+        self._kick_scheduled = True
+        self.sim.schedule(max(1, delay_ns), self._kick)
+
+    def _kick(self) -> None:
+        self._kick_scheduled = False
+        self._maybe_send()
+
+    # ------------------------------------------------------------------
+    # ACK handling
+    # ------------------------------------------------------------------
+    def on_ack(self, msg_id: int, seq: int) -> None:
+        key = (msg_id, seq)
+        entry = self._outstanding.pop(key, None)
+        if entry is None:
+            return  # duplicate / stale ACK
+        now = self.sim.now
+        rtt = now - entry.sent_ns
+        self.cc.on_ack(rtt, now)
+        self.acked_payload_bytes += entry.payload
+        self.endpoint.record_acked_payload(self.qos, entry.payload)
+        state = self._messages.get(msg_id)
+        if state is not None:
+            state.acked_packets += 1
+            state.acked_bytes += entry.payload
+            if state.acked_packets >= state.total_packets:
+                del self._messages[msg_id]
+                self._complete(state.msg)
+        self._maybe_send()
+
+    def _complete(self, msg: Message) -> None:
+        msg.completed_ns = self.sim.now
+        self.endpoint.on_message_complete(msg)
+        if msg.on_complete is not None:
+            msg.on_complete(msg)
+
+    def remaining_payload_bytes(self, msg_id: int) -> int:
+        """Unacknowledged payload of an in-progress message (0 if done)."""
+        state = self._messages.get(msg_id)
+        if state is None:
+            return 0
+        return max(0, state.msg.payload_bytes - state.acked_bytes)
+
+    def cancel_message(self, msg_id: int) -> bool:
+        """Terminate a message: drop its queued and in-flight packets.
+
+        Used by deadline transports (D3/PDQ) that quench flows which
+        cannot meet their deadline.  Fires the completion callback with
+        ``msg.terminated`` set so the RPC stack records the loss.
+        Returns False when the message is unknown (e.g. completed).
+        """
+        state = self._messages.pop(msg_id, None)
+        if state is None:
+            return False
+        self._pending = deque(
+            (m, s) for m, s in self._pending if m.msg_id != msg_id
+        )
+        for key in [k for k in self._outstanding if k[0] == msg_id]:
+            del self._outstanding[key]
+        msg = state.msg
+        msg.terminated = True
+        self.endpoint.on_message_complete(msg)
+        if msg.on_complete is not None:
+            msg.on_complete(msg)
+        self._maybe_send()
+        return True
+
+    # ------------------------------------------------------------------
+    # Loss recovery
+    # ------------------------------------------------------------------
+    def _arm_timer(self) -> None:
+        if self._timer_armed or not self._outstanding:
+            return
+        self._timer_armed = True
+        self.sim.schedule(self.config.rto_ns, self._on_timer)
+
+    def _on_timer(self) -> None:
+        self._timer_armed = False
+        if not self._outstanding:
+            return
+        now = self.sim.now
+        expired = [
+            entry
+            for entry in list(self._outstanding.values())
+            if now - entry.sent_ns >= self.config.rto_ns
+        ]
+        if expired:
+            self.cc.on_loss(now)
+            for entry in expired:
+                self._transmit(entry.msg, entry.seq, retransmit=True)
+        self._arm_timer()
+        self._maybe_send()
+
+
+class TransportEndpoint:
+    """Host-level transport: flow demux, ACK generation, completion hooks."""
+
+    def __init__(self, sim: Simulator, host: Host, config: TransportConfig = TransportConfig()):
+        self.sim = sim
+        self.host = host
+        self.config = config
+        self.flows: Dict[Tuple[int, int], Flow] = {}
+        self._flows_by_id: Dict[int, Flow] = {}
+        self.peers: Dict[int, "TransportEndpoint"] = {}
+        self.on_message_complete: Callable[[Message], None] = lambda msg: None
+        self.acked_payload_by_qos: Dict[int, int] = {}
+        self.received_data_packets = 0
+        host.handler = self.receive
+
+    def register_peer(self, endpoint: "TransportEndpoint") -> None:
+        """Make another endpoint reachable for ACK-bypass delivery."""
+        self.peers[endpoint.host.host_id] = endpoint
+
+    def flow_to(self, dst: int, qos: int) -> Flow:
+        key = (dst, qos)
+        flow = self.flows.get(key)
+        if flow is None:
+            flow = self._make_flow(dst, qos)
+            self.flows[key] = flow
+            self._flows_by_id[flow.flow_id] = flow
+        return flow
+
+    def _make_flow(self, dst: int, qos: int) -> Flow:
+        return Flow(self.sim, self, dst, qos, self.config)
+
+    def send_message(self, msg: Message) -> None:
+        """Entry point for the RPC stack: route the message to its flow."""
+        self.flow_to(msg.dst, msg.qos).send_message(msg)
+
+    def record_acked_payload(self, qos: int, payload: int) -> None:
+        self.acked_payload_by_qos[qos] = self.acked_payload_by_qos.get(qos, 0) + payload
+
+    # ------------------------------------------------------------------
+    # Receive path
+    # ------------------------------------------------------------------
+    def receive(self, pkt: Packet) -> None:
+        if pkt.kind == PacketKind.DATA:
+            self.received_data_packets += 1
+            self._ack(pkt)
+        elif pkt.kind == PacketKind.ACK:
+            flow = self._flows_by_id.get(pkt.flow_id)
+            if flow is not None:
+                flow.on_ack(pkt.msg_id, pkt.seq)
+        else:
+            self.handle_control(pkt)
+
+    def handle_control(self, pkt: Packet) -> None:
+        """Hook for baseline transports (grants, rate feedback)."""
+
+    def _ack(self, pkt: Packet) -> None:
+        if self.config.ack_bypass:
+            peer = self.peers.get(pkt.src)
+            if peer is None:
+                raise RuntimeError(
+                    "ack_bypass requires register_peer() for all senders"
+                )
+            flow = peer._flows_by_id.get(pkt.flow_id)
+            if flow is not None:
+                self.sim.schedule(
+                    max(1, self.config.base_rtt_ns // 2),
+                    flow.on_ack,
+                    pkt.msg_id,
+                    pkt.seq,
+                )
+            return
+        ack = Packet(
+            src=self.host.host_id,
+            dst=pkt.src,
+            size_bytes=CONTROL_BYTES,
+            qos=self.config.ack_qos,
+            flow_id=pkt.flow_id,
+            seq=pkt.seq,
+            kind=PacketKind.ACK,
+            msg_id=pkt.msg_id,
+        )
+        self.host.send(ack)
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def total_backlog_messages(self) -> int:
+        """Messages accepted by this endpoint's flows but not yet sent."""
+        return sum(flow.backlog_messages for flow in self.flows.values())
+
+    def total_inflight(self) -> int:
+        return sum(flow.inflight for flow in self.flows.values())

@@ -1,0 +1,160 @@
+"""Unit + property tests for the closed-form WFQ delay bounds."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.delay_bounds import (
+    TrafficModel,
+    delay_h,
+    delay_h_infinite_phi,
+    delay_l,
+    priority_inversion_share,
+    sweep,
+)
+
+
+def test_appendix_example_phi4_rho2():
+    """Appendix B closes with phi=4, rho=2, mu=0.8:
+    Delay_h = 0 for x<=0.4, x-0.4 for 0.4<x<=0.8, 0.4 beyond."""
+    model = TrafficModel(mu=0.8, rho=2.0, phi=4.0)
+    assert delay_h(0.2, model) == 0.0
+    assert delay_h(0.4, model) == pytest.approx(0.0)
+    assert delay_h(0.6, model) == pytest.approx(0.2)
+    assert delay_h(0.8, model) == pytest.approx(0.4)
+    assert delay_h(0.9, model) == pytest.approx(0.4)
+    assert delay_h(1.0, model) == pytest.approx(0.4)
+
+
+def test_zero_delay_below_guaranteed_rate():
+    """Case 1: QoS_h arrivals below g_h see no delay (Appendix B.1)."""
+    model = TrafficModel(mu=0.8, rho=1.2, phi=4.0)
+    threshold = (4 / 5) / 1.2
+    assert delay_h(threshold * 0.99, model) == 0.0
+    assert delay_h(threshold * 1.01, model) > 0.0
+
+
+def test_qos_l_delay_zero_at_high_share():
+    """Eq 8 last case: QoS_l below its guaranteed rate -> no delay."""
+    model = TrafficModel(mu=0.8, rho=1.2, phi=4.0)
+    threshold = 1.0 - (1 / 5) / 1.2
+    assert delay_l(threshold * 1.01, model) == 0.0
+    assert delay_l(threshold * 0.99, model) > 0.0
+
+
+def test_priority_inversion_at_weight_share():
+    """Lemma 1: inversion boundary x = phi/(phi+1)."""
+    model = TrafficModel(mu=0.8, rho=1.2, phi=4.0)
+    x_star = priority_inversion_share(model)
+    assert x_star == pytest.approx(0.8)
+    eps = 1e-4
+    assert delay_h(x_star - eps, model) <= delay_l(x_star - eps, model) + 1e-9
+    assert delay_h(x_star + 0.05, model) > delay_l(x_star + 0.05, model)
+
+
+def test_saturation_value_mu_one_minus_inv_rho():
+    """Case 5: for x beyond both thresholds, delay = mu(1 - 1/rho)."""
+    model = TrafficModel(mu=0.8, rho=1.2, phi=4.0)
+    assert delay_h(0.95, model) == pytest.approx(0.8 * (1 - 1 / 1.2))
+
+
+def test_infinite_phi_limit():
+    """Lemma 2 / Eq 4: with infinite weight, delay-free up to 1/rho."""
+    model = TrafficModel(mu=0.8, rho=1.25, phi=4.0)
+    assert delay_h_infinite_phi(0.79, model) == 0.0
+    assert delay_h_infinite_phi(0.9, model) == pytest.approx(0.8 * (0.9 - 0.8))
+    # Large-but-finite phi approaches the limit.
+    big = TrafficModel(mu=0.8, rho=1.25, phi=10_000.0)
+    for x in (0.3, 0.7, 0.85, 0.95):
+        assert delay_h(x, big) == pytest.approx(
+            delay_h_infinite_phi(x, model), abs=5e-3
+        )
+
+
+def test_raising_phi_extends_zero_delay_region():
+    """Lemma 2: more weight admits more QoS_h traffic at zero delay..."""
+    lo = TrafficModel(mu=0.8, rho=1.4, phi=2.0)
+    hi = TrafficModel(mu=0.8, rho=1.4, phi=20.0)
+    x = 0.55
+    assert delay_h(x, lo) > 0.0
+    assert delay_h(x, hi) == 0.0
+
+
+def test_beyond_both_thresholds_weight_independent():
+    """Beyond max(phi/(phi+1), 1/rho) the delay saturates at
+    mu(1 - 1/rho) for every weight (case 5 of Eq 1)."""
+    for phi in (2.0, 4.0, 50.0):
+        model = TrafficModel(mu=0.8, rho=1.2, phi=phi)
+        x = max(phi / (phi + 1.0), 1 / 1.2) + 0.005
+        assert delay_h(x, model) == pytest.approx(0.8 * (1 - 1 / 1.2))
+
+
+def test_share_out_of_range_rejected():
+    model = TrafficModel()
+    with pytest.raises(ValueError):
+        delay_h(-0.1, model)
+    with pytest.raises(ValueError):
+        delay_l(1.1, model)
+
+
+def test_model_validation():
+    with pytest.raises(ValueError):
+        TrafficModel(mu=0.0)
+    with pytest.raises(ValueError):
+        TrafficModel(mu=1.0)
+    with pytest.raises(ValueError):
+        TrafficModel(rho=1.0)
+    with pytest.raises(ValueError):
+        TrafficModel(phi=0.0)
+
+
+def test_sweep_rows():
+    model = TrafficModel()
+    rows = sweep(model, [0.0, 0.5, 1.0])
+    assert len(rows) == 3
+    for x, dh, dl in rows:
+        assert dh == delay_h(x, model)
+        assert dl == delay_l(x, model)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    x=st.floats(min_value=0.0, max_value=1.0),
+    mu=st.floats(min_value=0.05, max_value=0.95),
+    rho_over=st.floats(min_value=0.01, max_value=3.0),
+    phi=st.floats(min_value=0.5, max_value=100.0),
+)
+def test_delay_bounds_properties(x, mu, rho_over, phi):
+    """Invariants over the whole parameter space:
+    delays are finite, non-negative, and bounded by mu(1 - 1/rho) + case-2
+    peak; both piecewise functions are defined everywhere."""
+    model = TrafficModel(mu=mu, rho=1.0 + rho_over, phi=phi)
+    dh = delay_h(x, model)
+    dl = delay_l(x, model)
+    assert dh >= 0.0 and dl >= 0.0
+    # The backlog can never exceed one full period of work.
+    assert dh <= mu + 1e-9
+    assert dl <= mu + 1e-9
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    mu=st.floats(min_value=0.2, max_value=0.9),
+    rho_over=st.floats(min_value=0.05, max_value=1.5),
+    phi=st.floats(min_value=1.0, max_value=50.0),
+)
+def test_delay_h_piecewise_continuous(mu, rho_over, phi):
+    """Adjacent domain boundaries agree (no jumps in Eq 1/8)."""
+    model = TrafficModel(mu=mu, rho=1.0 + rho_over, phi=phi)
+    xs = [i / 400 for i in range(401)]
+    # The steepest segment of either piecewise function has slope
+    # mu * (phi + 1) (case 4 of Eq 8), so bound per-step changes by it.
+    max_step = mu * (phi + 1.0) * (1 / 400) * 1.5 + 1e-6
+    prev_h = delay_h(xs[0], model)
+    prev_l = delay_l(xs[0], model)
+    for x in xs[1:]:
+        cur_h = delay_h(x, model)
+        cur_l = delay_l(x, model)
+        assert abs(cur_h - prev_h) < max_step, f"jump in delay_h at x={x}"
+        assert abs(cur_l - prev_l) < max_step, f"jump in delay_l at x={x}"
+        prev_h, prev_l = cur_h, cur_l

@@ -1,0 +1,121 @@
+"""Unit + property tests for the fluid GPS worst-case delay simulator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.delay_bounds import TrafficModel, delay_h, delay_l
+from repro.analysis.fluid import _gps_rates, simulate_fluid, sweep_three_qos
+
+
+# ----------------------------------------------------------------------
+# GPS instantaneous rate allocation
+# ----------------------------------------------------------------------
+def test_gps_backlogged_classes_split_by_weight():
+    rates = _gps_rates([0.0, 0.0], [1.0, 1.0], [4.0, 1.0])
+    assert rates[0] == pytest.approx(0.8)
+    assert rates[1] == pytest.approx(0.2)
+
+
+def test_gps_unbacklogged_class_capped_at_arrival():
+    rates = _gps_rates([0.1, 2.0], [0.0, 1.0], [4.0, 1.0])
+    assert rates[0] == pytest.approx(0.1)
+    assert rates[1] == pytest.approx(0.9)  # work conservation
+
+
+def test_gps_idle_class_gets_nothing():
+    rates = _gps_rates([0.0, 0.5], [0.0, 0.0], [4.0, 1.0])
+    assert rates[0] == 0.0
+    assert rates[1] == pytest.approx(0.5)
+
+
+def test_gps_never_exceeds_capacity():
+    rates = _gps_rates([3.0, 3.0, 3.0], [1.0, 1.0, 1.0], [8.0, 4.0, 1.0])
+    assert sum(rates) == pytest.approx(1.0)
+
+
+# ----------------------------------------------------------------------
+# Fluid simulation vs closed form (the Fig-10 cross-check in fluid form)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("x", [0.05, 0.2, 0.4, 0.6, 0.7, 0.8, 0.85, 0.95])
+def test_fluid_matches_closed_form_two_qos(x):
+    model = TrafficModel(mu=0.8, rho=1.2, phi=4.0)
+    result = simulate_fluid([x, 1 - x], [4.0, 1.0], mu=0.8, rho=1.2)
+    assert result.delays[0] == pytest.approx(delay_h(x, model), abs=2e-3)
+    assert result.delays[1] == pytest.approx(delay_l(x, model), abs=2e-3)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    x=st.floats(min_value=0.02, max_value=0.98),
+    mu=st.floats(min_value=0.3, max_value=0.9),
+    rho_over=st.floats(min_value=0.1, max_value=2.5),  # includes rho > phi+1
+    phi=st.floats(min_value=0.6, max_value=20.0),
+)
+def test_fluid_matches_closed_form_random_params(x, mu, rho_over, phi):
+    rho = 1.0 + rho_over
+    model = TrafficModel(mu=mu, rho=rho, phi=phi)
+    result = simulate_fluid([x, 1 - x], [phi, 1.0], mu=mu, rho=rho)
+    assert result.delays[0] == pytest.approx(delay_h(x, model), abs=5e-3)
+    assert result.delays[1] == pytest.approx(delay_l(x, model), abs=5e-3)
+
+
+def test_fluid_conservation():
+    """All arrived fluid is served by the end of the period."""
+    result = simulate_fluid([0.5, 0.3, 0.2], [8, 4, 1], mu=0.8, rho=1.4)
+    for arr, srv in zip(result.arrival_curves, result.service_curves):
+        assert arr[-1][1] == pytest.approx(srv[-1][1], abs=1e-9)
+
+
+def test_fluid_underload_no_delay():
+    """With every class under its guaranteed rate, no delay anywhere."""
+    result = simulate_fluid([0.6, 0.3, 0.1], [8, 4, 1], mu=0.4, rho=0.9)
+    for d in result.delays:
+        assert d == pytest.approx(0.0, abs=1e-9)
+
+
+def test_fluid_input_validation():
+    with pytest.raises(ValueError):
+        simulate_fluid([0.5, 0.6], [4, 1])  # shares don't sum to 1
+    with pytest.raises(ValueError):
+        simulate_fluid([0.5, 0.5], [4])  # length mismatch
+    with pytest.raises(ValueError):
+        simulate_fluid([0.5, 0.5], [4, -1])
+    with pytest.raises(ValueError):
+        simulate_fluid([0.5, 0.5], [4, 1], mu=1.5, rho=1.4)
+
+
+# ----------------------------------------------------------------------
+# Figure-9 sweep behaviors
+# ----------------------------------------------------------------------
+def test_three_qos_inversion_point_matches_lemma1():
+    """Eq 2 predicts inversion when x/phi_h > share_m/phi_m; with the
+    2:1 m:l split the boundary is phi_h / (phi_h + 1.5*phi_m)."""
+    rows = sweep_three_qos([i / 100 for i in range(5, 96, 5)],
+                           weights=(8, 4, 1), mu=0.8, rho=1.4)
+    boundary = 8 / (8 + 1.5 * 4)  # 0.571
+    for x, dh, dm, dl in rows:
+        if x <= boundary - 0.05:
+            assert dh <= dm + 1e-6, f"early inversion at {x}"
+
+
+def test_heavier_weight_moves_inversion_right():
+    shares = [i / 100 for i in range(5, 96, 5)]
+
+    def inversion(rows):
+        for x, dh, dm, dl in rows:
+            if dh > dm + 1e-9 or dm > dl + 1e-9:
+                return x
+        return 1.0
+
+    light = inversion(sweep_three_qos(shares, weights=(8, 4, 1)))
+    heavy = inversion(sweep_three_qos(shares, weights=(50, 4, 1)))
+    assert heavy > light
+
+
+def test_heavier_weight_costs_qos_m_delay():
+    """Fig 9b: weight 50 pushes the region right but QoS_m pays."""
+    x = 0.4
+    light = sweep_three_qos([x], weights=(8, 4, 1))[0]
+    heavy = sweep_three_qos([x], weights=(50, 4, 1))[0]
+    assert heavy[2] >= light[2] - 1e-9  # delay_m no smaller

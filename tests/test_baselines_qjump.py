@@ -1,0 +1,114 @@
+"""Unit tests for the QJump baseline (token buckets + throttled flows)."""
+
+import pytest
+
+from repro.baselines.qjump import (
+    QJumpEndpoint,
+    TokenBucket,
+    qjump_level_rates,
+    qjump_scheduler_factory,
+    qjump_transport_config,
+)
+from repro.net.queues import StrictPriorityScheduler
+from repro.net.topology import build_star
+from repro.sim.engine import Simulator, ns_from_ms
+from repro.transport.base import Message
+
+
+def test_token_bucket_allows_burst():
+    tb = TokenBucket(rate_bps=8e9, burst_bytes=3000)
+    assert tb.consume_or_wait_ns(1000, 0) == 0
+    assert tb.consume_or_wait_ns(1000, 0) == 0
+    assert tb.consume_or_wait_ns(1000, 0) == 0
+    assert tb.consume_or_wait_ns(1000, 0) > 0
+
+
+def test_token_bucket_refills_at_rate():
+    tb = TokenBucket(rate_bps=8e9, burst_bytes=1000)  # 1 byte per ns
+    assert tb.consume_or_wait_ns(1000, 0) == 0
+    wait = tb.consume_or_wait_ns(1000, 0)
+    assert wait == 1000  # need 1000 bytes at 1 B/ns
+    assert tb.consume_or_wait_ns(1000, 1000) == 0
+
+
+def test_token_bucket_cap():
+    tb = TokenBucket(rate_bps=8e9, burst_bytes=1000)
+    tb.consume_or_wait_ns(1000, 0)
+    # Long idle: tokens cap at burst size, not unbounded.
+    assert tb.consume_or_wait_ns(1000, 10**9) == 0
+    assert tb.consume_or_wait_ns(1000, 10**9) > 0
+
+
+def test_token_bucket_validation():
+    with pytest.raises(ValueError):
+        TokenBucket(0, 100)
+    with pytest.raises(ValueError):
+        TokenBucket(1e9, 0)
+
+
+def test_level_rates_defaults():
+    rates = qjump_level_rates(100e9, num_hosts=8)
+    assert rates[0] == pytest.approx(50e9)  # half line rate
+    assert rates[1] == pytest.approx(75e9)
+    assert 2 not in rates  # bulk class unthrottled
+
+
+def test_level_rates_custom_factors():
+    rates = qjump_level_rates(100e9, num_hosts=10, throttle_factors=(1.0,))
+    assert rates[0] == pytest.approx(10e9)  # worst-case fair share
+    assert len(rates) == 1
+
+
+def test_level_rates_validation():
+    with pytest.raises(ValueError):
+        qjump_level_rates(100e9, num_hosts=1)
+
+
+def test_qjump_scheduler_is_strict_priority():
+    sched = qjump_scheduler_factory(3)()
+    assert isinstance(sched, StrictPriorityScheduler)
+    assert sched.num_classes == 3
+
+
+def test_qjump_flow_rate_limited_end_to_end():
+    """A throttled level's goodput must not exceed its cap."""
+    sim = Simulator()
+    net = build_star(sim, 3, lambda: StrictPriorityScheduler(3, 4 * 1024 * 1024),
+                     line_rate_bps=100e9)
+    rates = {0: 10e9}  # QoS 0 capped at 10 Gbps per host
+    config = qjump_transport_config(ack_bypass=True)
+    eps = [QJumpEndpoint(sim, h, rates, config) for h in net.hosts]
+    for a in eps:
+        for b in eps:
+            if a is not b:
+                a.register_peer(b)
+    done_bytes = {"total": 0}
+
+    def on_done(msg):
+        done_bytes["total"] += msg.payload_bytes
+
+    for _ in range(200):
+        eps[0].send_message(Message(dst=2, payload_bytes=32 * 1024, qos=0,
+                                    on_complete=on_done))
+    horizon_ms = 2
+    sim.run(until=ns_from_ms(horizon_ms))
+    achieved_gbps = done_bytes["total"] * 8 / (horizon_ms * 1e6)
+    assert achieved_gbps <= 11.0  # cap + burst slack
+
+
+def test_qjump_unthrottled_level_runs_at_line_rate():
+    sim = Simulator()
+    net = build_star(sim, 3, lambda: StrictPriorityScheduler(3, 4 * 1024 * 1024),
+                     line_rate_bps=100e9)
+    config = qjump_transport_config(ack_bypass=True)
+    eps = [QJumpEndpoint(sim, h, {0: 10e9}, config) for h in net.hosts]
+    for a in eps:
+        for b in eps:
+            if a is not b:
+                a.register_peer(b)
+    done = []
+    for _ in range(100):
+        eps[0].send_message(Message(dst=2, payload_bytes=32 * 1024, qos=2,
+                                    on_complete=done.append))
+    sim.run(until=ns_from_ms(2))
+    assert len(done) == 100

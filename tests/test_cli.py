@@ -1,0 +1,44 @@
+"""Tests for the command-line figure runner."""
+
+import pytest
+
+from repro.cli import _EXPERIMENTS, main
+
+
+def test_list_prints_all_experiments(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in _EXPERIMENTS:
+        assert name in out
+
+
+def test_unknown_experiment_errors(capsys):
+    assert main(["nope"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown experiment" in err
+
+
+def test_quick_run_fig08(capsys):
+    assert main(["fig08", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "Fig 8" in out
+    assert "priority inversion" in out
+
+
+def test_quick_run_fig09(capsys):
+    assert main(["fig09", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "(8, 4, 1)" in out and "(50, 4, 1)" in out
+
+
+def test_every_experiment_registered_with_description():
+    for name, (desc, full, quick) in _EXPERIMENTS.items():
+        assert desc
+        assert callable(full) and callable(quick)
+
+
+def test_registry_covers_every_figure_module():
+    expected = {f"fig{n:02d}" for n in (8, 9, 10, 11, 12, 13, 14, 15, 16,
+                                        17, 18, 19, 20, 21, 22, 23, 24)}
+    expected |= {"fig28", "nqos"}
+    assert set(_EXPERIMENTS) == expected

@@ -1,0 +1,74 @@
+"""Unit tests for the downgrade-feedback application policy."""
+
+import pytest
+
+from repro.core.feedback import DowngradeAwarePolicy, PolicyParams
+from repro.core.qos import Priority
+
+
+def test_params_validation():
+    with pytest.raises(ValueError):
+        PolicyParams(window=5)
+    with pytest.raises(ValueError):
+        PolicyParams(high_watermark=0.1, low_watermark=0.2)
+    with pytest.raises(ValueError):
+        PolicyParams(step=0.0)
+
+
+def test_initially_no_demotion():
+    policy = DowngradeAwarePolicy()
+    assert policy.cutoff == 0.0
+    assert policy.choose_priority(Priority.PC, 0.01) == Priority.PC
+
+
+def test_importance_validation():
+    policy = DowngradeAwarePolicy()
+    with pytest.raises(ValueError):
+        policy.choose_priority(Priority.PC, 1.5)
+
+
+def test_sustained_downgrades_raise_cutoff():
+    policy = DowngradeAwarePolicy(PolicyParams(window=50))
+    for _ in range(200):
+        policy.observe(downgraded=True)
+    assert policy.cutoff > 0.0
+    # Low-importance PC traffic is now voluntarily demoted to NC.
+    assert policy.choose_priority(Priority.PC, 0.0) == Priority.NC
+    # High-importance traffic keeps its class.
+    assert policy.choose_priority(Priority.PC, 0.99) == Priority.PC
+    assert policy.demotions == 1
+
+
+def test_calm_period_decays_cutoff():
+    policy = DowngradeAwarePolicy(PolicyParams(window=50, step=0.1))
+    for _ in range(200):
+        policy.observe(downgraded=True)
+    raised = policy.cutoff
+    for _ in range(1000):
+        policy.observe(downgraded=False)
+    assert policy.cutoff < raised
+
+
+def test_moderate_fraction_holds_steady():
+    params = PolicyParams(window=50, high_watermark=0.3, low_watermark=0.1)
+    policy = DowngradeAwarePolicy(params)
+    # 20% downgrades: between the watermarks -> no adjustment.
+    for i in range(500):
+        policy.observe(downgraded=(i % 5 == 0))
+    assert policy.cutoff == 0.0
+
+
+def test_demotion_chain_be_stays_be():
+    policy = DowngradeAwarePolicy(PolicyParams(window=50))
+    for _ in range(200):
+        policy.observe(downgraded=True)
+    assert policy.choose_priority(Priority.NC, 0.0) == Priority.BE
+    assert policy.choose_priority(Priority.BE, 0.0) == Priority.BE
+
+
+def test_downgrade_fraction_reporting():
+    policy = DowngradeAwarePolicy(PolicyParams(window=10))
+    assert policy.downgrade_fraction() == 0.0
+    for flag in (True, False, True, False):
+        policy.observe(flag)
+    assert policy.downgrade_fraction() == pytest.approx(0.5)

@@ -1,0 +1,116 @@
+"""Unit/integration tests for the §5.2 quota-server extension."""
+
+import pytest
+
+from repro.core.quota import QuotaReservation, QuotaServer, QuotaVerdict
+from repro.core.qos import Priority
+from repro.core.slo import SLOMap
+from repro.sim.engine import ns_from_us
+
+
+def make_server(clock_holder, qos0_rate=10e9):
+    return QuotaServer(
+        clock=lambda: clock_holder["t"], total_rate_bps={0: 100e9}
+    )
+
+
+def test_reservation_validation():
+    with pytest.raises(ValueError):
+        QuotaReservation("t1", 0, rate_bps=0)
+    with pytest.raises(ValueError):
+        QuotaReservation("t1", 0, rate_bps=1e9, burst_bytes=0)
+
+
+def test_reserved_tenant_admitted_within_budget():
+    now = {"t": 0}
+    server = make_server(now)
+    server.reserve(QuotaReservation("t1", 0, rate_bps=8e9, burst_bytes=10_000))
+    assert server.check_admit("t1", 0, 5_000) is QuotaVerdict.RESERVED
+    assert server.check_admit("t1", 0, 5_000) is QuotaVerdict.RESERVED
+    assert server.admitted_reserved == 2
+
+
+def test_reservation_refills_over_time():
+    now = {"t": 0}
+    server = make_server(now)
+    server.reserve(QuotaReservation("t1", 0, rate_bps=8e9, burst_bytes=1_000))
+    server.work_conserving = False
+    assert server.check_admit("t1", 0, 1_000) is QuotaVerdict.RESERVED
+    assert server.check_admit("t1", 0, 1_000) is QuotaVerdict.DENIED
+    now["t"] += 1_000  # 8 Gbps == 1 byte/ns
+    assert server.check_admit("t1", 0, 1_000) is QuotaVerdict.RESERVED
+
+
+def test_unreserved_tenant_uses_spare_capacity():
+    now = {"t": 0}
+    server = make_server(now)
+    server.reserve(QuotaReservation("t1", 0, rate_bps=50e9))
+    # Spare pool = 100 - 50 = 50 Gbps: unreserved tenants ride it.
+    assert server.check_admit("nobody", 0, 10_000) is QuotaVerdict.SPARE
+    assert server.admitted_spare == 1
+
+
+def test_spare_capacity_exhaustible():
+    now = {"t": 0}
+    server = QuotaServer(lambda: now["t"], {0: 100e9})
+    server.reserve(QuotaReservation("t1", 0, rate_bps=99e9))
+    # Spare ~1 Gbps with a 512 KB burst: drain it.
+    granted = 0
+    for _ in range(10):
+        if server.check_admit("nobody", 0, 256 * 1024) is QuotaVerdict.SPARE:
+            granted += 1
+    assert 0 < granted < 10
+    assert server.denied > 0
+
+
+def test_oversubscription_rejected():
+    now = {"t": 0}
+    server = QuotaServer(lambda: now["t"], {0: 100e9})
+    server.reserve(QuotaReservation("a", 0, rate_bps=60e9))
+    with pytest.raises(ValueError):
+        server.reserve(QuotaReservation("b", 0, rate_bps=50e9))
+
+
+def test_unmodelled_qos_not_constrained():
+    now = {"t": 0}
+    server = QuotaServer(lambda: now["t"], {0: 100e9})
+    for _ in range(100):
+        assert server.check_admit("anyone", 1, 1 << 20) is QuotaVerdict.SPARE
+
+
+def test_replacing_reservation_updates_accounting():
+    now = {"t": 0}
+    server = QuotaServer(lambda: now["t"], {0: 100e9})
+    server.reserve(QuotaReservation("a", 0, rate_bps=60e9))
+    server.reserve(QuotaReservation("a", 0, rate_bps=30e9))
+    assert server.reserved_rate_bps(0) == pytest.approx(30e9)
+    server.reserve(QuotaReservation("b", 0, rate_bps=60e9))  # now fits
+
+
+def test_stack_downgrades_on_quota_denial():
+    """End-to-end: a stack with a quota server downgrades out-of-quota
+    RPCs before the probabilistic stage."""
+    from repro.net.topology import build_star, wfq_factory
+    from repro.rpc.stack import MetricsCollector, RpcStack
+    from repro.sim.engine import Simulator
+    from repro.transport.reliable import TransportConfig, TransportEndpoint
+
+    sim = Simulator()
+    net = build_star(sim, 2, wfq_factory((8, 4, 1)))
+    slo_map = SLOMap.for_three_levels(ns_from_us(15), ns_from_us(25))
+    eps = [TransportEndpoint(sim, h, TransportConfig(ack_bypass=True)) for h in net.hosts]
+    eps[0].register_peer(eps[1])
+    eps[1].register_peer(eps[0])
+    server = QuotaServer(lambda: sim.now, {0: 100e9}, work_conserving=False)
+    server.reserve(QuotaReservation(0, 0, rate_bps=1e9, burst_bytes=40_000))
+    metrics = MetricsCollector()
+    stack = RpcStack(sim, net.hosts[0], eps[0], slo_map, metrics=metrics,
+                     quota_server=server)
+    # 40 KB burst allowance: the first ~1 RPC fits, the rest downgrade.
+    rpcs = [stack.issue(1, Priority.PC, 32 * 1024) for _ in range(5)]
+    assert rpcs[0].qos_run == 0
+    assert sum(1 for r in rpcs if r.downgraded and r.qos_run == 2) >= 3
+    # BE traffic is never quota-gated (no SLO).
+    be = stack.issue(1, Priority.BE, 32 * 1024)
+    assert not be.downgraded
+    sim.run()

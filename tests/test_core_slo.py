@@ -1,0 +1,73 @@
+"""Unit tests for SLO specs and the SLO map."""
+
+import pytest
+
+from repro.core.qos import QoSConfig
+from repro.core.slo import SLO, SLOMap
+from repro.sim.engine import ns_from_us
+
+
+def test_increment_window_scales_with_percentile():
+    # Algorithm 1 line 4: window = target * 100 / (100 - pctl).
+    slo_99 = SLO(ns_from_us(15), target_percentile=99.0)
+    slo_999 = SLO(ns_from_us(15), target_percentile=99.9)
+    assert slo_99.increment_window_ns == 100 * ns_from_us(15)
+    assert slo_999.increment_window_ns == 1000 * ns_from_us(15)
+    # Higher tail -> more conservative (longer) window.
+    assert slo_999.increment_window_ns > slo_99.increment_window_ns
+
+
+def test_budget_scales_with_size():
+    slo = SLO(ns_from_us(10))
+    assert slo.budget_ns(1) == ns_from_us(10)
+    assert slo.budget_ns(8) == ns_from_us(80)
+
+
+def test_budget_floor_at_one_mtu():
+    slo = SLO(ns_from_us(10))
+    assert slo.budget_ns(0) == ns_from_us(10)
+
+
+def test_is_met_strict_inequality():
+    slo = SLO(1000)
+    assert slo.is_met(999, 1)
+    assert not slo.is_met(1000, 1)
+    assert slo.is_met(7999, 8)
+    assert not slo.is_met(8000, 8)
+
+
+def test_slo_validation():
+    with pytest.raises(ValueError):
+        SLO(0)
+    with pytest.raises(ValueError):
+        SLO(1000, target_percentile=100.0)
+    with pytest.raises(ValueError):
+        SLO(1000, target_percentile=0.0)
+
+
+def test_slomap_three_levels():
+    m = SLOMap.for_three_levels(ns_from_us(15), ns_from_us(25))
+    assert m.has_slo(0) and m.has_slo(1)
+    assert not m.has_slo(2)
+    assert m.get(0).latency_target_ns == ns_from_us(15)
+    assert list(m.levels()) == [0, 1]
+
+
+def test_slomap_rejects_scavenger_slo():
+    cfg = QoSConfig((4, 1))
+    with pytest.raises(ValueError):
+        SLOMap({0: SLO(1000), 1: SLO(2000)}, cfg)
+
+
+def test_slomap_rejects_unknown_level():
+    cfg = QoSConfig((8, 4, 1))
+    with pytest.raises(ValueError):
+        SLOMap({5: SLO(1000)}, cfg)
+
+
+def test_slomap_two_level_config():
+    cfg = QoSConfig((4, 1))
+    m = SLOMap({0: SLO(ns_from_us(20))}, cfg)
+    assert m.has_slo(0)
+    assert not m.has_slo(1)
+    assert m.qos_config.lowest == 1

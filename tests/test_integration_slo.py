@@ -1,0 +1,95 @@
+"""End-to-end integration tests: the paper's headline behaviors at
+miniature scale (kept fast enough for the regular test run)."""
+
+import pytest
+
+from repro.core.qos import Priority
+from repro.experiments.cluster import ClusterConfig, run_cluster
+from repro.experiments.fig11 import _three_node_traffic
+from repro.experiments.fig17 import run_two_channels
+from repro.rpc.sizes import FixedSize
+
+
+def test_admission_control_restores_slo_under_persistent_overload():
+    """3-node, QoS_h offered at 1.4x the server link: without Aequitas
+    the tail blows past the SLO; with it, the tail lands near the SLO
+    and a large share of traffic is downgraded."""
+    common = dict(
+        num_hosts=3,
+        slo_high_us=15.0,
+        slo_med_us=25.0,
+        target_percentile=99.0,
+        alpha=0.05,
+        size_dist=FixedSize(32 * 1024),
+        duration_ms=25.0,
+        warmup_ms=15.0,
+        seed=5,
+        traffic_fn=_three_node_traffic(),
+    )
+    without = run_cluster(ClusterConfig(scheme="wfq", **common))
+    with_aeq = run_cluster(ClusterConfig(scheme="aequitas", **common))
+
+    tail_without = without.rnl_tail_us(0, 99.0)
+    tail_with = with_aeq.rnl_tail_us(0, 99.0)
+    assert tail_without > 3 * 15.0  # SLO violated badly without admission
+    assert tail_with < 2 * 15.0  # tracks the SLO with admission
+    assert with_aeq.metrics.downgrades > 0
+    # Downgraded traffic is not dropped — it keeps flowing on QoS_l
+    # (which is persistently 1.6x-overloaded here by construction, so a
+    # backlog remains at the end of the run; admitted traffic all
+    # finishes).
+    assert len(with_aeq.metrics.completed) > 0.35 * with_aeq.metrics.issued_count
+
+
+def test_admitted_share_respects_guaranteed_lower_bound():
+    """Section 5.2: at least g_h * mu / rho of the link is admitted on
+    QoS_h whenever enough QoS_h traffic is offered."""
+    from repro.analysis.admissible import guaranteed_admitted_share
+
+    cfg = ClusterConfig(
+        scheme="aequitas",
+        num_hosts=4,
+        duration_ms=25.0,
+        warmup_ms=12.0,
+        alpha=0.05,
+        target_percentile=99.0,
+        mu=0.8,
+        rho=1.4,
+        priority_mix={Priority.PC: 0.7, Priority.NC: 0.2, Priority.BE: 0.1},
+        size_dist=FixedSize(32 * 1024),
+        seed=6,
+    )
+    result = run_cluster(cfg)
+    admitted_h = result.admitted_mix().get(0, 0.0)
+    bound = guaranteed_admitted_share(cfg.weights, 0, cfg.mu, cfg.rho)
+    # admitted share of *offered* traffic vs bound as share of line rate:
+    # offered load is mu, so the admitted line-rate share is mix * mu.
+    assert admitted_h * cfg.mu > 0.5 * bound
+
+
+def test_fairness_two_channels_share_rather_than_split_by_demand():
+    """Channel B demands 2x Channel A's QoS_h rate.  Without the
+    RPC-clocked decrement, admitted throughput would split ~2:1 by
+    demand; with it, the time-averaged split must be far closer to
+    equal.  (At the laptop-scaled alpha the AIMD relaxation cycles are
+    large, so exact equality only emerges over very long horizons — the
+    assertion bounds the ratio well below the demand ratio instead.)"""
+    result = run_two_channels(duration_ms=100.0, seed=17)
+
+    def mean_goodput(trace):
+        tail = trace.goodput_gbps[len(trace.goodput_gbps) // 2:]
+        return sum(v for _, v in tail) / len(tail)
+
+    a = mean_goodput(result.channel_a)
+    b = mean_goodput(result.channel_b)
+    assert a > 5.0 and b > 5.0  # neither channel starved
+    assert b / a < 1.7  # much closer to fair than the 2.0 demand split
+
+
+def test_in_quota_channel_unharmed():
+    result = run_two_channels(share_a=0.1, share_b=0.8, duration_ms=40.0, seed=4)
+    assert result.channel_a.steady_p_admit() > 0.9
+    # Channel A keeps its full demand (10% of line rate ~ 10 Gbps).
+    assert result.channel_a.steady_goodput_gbps() > 8.0
+    # Channel B reclaims the slack (max-min, not equal split).
+    assert result.channel_b.steady_goodput_gbps() > result.channel_a.steady_goodput_gbps()

@@ -1,0 +1,16 @@
+"""Integration test: the design extends beyond three QoS levels."""
+
+from repro.experiments import nqos
+
+
+def test_five_qos_levels_all_meet_slo():
+    result = nqos.run(num_hosts=4, duration_ms=15.0, warmup_ms=7.0)
+    assert len(result.weights) == 5
+    # Every SLO-carrying class lands at or under its target...
+    for qos, slo in result.slo_us.items():
+        assert result.tails_us[qos] < 1.5 * slo, (qos, result.tails_us[qos])
+    # ...and the tails respect the class ordering (no inversion).
+    ordered = [result.tails_us[q] for q in range(4)]
+    assert ordered == sorted(ordered)
+    # The scavenger class carries the downgraded overflow.
+    assert result.admitted_mix.get(4, 0.0) > 0.05

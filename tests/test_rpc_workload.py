@@ -1,0 +1,161 @@
+"""Unit tests for workload generators and the burst pattern."""
+
+import random
+
+import pytest
+
+from repro.core.qos import Priority
+from repro.rpc.sizes import FixedSize, production_mixture
+from repro.rpc.workload import (
+    BurstPattern,
+    OpenLoopSource,
+    byte_mix_to_rpc_mix,
+    steady_pattern,
+    _poisson_draw,
+)
+from repro.sim.engine import Simulator, ns_from_ms
+
+
+class StubStack:
+    """Captures issue() calls without a network."""
+
+    def __init__(self, host_id=0):
+        self.calls = []
+        self.host = type("H", (), {"host_id": host_id})()
+
+    def issue(self, dst, priority, payload):
+        self.calls.append((dst, priority, payload))
+
+
+def test_burst_pattern_fractions():
+    p = BurstPattern(mu=0.8, rho=1.4, period_ns=100_000)
+    assert p.on_fraction == pytest.approx(0.8 / 1.4)
+    assert p.on_ns == int(100_000 * 0.8 / 1.4)
+
+
+def test_burst_pattern_validation():
+    with pytest.raises(ValueError):
+        BurstPattern(mu=0.0, rho=1.4)
+    with pytest.raises(ValueError):
+        BurstPattern(mu=1.5, rho=1.4)
+    with pytest.raises(ValueError):
+        BurstPattern(mu=0.5, rho=1.0, period_ns=0)
+
+
+def test_steady_pattern_always_on():
+    p = steady_pattern(0.9)
+    assert p.on_fraction == pytest.approx(1.0)
+    assert p.mu == p.rho == 0.9
+
+
+def test_open_loop_offered_load_close_to_target():
+    """Issued bytes over the run should approximate mu * line_rate."""
+    sim = Simulator()
+    stack = StubStack()
+    pattern = BurstPattern(mu=0.8, rho=1.4, period_ns=100_000)
+    OpenLoopSource(
+        sim, stack, [1], {Priority.PC: 1.0}, FixedSize(32 * 1024), pattern,
+        line_rate_bps=100e9, rng=random.Random(1),
+    )
+    horizon_ns = ns_from_ms(10)
+    sim.run(until=horizon_ns)
+    issued_bytes = sum(p for _, __, p in stack.calls)
+    target = 0.8 * 100e9 * (horizon_ns / 1e9) / 8
+    assert issued_bytes == pytest.approx(target, rel=0.1)
+
+
+def test_arrivals_only_in_on_window():
+    sim = Simulator()
+    stack = StubStack()
+    issue_times = []
+    orig = stack.issue
+    stack.issue = lambda *a: (issue_times.append(sim.now), orig(*a))
+    pattern = BurstPattern(mu=0.5, rho=1.0, period_ns=100_000)  # 50% duty
+    OpenLoopSource(sim, stack, [1], {Priority.PC: 1.0}, FixedSize(4096),
+                   pattern, rng=random.Random(2))
+    sim.run(until=400_000)
+    assert issue_times
+    for t in issue_times:
+        assert (t % 100_000) <= 50_000
+
+
+def test_deterministic_mode_even_spacing():
+    sim = Simulator()
+    stack = StubStack()
+    pattern = BurstPattern(mu=0.8, rho=1.6, period_ns=100_000)
+    OpenLoopSource(sim, stack, [1], {Priority.PC: 1.0}, FixedSize(4096),
+                   pattern, rng=random.Random(3), deterministic=True)
+    sim.run(until=99_999)
+    n = len(stack.calls)
+    expected = 1.6 * 100e9 * (pattern.on_ns / 1e9) / (4096 * 8)
+    assert n == pytest.approx(expected, rel=0.02)
+
+
+def test_priority_mix_respected():
+    sim = Simulator()
+    stack = StubStack()
+    OpenLoopSource(
+        sim, stack, [1],
+        {Priority.PC: 0.7, Priority.BE: 0.3},
+        FixedSize(32 * 1024), steady_pattern(1.0),
+        rng=random.Random(4),
+    )
+    sim.run(until=ns_from_ms(3))
+    prios = [p for _, p, __ in stack.calls]
+    frac_pc = prios.count(Priority.PC) / len(prios)
+    assert frac_pc == pytest.approx(0.7, abs=0.05)
+    assert Priority.NC not in prios
+
+
+def test_stop_ns_halts_issuance():
+    sim = Simulator()
+    stack = StubStack()
+    OpenLoopSource(sim, stack, [1], {Priority.PC: 1.0}, FixedSize(4096),
+                   steady_pattern(1.0), rng=random.Random(5), stop_ns=50_000)
+    sim.run(until=ns_from_ms(1))
+    assert stack.calls
+    # nothing issued after the stop time: re-run longer changes nothing
+    count = len(stack.calls)
+    sim.run(until=ns_from_ms(2))
+    assert len(stack.calls) == count
+
+
+def test_destinations_uniform():
+    sim = Simulator()
+    stack = StubStack()
+    OpenLoopSource(sim, stack, [1, 2, 3], {Priority.PC: 1.0}, FixedSize(4096),
+                   steady_pattern(1.0), rng=random.Random(6))
+    sim.run(until=ns_from_ms(1))
+    dsts = [d for d, _, __ in stack.calls]
+    for d in (1, 2, 3):
+        assert dsts.count(d) / len(dsts) == pytest.approx(1 / 3, abs=0.05)
+
+
+def test_source_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        OpenLoopSource(sim, StubStack(), [], {Priority.PC: 1.0},
+                       FixedSize(4096), steady_pattern(1.0))
+    with pytest.raises(ValueError):
+        OpenLoopSource(sim, StubStack(), [1], {Priority.PC: 0.0},
+                       FixedSize(4096), steady_pattern(1.0))
+
+
+def test_byte_mix_to_rpc_mix_weights_by_inverse_mean():
+    sizes = production_mixture()
+    rpc_mix = byte_mix_to_rpc_mix(
+        {Priority.PC: 0.5, Priority.NC: 0.3, Priority.BE: 0.2}, sizes
+    )
+    # Realized byte mix from these RPC weights must be the target.
+    byte_share_pc = rpc_mix[Priority.PC] * sizes[Priority.PC].mean_bytes()
+    byte_share_be = rpc_mix[Priority.BE] * sizes[Priority.BE].mean_bytes()
+    assert byte_share_pc / byte_share_be == pytest.approx(0.5 / 0.2, rel=1e-6)
+    assert sum(rpc_mix.values()) == pytest.approx(1.0)
+
+
+def test_poisson_draw_mean():
+    rng = random.Random(7)
+    for lam in (0.5, 5.0, 200.0):
+        draws = [_poisson_draw(rng, lam) for _ in range(4000)]
+        assert sum(draws) / len(draws) == pytest.approx(lam, rel=0.1)
+    assert _poisson_draw(rng, 0.0) == 0

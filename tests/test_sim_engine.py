@@ -1,0 +1,167 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim.engine import (
+    NS_PER_MS,
+    NS_PER_SEC,
+    NS_PER_US,
+    Simulator,
+    ns_from_ms,
+    ns_from_sec,
+    ns_from_us,
+    us_from_ns,
+)
+
+
+def test_clock_starts_at_zero():
+    assert Simulator().now == 0
+
+
+def test_unit_conversions():
+    assert ns_from_us(1.5) == 1500
+    assert ns_from_ms(2) == 2 * NS_PER_MS
+    assert ns_from_sec(0.001) == NS_PER_MS
+    assert us_from_ns(2500) == 2.5
+    assert NS_PER_SEC == 1000 * NS_PER_MS == 10**6 * NS_PER_US
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(300, fired.append, "c")
+    sim.schedule(100, fired.append, "a")
+    sim.schedule(200, fired.append, "b")
+    sim.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_ties_fire_in_fifo_order():
+    sim = Simulator()
+    fired = []
+    for label in "abcde":
+        sim.schedule(50, fired.append, label)
+    sim.run()
+    assert fired == list("abcde")
+
+
+def test_clock_advances_to_event_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule(123, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [123]
+    assert sim.now == 123
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(ValueError):
+        Simulator().schedule(-1, lambda: None)
+
+
+def test_schedule_at_absolute_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule_at(500, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [500]
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule(10, fired.append, "x")
+    sim.schedule(5, handle.cancel)
+    sim.run()
+    assert fired == []
+    assert sim.events_processed == 1  # only the cancelling event
+
+
+def test_run_until_stops_before_later_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(100, fired.append, "early")
+    sim.schedule(1000, fired.append, "late")
+    sim.run(until=500)
+    assert fired == ["early"]
+    assert sim.now == 500
+    sim.run()
+    assert fired == ["early", "late"]
+
+
+def test_event_exactly_at_until_fires():
+    sim = Simulator()
+    fired = []
+    sim.schedule(500, fired.append, "at")
+    sim.run(until=500)
+    assert fired == ["at"]
+
+
+def test_run_with_empty_queue_advances_to_until():
+    sim = Simulator()
+    sim.run(until=999)
+    assert sim.now == 999
+
+
+def test_max_events_limits_execution():
+    sim = Simulator()
+    fired = []
+    for i in range(10):
+        sim.schedule(i + 1, fired.append, i)
+    sim.run(max_events=3)
+    assert fired == [0, 1, 2]
+
+
+def test_stop_halts_run_loop():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1, fired.append, "a")
+    sim.schedule(2, sim.stop)
+    sim.schedule(3, fired.append, "b")
+    sim.run()
+    assert fired == ["a"]
+    sim.run()
+    assert fired == ["a", "b"]
+
+
+def test_events_scheduled_during_run_fire():
+    sim = Simulator()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 3:
+            sim.schedule(10, chain, n + 1)
+
+    sim.schedule(0, chain, 0)
+    sim.run()
+    assert fired == [0, 1, 2, 3]
+    assert sim.now == 30
+
+
+def test_step_returns_false_when_idle():
+    sim = Simulator()
+    assert sim.step() is False
+    sim.schedule(1, lambda: None)
+    assert sim.step() is True
+    assert sim.step() is False
+
+
+def test_peek_time_skips_cancelled():
+    sim = Simulator()
+    h = sim.schedule(5, lambda: None)
+    sim.schedule(10, lambda: None)
+    h.cancel()
+    assert sim.peek_time() == 10
+
+
+def test_determinism_same_schedule_same_order():
+    def build():
+        sim = Simulator()
+        order = []
+        for i in range(100):
+            sim.schedule((i * 37) % 50, order.append, i)
+        sim.run()
+        return order
+
+    assert build() == build()

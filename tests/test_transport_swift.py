@@ -1,0 +1,96 @@
+"""Unit tests for the Swift-style congestion controller."""
+
+import pytest
+
+from repro.transport.base import FixedWindowCC
+from repro.transport.swift import SwiftCC, SwiftParams
+
+
+def test_additive_increase_below_target():
+    cc = SwiftCC(SwiftParams(target_delay_ns=25_000), initial_cwnd=10.0)
+    before = cc.cwnd
+    cc.on_ack(rtt_ns=10_000, now_ns=0)
+    assert cc.cwnd == pytest.approx(before + 1.0 / before)
+
+
+def test_sub_unity_window_increases_linearly():
+    cc = SwiftCC(initial_cwnd=0.5)
+    cc.cwnd = 0.5
+    cc.on_ack(rtt_ns=1_000, now_ns=0)
+    assert cc.cwnd == pytest.approx(1.5)
+
+
+def test_multiplicative_decrease_above_target():
+    cc = SwiftCC(SwiftParams(target_delay_ns=25_000), initial_cwnd=10.0)
+    cc.on_ack(rtt_ns=50_000, now_ns=10**9)
+    # Overshoot 50%: factor = max(1 - 0.8*0.5, 0.5) = 0.6.
+    assert cc.cwnd == pytest.approx(6.0)
+
+
+def test_decrease_capped_by_max_mdf():
+    cc = SwiftCC(SwiftParams(target_delay_ns=1_000, max_mdf=0.5), initial_cwnd=10.0)
+    cc.on_ack(rtt_ns=10**7, now_ns=10**9)  # enormous overshoot
+    assert cc.cwnd == pytest.approx(5.0)
+
+
+def test_decrease_at_most_once_per_rtt():
+    cc = SwiftCC(SwiftParams(target_delay_ns=25_000), initial_cwnd=10.0)
+    cc.on_ack(rtt_ns=50_000, now_ns=10**9)
+    w = cc.cwnd
+    cc.on_ack(rtt_ns=50_000, now_ns=10**9 + 10_000)  # within the same RTT
+    assert cc.cwnd == pytest.approx(w)
+    cc.on_ack(rtt_ns=50_000, now_ns=10**9 + 60_000)
+    assert cc.cwnd < w
+
+
+def test_cwnd_clamped_to_bounds():
+    params = SwiftParams(min_cwnd=0.01, max_cwnd=16.0)
+    cc = SwiftCC(params, initial_cwnd=16.0)
+    for i in range(100):
+        cc.on_ack(rtt_ns=1_000, now_ns=i)
+    assert cc.cwnd == 16.0
+    for i in range(100):
+        cc.on_ack(rtt_ns=10**8, now_ns=10**9 * (i + 1))
+    assert cc.cwnd == pytest.approx(0.01)
+
+
+def test_loss_halves_window():
+    cc = SwiftCC(initial_cwnd=8.0)
+    cc.on_loss(now_ns=10**9)
+    assert cc.cwnd == pytest.approx(4.0)
+
+
+def test_loss_rate_limited_per_rtt():
+    cc = SwiftCC(initial_cwnd=8.0)
+    cc.on_ack(rtt_ns=20_000, now_ns=10**9)  # below target: records rtt
+    w = cc.cwnd
+    cc.on_loss(now_ns=10**9 + 1)
+    after_first = cc.cwnd
+    cc.on_loss(now_ns=10**9 + 2)
+    assert cc.cwnd == pytest.approx(after_first)
+    assert after_first < w
+
+
+def test_pacing_gap_only_below_one_packet():
+    cc = SwiftCC(initial_cwnd=4.0)
+    assert cc.pacing_gap_ns(10_000) == 0
+    cc.cwnd = 0.5
+    cc._last_rtt_ns = 20_000
+    assert cc.pacing_gap_ns(10_000) == 40_000
+
+
+def test_params_validation():
+    with pytest.raises(ValueError):
+        SwiftParams(target_delay_ns=0)
+    with pytest.raises(ValueError):
+        SwiftParams(max_mdf=1.0)
+    with pytest.raises(ValueError):
+        SwiftParams(min_cwnd=0)
+
+
+def test_fixed_window_cc_is_inert():
+    cc = FixedWindowCC(32.0)
+    cc.on_ack(10**9, 0)
+    cc.on_loss(0)
+    assert cc.cwnd == 32.0
+    assert cc.pacing_gap_ns(1000) == 0

@@ -1,0 +1,94 @@
+"""Integration: Aequitas handles overloads *inside* the fabric.
+
+Section 2.2.2: oversubscription does not only occur at the edge — the
+ToR uplink can be the bottleneck.  Aequitas needs no knowledge of where
+the overload is: RNL measurements absorb it wherever it forms.  We
+build a two-tier fabric with 2x-oversubscribed uplinks, drive cross-ToR
+traffic, and check that admission control still restores the QoS_h SLO.
+"""
+
+import random
+
+import pytest
+
+from repro.core.admission import AdmissionParams
+from repro.core.qos import Priority
+from repro.core.slo import SLOMap
+from repro.net.topology import build_two_tier, wfq_factory
+from repro.rpc.sizes import FixedSize
+from repro.rpc.stack import MetricsCollector, RpcStack
+from repro.rpc.workload import OpenLoopSource, steady_pattern
+from repro.sim.engine import Simulator, ns_from_ms, ns_from_us
+from repro.stats.summary import percentile
+from repro.transport.reliable import TransportConfig, TransportEndpoint
+from repro.transport.swift import SwiftCC, SwiftParams
+
+
+def run_two_tier(admission: bool, duration_ms: float = 25.0, seed: int = 9):
+    sim = Simulator()
+    net = build_two_tier(
+        sim,
+        num_tors=2,
+        hosts_per_tor=3,
+        scheduler_factory=wfq_factory((8, 4, 1)),
+        line_rate_bps=100e9,
+        uplink_oversubscription=2.0,
+    )
+    slo_map = SLOMap.for_three_levels(
+        ns_from_us(15), ns_from_us(25), target_percentile=99.0
+    )
+    config = TransportConfig(
+        cc_factory=lambda: SwiftCC(SwiftParams(target_delay_ns=ns_from_us(25))),
+        ack_bypass=True,
+    )
+    endpoints = [TransportEndpoint(sim, h, config) for h in net.hosts]
+    for a in endpoints:
+        for b in endpoints:
+            if a is not b:
+                a.register_peer(b)
+    metrics = MetricsCollector()
+    params = AdmissionParams(alpha=0.05)
+    stacks = [
+        RpcStack(sim, net.hosts[i], endpoints[i], slo_map, params, metrics,
+                 seed=seed, admission_enabled=admission)
+        for i in range(net.num_hosts)
+    ]
+    # All traffic crosses the fabric, 80% of it performance-critical:
+    # PC alone offers 0.8 * 0.8 * 300G = 192 Gbps against the 150 Gbps
+    # uplink, so QoS_h itself is persistently overloaded in the core.
+    for i in range(3):
+        OpenLoopSource(
+            sim,
+            stacks[i],
+            [3, 4, 5],
+            {Priority.PC: 0.8, Priority.BE: 0.2},
+            FixedSize(32 * 1024),
+            steady_pattern(0.8),
+            rng=random.Random(seed * 13 + i),
+            stop_ns=ns_from_ms(duration_ms),
+        )
+    sim.run(until=ns_from_ms(duration_ms))
+    warm = ns_from_ms(duration_ms / 2)
+    samples = metrics.normalized_rnl_ns(0, since_ns=warm)
+    tail = percentile(samples, 99.0) / 1000.0
+    admitted_backlog = sum(
+        1 for r in metrics.issued if r.qos_run == 0 and not r.completed
+    )
+    return tail, admitted_backlog, metrics
+
+
+def test_uplink_overload_contained_by_admission():
+    """QoS_h alone overloads the oversubscribed uplink.  Without
+    admission every QoS_h RPC slows down (the completed-RPC tail blows
+    out and work piles up on QoS_h flows); with Aequitas the *admitted*
+    QoS_h traffic is trimmed to what the fabric can carry at the SLO —
+    with no knowledge of where the bottleneck is — and the excess is
+    explicitly downgraded."""
+    tail_without, backlog_without, m_without = run_two_tier(admission=False)
+    tail_with, backlog_with, m_with = run_two_tier(admission=True)
+    # Without admission, in-SLO-class work accumulates uncleared.
+    assert backlog_without > 3 * max(backlog_with, 1)
+    assert m_with.downgrades > 0
+    # Admitted QoS_h traffic is healthy; the baseline tail is far worse.
+    assert tail_with < 20.0
+    assert tail_without > 2 * tail_with
