@@ -1,0 +1,15 @@
+"""Reproducible simulator-throughput benchmarks.
+
+Run with::
+
+    PYTHONPATH=src python -m benchmarks.perf [--budget N] [--output FILE]
+
+Each canonical scenario (single-port WFQ saturation, star-topology
+incast with admission enabled, two-tier overload) runs for a fixed
+event budget and reports events/sec, wall time, and a determinism
+digest.  Results are written to a machine-readable ``BENCH_*.json`` at
+the repo root so every PR appends to the same trajectory.
+"""
+
+from benchmarks.perf.harness import run_suite  # noqa: F401
+from benchmarks.perf.scenarios import SCENARIOS  # noqa: F401

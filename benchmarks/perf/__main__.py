@@ -1,0 +1,5 @@
+import sys
+
+from benchmarks.perf.harness import main
+
+sys.exit(main())

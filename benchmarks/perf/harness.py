@@ -1,0 +1,151 @@
+"""Timing harness around the canonical scenarios.
+
+Measures only ``Simulator.run`` (setup is excluded), repeats each
+scenario and keeps the fastest repeat (the standard way to suppress
+scheduler / allocator noise on a shared machine), and verifies the
+digest is identical across repeats — a free determinism check on every
+benchmark run.
+
+Output schema (``BENCH_*.json``)::
+
+    {
+      "budget_events": 400000,
+      "repeats": 3,
+      "scenarios": {
+        "<name>": {
+          "events": int,          # events actually fired
+          "wall_s": float,        # best repeat
+          "events_per_sec": float,
+          "sim_ns": int,          # simulated time covered
+          "digest": {...}, "digest_hex": "..."
+        }
+      },
+      "baseline": {...},          # same shape, from --baseline FILE
+      "speedup": {"<name>": float}
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, Iterable, Optional
+
+from benchmarks.perf.scenarios import SCENARIOS
+from repro.stats.digest import digest_hex
+
+
+def run_scenario(name: str, budget: int, seed: int = 42, repeats: int = 3) -> Dict:
+    """Time one scenario; returns the result row for the JSON report."""
+    build = SCENARIOS[name]
+    best: Optional[Dict] = None
+    first_hex = None
+    for _ in range(max(1, repeats)):
+        built = build(budget, seed)
+        sim = built.sim
+        t0 = time.perf_counter()
+        sim.run(**built.run_kwargs)
+        wall = time.perf_counter() - t0
+        digest = built.digest_fn()
+        hex_ = digest_hex(digest)
+        if first_hex is None:
+            first_hex = hex_
+        elif hex_ != first_hex:
+            raise RuntimeError(
+                f"{name}: nondeterministic result across repeats "
+                f"({hex_} != {first_hex})"
+            )
+        row = {
+            "events": sim.events_processed,
+            "wall_s": round(wall, 4),
+            "events_per_sec": round(sim.events_processed / wall, 1),
+            "sim_ns": sim.now,
+            "digest": digest,
+            "digest_hex": hex_,
+        }
+        if best is None or row["events_per_sec"] > best["events_per_sec"]:
+            best = row
+    return best
+
+
+def run_suite(
+    budget: int = 400_000,
+    seed: int = 42,
+    repeats: int = 3,
+    scenarios: Optional[Iterable[str]] = None,
+    baseline: Optional[Dict] = None,
+    log=print,
+) -> Dict:
+    """Run every scenario; optionally fold in a baseline for speedups."""
+    names = list(scenarios) if scenarios else list(SCENARIOS)
+    report: Dict = {
+        "budget_events": budget,
+        "seed": seed,
+        "repeats": repeats,
+        "scenarios": {},
+    }
+    for name in names:
+        row = run_scenario(name, budget, seed=seed, repeats=repeats)
+        report["scenarios"][name] = row
+        log(
+            f"{name:24s} {row['events']:>9d} events  "
+            f"{row['wall_s']:>7.3f}s  {row['events_per_sec']:>12,.0f} ev/s"
+        )
+    if baseline is not None:
+        report["baseline"] = baseline
+        report["speedup"] = {}
+        base_rows = baseline.get("scenarios", {})
+        for name, row in report["scenarios"].items():
+            base = base_rows.get(name)
+            if not base:
+                continue
+            ratio = row["events_per_sec"] / base["events_per_sec"]
+            report["speedup"][name] = round(ratio, 3)
+            match = (
+                "digest MATCH"
+                if base.get("digest_hex") == row["digest_hex"]
+                else "digest DIFFERS"
+            )
+            log(f"{name:24s} speedup {ratio:5.2f}x  ({match})")
+    return report
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="benchmarks.perf", description="simulator throughput benchmarks"
+    )
+    parser.add_argument("--budget", type=int, default=400_000,
+                        help="event budget per scenario (default 400k)")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--scenario", action="append", dest="scenarios",
+                        choices=sorted(SCENARIOS), default=None,
+                        help="run only these scenarios (repeatable)")
+    parser.add_argument("--baseline", type=str, default=None,
+                        help="earlier report to compute speedups against")
+    parser.add_argument("--output", type=str, default=None,
+                        help="write the JSON report here (e.g. BENCH_PR1.json)")
+    args = parser.parse_args(argv)
+
+    baseline = None
+    if args.baseline:
+        try:
+            with open(args.baseline) as fh:
+                baseline = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            parser.error(f"cannot read baseline {args.baseline!r}: {exc}")
+    report = run_suite(
+        budget=args.budget,
+        seed=args.seed,
+        repeats=args.repeats,
+        scenarios=args.scenarios,
+        baseline=baseline,
+    )
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.output}")
+    return 0

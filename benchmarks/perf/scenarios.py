@@ -1,0 +1,198 @@
+"""Canonical performance scenarios.
+
+Each scenario builds a fresh simulation and returns a :class:`Built`
+bundle: the simulator (the harness times ``sim.run`` itself so setup
+cost is excluded), the keyword arguments to run with, and a digest
+callable evaluated after the run.  Scenarios are seeded and must be
+bit-deterministic: same seed, same digest — that property is what lets
+the harness prove an optimization changed only speed, not results.
+
+The three scenarios cover the three layers the paper's evaluation
+stresses: raw port/scheduler service (WFQ saturation), the full RPC
+stack with admission control under incast, and a multi-switch fabric
+with an oversubscribed core.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from repro.core.admission import AdmissionParams
+from repro.core.qos import Priority
+from repro.core.slo import SLOMap
+from repro.experiments.cluster import ClusterConfig, attach_traffic, build_cluster
+from repro.net.link import Port
+from repro.net.node import Node
+from repro.net.packet import MTU_BYTES, Packet
+from repro.net.queues import WfqScheduler
+from repro.net.topology import build_two_tier, wfq_factory
+from repro.rpc.sizes import FixedSize
+from repro.rpc.stack import MetricsCollector, RpcStack
+from repro.rpc.workload import OpenLoopSource, steady_pattern
+from repro.sim.engine import Simulator, ns_from_ms, ns_from_us
+from repro.stats.digest import completed_rpc_digest
+from repro.transport.reliable import TransportConfig, TransportEndpoint
+from repro.transport.swift import SwiftCC, SwiftParams
+
+
+@dataclass
+class Built:
+    """One constructed scenario, ready to time."""
+
+    sim: Simulator
+    run_kwargs: Dict
+    digest_fn: Callable[[], Dict]
+
+
+class _Sink(Node):
+    """Terminates a wire and counts what arrives."""
+
+    def __init__(self, sim: Simulator):
+        super().__init__(sim, "sink")
+        self.packets = 0
+        self.bytes = 0
+
+    def receive(self, pkt: Packet) -> None:
+        self.packets += 1
+        self.bytes += pkt.size_bytes
+
+
+def wfq_saturation(budget: int, seed: int) -> Built:
+    """Single-port WFQ kept saturated by a periodic feeder.
+
+    This is the tightest loop the simulator has — nearly every event is
+    a port transmit or a delivery — so it isolates the engine + port +
+    scheduler hot path from transport and RPC-stack overhead.
+    """
+    sim = Simulator()
+    sched = WfqScheduler((8, 4, 1), buffer_bytes=256 * 1024 * 1024)
+    port = Port(sim, sched, rate_bps=100e9, prop_delay_ns=500, name="bench")
+    sink = _Sink(sim)
+    port.connect(sink)
+    # The QoS pattern is drawn once at build time so the feeder itself
+    # stays off the measured profile: what we time is the simulator's
+    # event loop and the port/scheduler service path, not the workload.
+    rng = random.Random(seed)
+    pattern = [rng.randrange(3) for _ in range(8192)]
+    next_qos = itertools.cycle(pattern).__next__
+    sizes = (MTU_BYTES + 64, MTU_BYTES // 2, MTU_BYTES // 4)
+    target_depth = 256
+
+    def feed() -> None:
+        send = port.send
+        while sched.packets_queued < target_depth:
+            qos = next_qos()
+            send(Packet(src=0, dst=1, size_bytes=sizes[qos], qos=qos))
+        sim.schedule(20_000, feed)
+
+    sim.schedule(0, feed)
+
+    def digest() -> Dict:
+        return {
+            "packets_sent": port.packets_sent,
+            "bytes_sent": port.bytes_sent,
+            "sink_packets": sink.packets,
+            "sink_bytes": sink.bytes,
+            "final_ns": sim.now,
+        }
+
+    return Built(sim, {"max_events": budget}, digest)
+
+
+def star_incast_admission(budget: int, seed: int) -> Built:
+    """Star topology, 7 senders incasting one receiver, Aequitas on.
+
+    Exercises the full stack: open-loop sources, admission decisions,
+    Swift transport, WFQ egress, RNL measurement and AIMD feedback.
+    """
+    cfg = ClusterConfig(
+        scheme="aequitas",
+        num_hosts=8,
+        duration_ms=10_000.0,  # horizon never binds; the event budget does
+        warmup_ms=1.0,
+        seed=seed,
+        traffic_fn=_incast_traffic,
+    )
+    result = build_cluster(cfg)
+    attach_traffic(result)
+    return Built(
+        result.sim,
+        {"until": ns_from_ms(cfg.duration_ms), "max_events": budget},
+        lambda: completed_rpc_digest(result.metrics),
+    )
+
+
+def _incast_traffic(sim, stacks, cfg) -> None:
+    for stack in stacks[1:]:
+        OpenLoopSource(
+            sim,
+            stack,
+            [0],
+            {Priority.PC: 0.6, Priority.NC: 0.2, Priority.BE: 0.2},
+            FixedSize(32 * 1024),
+            steady_pattern(0.4),
+            line_rate_bps=cfg.line_rate_bps,
+            rng=random.Random(cfg.seed * 7919 + stack.host.host_id),
+            stop_ns=ns_from_ms(cfg.duration_ms),
+        )
+
+
+def two_tier_overload(budget: int, seed: int) -> Built:
+    """Two ToRs behind a 2x-oversubscribed spine, QoS_h overloading
+    the core, admission enabled — the §2.2.2 'overload anywhere' case."""
+    sim = Simulator()
+    net = build_two_tier(
+        sim,
+        num_tors=2,
+        hosts_per_tor=3,
+        scheduler_factory=wfq_factory((8, 4, 1)),
+        line_rate_bps=100e9,
+        uplink_oversubscription=2.0,
+    )
+    slo_map = SLOMap.for_three_levels(
+        ns_from_us(15), ns_from_us(25), target_percentile=99.0
+    )
+    config = TransportConfig(
+        cc_factory=lambda: SwiftCC(SwiftParams(target_delay_ns=ns_from_us(25))),
+        ack_bypass=True,
+    )
+    endpoints = [TransportEndpoint(sim, h, config) for h in net.hosts]
+    for a in endpoints:
+        for b in endpoints:
+            if a is not b:
+                a.register_peer(b)
+    metrics = MetricsCollector()
+    params = AdmissionParams(alpha=0.05)
+    stacks = [
+        RpcStack(sim, net.hosts[i], endpoints[i], slo_map, params, metrics,
+                 seed=seed, admission_enabled=True)
+        for i in range(net.num_hosts)
+    ]
+    stop_ns = ns_from_ms(10_000.0)
+    for i in range(3):
+        OpenLoopSource(
+            sim,
+            stacks[i],
+            [3, 4, 5],
+            {Priority.PC: 0.8, Priority.BE: 0.2},
+            FixedSize(32 * 1024),
+            steady_pattern(0.8),
+            rng=random.Random(seed * 13 + i),
+            stop_ns=stop_ns,
+        )
+    return Built(
+        sim,
+        {"until": stop_ns, "max_events": budget},
+        lambda: completed_rpc_digest(metrics),
+    )
+
+
+#: name -> builder; ``wfq_saturation`` is the tentpole's speedup target.
+SCENARIOS: Dict[str, Callable[[int, int], Built]] = {
+    "wfq_saturation": wfq_saturation,
+    "star_incast_admission": star_incast_admission,
+    "two_tier_overload": two_tier_overload,
+}

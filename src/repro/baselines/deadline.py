@@ -147,7 +147,7 @@ class PortArbiter:
             if not self._recompute_scheduled:
                 self._recompute_scheduled = True
                 delay = self._last_recompute_ns + self.min_recompute_gap_ns - now
-                self.sim.schedule(max(1, delay), self._deferred_recompute)
+                self.sim.post(max(1, delay), self._deferred_recompute)
             return
         self._last_recompute_ns = now
         self._in_recompute = True

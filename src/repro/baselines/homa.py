@@ -130,7 +130,7 @@ class HomaEndpoint(TransportEndpoint):
         if self._grant_timer_armed or not self._inbound:
             return
         self._grant_timer_armed = True
-        self.sim.schedule(self.grant_interval_ns, self._grant_tick)
+        self.sim.post(self.grant_interval_ns, self._grant_tick)
 
     def _grant_tick(self) -> None:
         self._grant_timer_armed = False

@@ -57,10 +57,23 @@ class Port:
         self.packets_sent = 0
         self.packets_dropped = 0
         self.on_transmit: List[Callable[[Packet, int], None]] = []
+        # Serialization times repeat across the handful of packet sizes a
+        # workload uses; memoizing them keeps float math (and rounding)
+        # off the per-packet path.  Values come from serialization_ns()
+        # itself, so cached and uncached results are bit-identical.
+        self._ser_cache: dict = {}
+        # Bound-callable caches: these run once per packet; resolving
+        # them through self.sim / self.scheduler / self.peer every time
+        # costs an attribute walk plus a method-object allocation each.
+        self._post = sim.post
+        self._sched_enqueue = scheduler.enqueue
+        self._sched_dequeue = scheduler.dequeue
+        self._deliver: Optional[Callable[[Packet], None]] = None
 
     def connect(self, peer: "Node") -> None:
         """Attach the downstream node this port feeds."""
         self.peer = peer
+        self._deliver = peer.receive
 
     def serialization_ns(self, size_bytes: int) -> int:
         """Time to clock ``size_bytes`` onto the wire at line rate."""
@@ -70,7 +83,7 @@ class Port:
         """Enqueue a packet for transmission.  Returns False on drop."""
         if self.peer is None:
             raise RuntimeError(f"{self.name} is not connected")
-        if not self.scheduler.enqueue(pkt):
+        if not self._sched_enqueue(pkt):
             self.packets_dropped += 1
             return False
         if not self.busy:
@@ -78,22 +91,28 @@ class Port:
         return True
 
     def _start_next(self) -> None:
-        pkt = self.scheduler.dequeue()
+        pkt = self._sched_dequeue()
         if pkt is None:
             self.busy = False
             return
         self.busy = True
-        tx_ns = self.serialization_ns(pkt.size_bytes)
-        for hook in self.on_transmit:
-            hook(pkt, self.sim.now)
-        self.sim.schedule(tx_ns, self._finish_transmit, pkt)
+        size = pkt.size_bytes
+        cache = self._ser_cache
+        tx_ns = cache.get(size)
+        if tx_ns is None:
+            tx_ns = cache[size] = self.serialization_ns(size)
+        if self.on_transmit:
+            now = self.sim.now
+            for hook in self.on_transmit:
+                hook(pkt, now)
+        self._post(tx_ns, self._finish_transmit, pkt)
 
     def _finish_transmit(self, pkt: Packet) -> None:
         self.bytes_sent += pkt.size_bytes
         self.packets_sent += 1
         # Deliver after the wire's propagation delay, then immediately
         # look for more backlog (work conservation).
-        self.sim.schedule(self.prop_delay_ns, self.peer.receive, pkt)
+        self._post(self.prop_delay_ns, self._deliver, pkt)
         self._start_next()
 
     @property

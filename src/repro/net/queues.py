@@ -19,7 +19,9 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import math
 from collections import deque
+from heapq import heappop as _heappop, heappush as _heappush
 from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.net.packet import MTU_BYTES, Packet
@@ -76,6 +78,14 @@ class FifoScheduler(Scheduler):
     def __init__(self, buffer_bytes: int, num_classes: int = 1):
         super().__init__(num_classes, buffer_bytes)
         self._queue: Deque[Packet] = deque()
+        # Per-class byte occupancy: the shared FIFO still attributes
+        # bytes to the (clamped) QoS class so ``max_bytes_per_class``
+        # means the same thing it does for classed schedulers.
+        self._class_bytes = [0] * num_classes
+
+    def class_backlog_bytes(self, qos: int) -> int:
+        """Bytes currently queued that belong to one class."""
+        return self._class_bytes[qos]
 
     def enqueue(self, pkt: Packet) -> bool:
         qos = min(pkt.qos, self.num_classes - 1)
@@ -84,17 +94,20 @@ class FifoScheduler(Scheduler):
             return False
         self._queue.append(pkt)
         self.bytes_queued += pkt.size_bytes
+        self._class_bytes[qos] += pkt.size_bytes
         self.packets_queued += 1
-        self.stats.record_enqueue(qos, self.bytes_queued)
+        self.stats.record_enqueue(qos, self._class_bytes[qos])
         return True
 
     def dequeue(self) -> Optional[Packet]:
         if not self._queue:
             return None
         pkt = self._queue.popleft()
+        qos = min(pkt.qos, self.num_classes - 1)
         self.bytes_queued -= pkt.size_bytes
+        self._class_bytes[qos] -= pkt.size_bytes
         self.packets_queued -= 1
-        self.stats.dequeued[min(pkt.qos, self.num_classes - 1)] += 1
+        self.stats.dequeued[qos] += 1
         return pkt
 
 
@@ -146,36 +159,82 @@ class WfqScheduler(_ClassedScheduler):
         self.weights = tuple(float(w) for w in weights)
         self._virtual_time = 0.0
         self._last_finish = [0.0] * len(weights)
-        # Finish tag of the head packet of each backlogged class.
-        self._head_tags: List[Tuple[float, int]] = []  # heap of (tag, qos)
-        self._tags: List[Deque[float]] = [deque() for _ in weights]
+        # Head-of-class heap keyed ``(finish_tag, qos, serial)``.  The
+        # serial is a unique per-packet sequence number: stale entries
+        # are detected by serial equality, never by comparing float
+        # finish tags (after a virtual-time reset a fresh packet can
+        # coincidentally reproduce a stale entry's tag).  Ordering is
+        # unchanged — ties still resolve on (tag, qos).
+        self._head_tags: List[Tuple[float, int, int]] = []
+        self._tags: List[Deque[Tuple[float, int]]] = [deque() for _ in weights]
+        self._next_serial = 0
+        # Stats counter lists are stable objects; bind them once so the
+        # per-packet path skips the stats attribute walk.
+        self._stats_enqueued = self.stats.enqueued
+        self._stats_dequeued = self.stats.dequeued
+        self._stats_dropped = self.stats.dropped
+        self._stats_max_bytes = self.stats.max_bytes_per_class
 
     def enqueue(self, pkt: Packet) -> bool:
-        if not self._admit(pkt):
+        # _admit() and the stats update are inlined: this method runs
+        # once per packet on every WFQ egress port, the hottest
+        # scheduler path in the simulator.
+        qos = pkt.qos
+        if not 0 <= qos < self.num_classes:
+            raise ValueError(f"packet QoS {qos} out of range for {self.num_classes} classes")
+        size = pkt.size_bytes
+        if self.bytes_queued + size > self.buffer_bytes:
+            self._stats_dropped[qos] += 1
             return False
-        start = max(self._virtual_time, self._last_finish[pkt.qos])
-        finish = start + pkt.size_bytes / self.weights[pkt.qos]
-        self._last_finish[pkt.qos] = finish
-        was_empty = len(self._queues[pkt.qos]) == 1
-        self._tags[pkt.qos].append(finish)
-        if was_empty:
-            heapq.heappush(self._head_tags, (finish, pkt.qos))
+        queue = self._queues[qos]
+        queue.append(pkt)
+        self.bytes_queued += size
+        class_bytes = self._class_bytes[qos] + size
+        self._class_bytes[qos] = class_bytes
+        self.packets_queued += 1
+        self._stats_enqueued[qos] += 1
+        max_bytes = self._stats_max_bytes
+        if class_bytes > max_bytes[qos]:
+            max_bytes[qos] = class_bytes
+        vt = self._virtual_time
+        last = self._last_finish[qos]
+        start = vt if vt > last else last
+        finish = start + size / self.weights[qos]
+        self._last_finish[qos] = finish
+        serial = self._next_serial
+        self._next_serial = serial + 1
+        self._tags[qos].append((finish, serial))
+        if len(queue) == 1:
+            _heappush(self._head_tags, (finish, qos, serial))
         return True
 
     def dequeue(self) -> Optional[Packet]:
-        while self._head_tags:
-            tag, qos = heapq.heappop(self._head_tags)
-            if not self._tags[qos] or self._tags[qos][0] != tag:
+        heads = self._head_tags
+        tags = self._tags
+        while heads:
+            tag, qos, serial = _heappop(heads)
+            tag_queue = tags[qos]
+            if not tag_queue or tag_queue[0][1] != serial:
                 # Stale heap entry (head already served); skip it.
                 continue
-            self._tags[qos].popleft()
-            pkt = self._remove(qos)
-            self._virtual_time = max(self._virtual_time, tag)
-            if self._tags[qos]:
-                heapq.heappush(self._head_tags, (self._tags[qos][0], qos))
-            if self.packets_queued == 0:
+            tag_queue.popleft()
+            # Inlined _remove().
+            pkt = self._queues[qos].popleft()
+            size = pkt.size_bytes
+            self.bytes_queued -= size
+            self._class_bytes[qos] -= size
+            self.packets_queued -= 1
+            self._stats_dequeued[qos] += 1
+            if tag > self._virtual_time:
+                self._virtual_time = tag
+            if tag_queue:
+                next_finish, next_serial = tag_queue[0]
+                _heappush(heads, (next_finish, qos, next_serial))
+            elif self.packets_queued == 0:
                 # System empties: reset virtual time so tags don't grow
-                # without bound over long runs.
+                # without bound over long runs.  Serials keep counting —
+                # their uniqueness across resets is what makes the stale
+                # check exact.
                 self._virtual_time = 0.0
                 self._last_finish = [0.0] * self.num_classes
             return pkt
@@ -227,28 +286,51 @@ class DwrrScheduler(_ClassedScheduler):
         return True
 
     def dequeue(self) -> Optional[Packet]:
-        # Round-robin over active classes, granting each its quantum.
-        for _ in range(2 * len(self._active) + 1):
-            if not self._active:
-                return None
-            qos = self._active[0]
-            queue = self._queues[qos]
+        # Round-robin over active classes, granting each its quantum on
+        # every visit.  Quanta are strictly positive, so some backlogged
+        # class always becomes serviceable eventually — DWRR is work
+        # conserving and must never report an empty service decision
+        # while packets are queued (a bounded-iteration loop here once
+        # made ports go idle with backlog under fractional weights).
+        active = self._active
+        deficits = self._deficit
+        quanta = self._quanta
+        queues = self._queues
+        idle_visits = 0
+        while active:
+            qos = active[0]
+            queue = queues[qos]
             if not queue:
-                self._active.popleft()
+                active.popleft()
                 self._in_active[qos] = False
                 continue
-            head = queue[0]
-            if self._deficit[qos] < head.size_bytes:
-                self._deficit[qos] += self._quanta[qos]
-                self._active.rotate(-1)
-                continue
-            self._deficit[qos] -= head.size_bytes
-            pkt = self._remove(qos)
-            if not queue:
-                self._active.popleft()
-                self._in_active[qos] = False
-                self._deficit[qos] = 0.0
-            return pkt
+            head_size = queue[0].size_bytes
+            if deficits[qos] >= head_size:
+                deficits[qos] -= head_size
+                pkt = self._remove(qos)
+                if not queue:
+                    active.popleft()
+                    self._in_active[qos] = False
+                    deficits[qos] = 0.0
+                return pkt
+            deficits[qos] += quanta[qos]
+            active.rotate(-1)
+            idle_visits += 1
+            if idle_visits > len(active):
+                # A full rotation passed with no service.  Fast-forward
+                # the whole rounds in which nobody can send: each full
+                # round grants every class exactly one quantum, in any
+                # order, so bulk-adding them is identical to iterating —
+                # this keeps tiny quanta (weights like 0.5/0.3/0.2, or
+                # smaller) from turning dequeue into a long spin.
+                rounds = min(
+                    max(0, math.ceil((queues[q][0].size_bytes - deficits[q]) / quanta[q]) - 1)
+                    for q in active
+                )
+                if rounds > 0:
+                    for q in active:
+                        deficits[q] += rounds * quanta[q]
+                idle_visits = 0
         return None
 
 
@@ -267,6 +349,12 @@ class PFabricScheduler(Scheduler):
         self._heap: List[Tuple[int, int, Packet]] = []
         self._counter = itertools.count()
         self._evicted: Dict[int, bool] = {}
+        # Lazy max-tracking for evictions: a second heap keyed
+        # ``(-remaining_mtus, -arrival)`` whose stale entries (already
+        # dequeued or evicted) are skipped on peek.  This replaces an
+        # O(n) scan of the whole queue per overflowing arrival.
+        self._maxheap: List[Tuple[int, int, Packet]] = []
+        self._present: set = set()  # uids currently queued
 
     def enqueue(self, pkt: Packet) -> bool:
         qos = min(pkt.qos, self.num_classes - 1)
@@ -276,30 +364,55 @@ class PFabricScheduler(Scheduler):
                 self.stats.dropped[qos] += 1
                 return False
             self._evicted[victim.uid] = True
+            self._present.discard(victim.uid)
+            _heappop(self._maxheap)  # victim is the live top
             self.bytes_queued -= victim.size_bytes
             self.packets_queued -= 1
             self.stats.dropped[min(victim.qos, self.num_classes - 1)] += 1
-        heapq.heappush(self._heap, (pkt.remaining_mtus, next(self._counter), pkt))
+        count = next(self._counter)
+        _heappush(self._heap, (pkt.remaining_mtus, count, pkt))
+        _heappush(self._maxheap, (-pkt.remaining_mtus, -count, pkt))
+        self._present.add(pkt.uid)
         self.bytes_queued += pkt.size_bytes
         self.packets_queued += 1
         self.stats.record_enqueue(qos, self.bytes_queued)
+        if len(self._maxheap) > 4 * self.packets_queued + 64:
+            self._compact_maxheap()
         return True
 
     def _largest_queued(self) -> Optional[Packet]:
-        largest = None
-        for _, __, pkt in self._heap:
-            if pkt.uid in self._evicted:
-                continue
-            if largest is None or pkt.remaining_mtus > largest.remaining_mtus:
-                largest = pkt
-        return largest
+        """Peek the largest-remaining live packet (stale tops dropped)."""
+        maxheap = self._maxheap
+        present = self._present
+        while maxheap:
+            pkt = maxheap[0][2]
+            if pkt.uid in present:
+                return pkt
+            _heappop(maxheap)
+        return None
+
+    def _compact_maxheap(self) -> None:
+        """Rebuild the eviction heap from live entries only.
+
+        Dequeues leave stale entries behind; rebuilding when the heap
+        grows past a small multiple of the queue bounds memory and keeps
+        every operation amortized O(log n).
+        """
+        present = self._present
+        self._maxheap = [
+            (-remaining, -count, pkt)
+            for remaining, count, pkt in self._heap
+            if pkt.uid in present
+        ]
+        heapq.heapify(self._maxheap)
 
     def dequeue(self) -> Optional[Packet]:
         while self._heap:
-            _, __, pkt = heapq.heappop(self._heap)
+            _, __, pkt = _heappop(self._heap)
             if pkt.uid in self._evicted:
                 del self._evicted[pkt.uid]
                 continue
+            self._present.discard(pkt.uid)
             self.bytes_queued -= pkt.size_bytes
             self.packets_queued -= 1
             self.stats.dequeued[min(pkt.qos, self.num_classes - 1)] += 1

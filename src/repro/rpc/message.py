@@ -18,9 +18,12 @@ from repro.core.qos import Priority
 from repro.net.packet import mtus_for_bytes
 
 
-@dataclass
+@dataclass(slots=True)
 class Rpc:
     """One RPC through its lifecycle.
+
+    ``slots=True``: experiments create one of these per issued RPC —
+    millions in long runs — so per-object memory matters.
 
     ``qos_requested`` is set by the Phase-1 priority mapping;
     ``qos_run``/``downgraded`` by the admission decision;

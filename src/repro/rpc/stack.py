@@ -14,6 +14,7 @@ mapping only, every RPC runs at its requested QoS.
 
 from __future__ import annotations
 
+import random
 from typing import Callable, List, Optional
 
 from repro.core.admission import AdmissionParams
@@ -33,15 +34,44 @@ class MetricsCollector:
     One collector is usually shared by every stack in an experiment so
     cluster-wide distributions (the paper's fleet view) fall out
     directly.
+
+    ``streaming=True`` switches to aggregate-only accounting: the
+    ``issued`` / ``completed`` :class:`Rpc` lists stay empty (long runs
+    issue millions of RPCs; retaining them dominates memory and GC
+    time), and distribution views are served from fixed-size per-QoS
+    reservoir samples of normalized RNL.  The trade-off: windowed
+    queries (any ``since_ns``/``until_ns`` other than the default) and
+    :meth:`slo_met_fraction` / :meth:`goodput_fraction` need the full
+    per-RPC records and raise ``RuntimeError`` in streaming mode.
+    Aggregate counters (``issued_count``, ``completed_count``,
+    ``rnl_sum_by_qos``, ``completed_by_qos``, byte mixes) are maintained
+    identically in both modes, so determinism digests
+    (:mod:`repro.stats.digest`) work against either.
     """
 
-    def __init__(self) -> None:
+    #: Per-QoS reservoir capacity in streaming mode.
+    RESERVOIR_SIZE = 2048
+
+    def __init__(self, streaming: bool = False) -> None:
+        self.streaming = streaming
         self.completed: List[Rpc] = []
         self.issued: List[Rpc] = []
         self.issued_bytes_by_qos_requested: dict = {}
         self.run_bytes_by_qos: dict = {}
         self.downgrades = 0
         self.terminated = 0
+        # Aggregate counters, maintained in both modes.
+        self._issued_count = 0
+        self.completed_count = 0
+        self.completed_by_qos: dict = {}
+        self.rnl_sum_by_qos: dict = {}
+        # Streaming-mode reservoirs: qos_run -> list of normalized RNL
+        # samples.  The reservoir RNG is seeded per collector so sampled
+        # distributions are reproducible run to run; it never touches
+        # simulation state, so it cannot perturb results.
+        self._rnl_reservoirs: dict = {}
+        self._reservoir_seen: dict = {}
+        self._reservoir_rng = random.Random(0x5EED)
         # Optional live hooks (used by experiments to track outstanding
         # RPCs per destination without post-processing).
         self.on_issue_hook: Optional[Callable[[Rpc], None]] = None
@@ -49,10 +79,12 @@ class MetricsCollector:
 
     @property
     def issued_count(self) -> int:
-        return len(self.issued)
+        return self._issued_count
 
     def record_issue(self, rpc: Rpc) -> None:
-        self.issued.append(rpc)
+        self._issued_count += 1
+        if not self.streaming:
+            self.issued.append(rpc)
         req = rpc.qos_requested
         self.issued_bytes_by_qos_requested[req] = (
             self.issued_bytes_by_qos_requested.get(req, 0) + rpc.payload_bytes
@@ -66,16 +98,54 @@ class MetricsCollector:
             self.on_issue_hook(rpc)
 
     def record_completion(self, rpc: Rpc) -> None:
-        self.completed.append(rpc)
+        qos = rpc.qos_run
+        self.completed_count += 1
+        self.completed_by_qos[qos] = self.completed_by_qos.get(qos, 0) + 1
+        self.rnl_sum_by_qos[qos] = self.rnl_sum_by_qos.get(qos, 0) + rpc.rnl_ns
+        if self.streaming:
+            self._reservoir_add(qos, rpc.rnl_ns / rpc.size_mtus)
+        else:
+            self.completed.append(rpc)
         if self.on_complete_hook is not None:
             self.on_complete_hook(rpc)
 
     def record_termination(self, rpc: Rpc) -> None:
         self.terminated += 1
 
+    def _reservoir_add(self, qos: int, sample: float) -> None:
+        """Vitter's algorithm R: uniform fixed-size sample per QoS."""
+        reservoir = self._rnl_reservoirs.get(qos)
+        if reservoir is None:
+            reservoir = self._rnl_reservoirs[qos] = []
+            self._reservoir_seen[qos] = 0
+        seen = self._reservoir_seen[qos] + 1
+        self._reservoir_seen[qos] = seen
+        if len(reservoir) < self.RESERVOIR_SIZE:
+            reservoir.append(sample)
+        else:
+            slot = self._reservoir_rng.randrange(seen)
+            if slot < self.RESERVOIR_SIZE:
+                reservoir[slot] = sample
+
+    def _require_retention(self, what: str) -> None:
+        if self.streaming:
+            raise RuntimeError(
+                f"{what} needs per-RPC records; unavailable with "
+                "MetricsCollector(streaming=True)"
+            )
+
     # -- derived views --------------------------------------------------
     def normalized_rnl_ns(self, qos_run: int, since_ns: int = 0) -> List[float]:
-        """Per-MTU RNL samples of RPCs that ran at the given QoS."""
+        """Per-MTU RNL samples of RPCs that ran at the given QoS.
+
+        In streaming mode this returns the reservoir sample for the
+        class (uniform over the whole run; ``since_ns`` windowing is
+        unsupported there).
+        """
+        if self.streaming:
+            if since_ns:
+                self._require_retention("windowed normalized_rnl_ns")
+            return list(self._rnl_reservoirs.get(qos_run, ()))
         return [
             rpc.rnl_ns / rpc.size_mtus
             for rpc in self.completed
@@ -83,6 +153,7 @@ class MetricsCollector:
         ]
 
     def absolute_rnl_ns(self, qos_run: int, since_ns: int = 0) -> List[int]:
+        self._require_retention("absolute_rnl_ns")
         return [
             rpc.rnl_ns
             for rpc in self.completed
@@ -102,7 +173,18 @@ class MetricsCollector:
         return self._mix(since_ns, "qos_requested")
 
     def _mix(self, since_ns: int, attr: str) -> dict:
-        by_qos: dict = {}
+        if self.streaming:
+            # Whole-run mixes fall out of the aggregate byte counters.
+            if since_ns:
+                self._require_retention("windowed traffic mix")
+            by_qos = (
+                self.run_bytes_by_qos
+                if attr == "qos_run"
+                else self.issued_bytes_by_qos_requested
+            )
+            total = sum(by_qos.values())
+            return {q: b / total for q, b in by_qos.items()} if total else {}
+        by_qos = {}
         for rpc in self.issued:
             if rpc.issued_ns < since_ns:
                 continue
@@ -127,6 +209,7 @@ class MetricsCollector:
         the end of the run (which could not have finished) are excluded
         from the denominator.
         """
+        self._require_retention("slo_met_fraction")
         slo = slo_map.get(qos)
         met = 0
         total = 0
@@ -151,6 +234,7 @@ class MetricsCollector:
         utilization proxy of Fig 22 (achieved goodput over input arrival
         rate).  Early-terminating schemes (D3/PDQ) lose goodput here.
         """
+        self._require_retention("goodput_fraction")
         done = 0
         total = 0
         for rpc in self.issued:

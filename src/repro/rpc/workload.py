@@ -131,7 +131,7 @@ class OpenLoopSource:
             count = max(1, int(round(self._rpcs_per_on_window)))
             for i in range(count):
                 offset = int(i * on_ns / count)
-                self.sim.schedule(offset, self._issue_one)
+                self.sim.post(offset, self._issue_one)
         else:
             # Poisson arrivals in the on-window: draw the count, then
             # place arrivals uniformly (standard conditional property).
@@ -139,8 +139,8 @@ class OpenLoopSource:
             count = _poisson_draw(self.rng, lam)
             for _ in range(count):
                 offset = int(self.rng.random() * on_ns)
-                self.sim.schedule(offset, self._issue_one)
-        self.sim.schedule(self.pattern.period_ns, self._on_period_start)
+                self.sim.post(offset, self._issue_one)
+        self.sim.post(self.pattern.period_ns, self._on_period_start)
 
     def _issue_one(self) -> None:
         if self.stop_ns is not None and self.sim.now >= self.stop_ns:

@@ -14,12 +14,16 @@ make every run bit-reproducible for a given seed.
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop as _heappop, heappush as _heappush
 from typing import Any, Callable, List, Optional, Tuple
 
 NS_PER_US = 1_000
 NS_PER_MS = 1_000_000
 NS_PER_SEC = 1_000_000_000
+
+#: Sentinel horizon when ``run`` has no ``until`` — larger than any
+#: reachable integer-ns timestamp, so the loop needs no None check.
+_FOREVER = 1 << 62
 
 
 def ns_from_us(us: float) -> int:
@@ -85,7 +89,12 @@ class Simulator:
 
     def __init__(self) -> None:
         self._now: int = 0
-        self._heap: List[Tuple[int, int, Event]] = []
+        # Heap entries are either ``(time, seq, Event)`` (cancellable,
+        # from :meth:`schedule`) or ``(time, seq, fn, args)`` (the
+        # fire-and-forget fast path of :meth:`post`).  ``seq`` is unique
+        # so ordering never compares the third element and the two entry
+        # shapes can share one heap.
+        self._heap: List[tuple] = []
         self._seq: int = 0
         self._events_processed: int = 0
         self._stopped: bool = False
@@ -109,10 +118,26 @@ class Simulator:
         if delay_ns < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay_ns}ns)")
         time = self._now + delay_ns
-        event = Event(time, self._seq, fn, args)
-        heapq.heappush(self._heap, (time, self._seq, event))
-        self._seq += 1
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time, seq, fn, args)
+        _heappush(self._heap, (time, seq, event))
         return event
+
+    def post(self, delay_ns: int, fn: Callable[..., None], *args: Any) -> None:
+        """Fire-and-forget :meth:`schedule`: no :class:`Event` handle.
+
+        The hot path of the simulator — port transmissions, packet
+        deliveries, transport kicks — never cancels its events, so it
+        skips the per-event handle allocation.  ``post`` shares the
+        sequence counter with ``schedule``; interleaving both keeps
+        runs bit-identical with an all-``schedule`` event graph.
+        """
+        if delay_ns < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay_ns}ns)")
+        seq = self._seq
+        self._seq = seq + 1
+        _heappush(self._heap, (self._now + delay_ns, seq, fn, args))
 
     def schedule_at(self, time_ns: int, fn: Callable[..., None], *args: Any) -> Event:
         """Schedule ``fn(*args)`` at absolute simulation time ``time_ns``."""
@@ -125,20 +150,25 @@ class Simulator:
     def peek_time(self) -> Optional[int]:
         """Timestamp of the next pending event, or ``None`` if idle."""
         heap = self._heap
-        while heap and heap[0][2].cancelled:
-            heapq.heappop(heap)
+        while heap and len(heap[0]) == 3 and heap[0][2].cancelled:
+            _heappop(heap)
         return heap[0][0] if heap else None
 
     def step(self) -> bool:
         """Fire the next event.  Returns False when no events remain."""
         heap = self._heap
         while heap:
-            time, _, event = heapq.heappop(heap)
-            if event.cancelled:
-                continue
-            self._now = time
+            item = _heappop(heap)
+            if len(item) == 4:
+                fn, args = item[2], item[3]
+            else:
+                event = item[2]
+                if event.cancelled:
+                    continue
+                fn, args = event.fn, event.args
+            self._now = item[0]
             self._events_processed += 1
-            event.fn(*event.args)
+            fn(*args)
             return True
         return False
 
@@ -148,28 +178,46 @@ class Simulator:
 
         ``until`` is an absolute timestamp; events scheduled exactly at
         ``until`` still fire (the loop stops once the next event would be
-        strictly later).  When the loop stops because of ``until``, the
-        clock is advanced to ``until`` so subsequent scheduling is relative
-        to the requested horizon.
+        strictly later).  The clock is advanced to ``until`` only when the
+        loop actually covered the horizon — by draining the queue or by
+        reaching a strictly-later event.  Exits via :meth:`stop` or
+        ``max_events`` leave the clock at the last fired event, so callers
+        observe *when* the run was interrupted rather than a silently
+        jumped clock.
         """
         self._stopped = False
         heap = self._heap
-        pop = heapq.heappop
+        pop = _heappop
         fired = 0
-        while not self._stopped and heap:
-            if max_events is not None and fired >= max_events:
-                return
-            time, _, event = heap[0]
-            if event.cancelled:
-                pop(heap)
-                continue
-            if until is not None and time > until:
+        limit = -1 if max_events is None else max_events
+        horizon = _FOREVER if until is None else until
+        # ``fired`` is folded into ``_events_processed`` on every exit
+        # path (the finally) instead of per event; the counter is only
+        # observable between events anyway since callbacks run inline.
+        try:
+            while not self._stopped:
+                if not heap:
+                    break
+                if fired == limit:
+                    return
+                item = pop(heap)
+                time = item[0]
+                if time > horizon:
+                    _heappush(heap, item)
+                    self._now = until
+                    return
+                if len(item) == 4:
+                    fn, args = item[2], item[3]
+                else:
+                    event = item[2]
+                    if event.cancelled:
+                        continue
+                    fn, args = event.fn, event.args
+                self._now = time
+                fn(*args)
+                fired += 1
+            if not self._stopped and until is not None and self._now < until:
+                # Drained below the horizon: cover the idle stretch.
                 self._now = until
-                return
-            pop(heap)
-            self._now = time
-            self._events_processed += 1
-            event.fn(*event.args)
-            fired += 1
-        if until is not None and self._now < until:
-            self._now = until
+        finally:
+            self._events_processed += fired

@@ -1,0 +1,56 @@
+"""Determinism digests over simulation results.
+
+The hot-path optimization work (and any future kernel change) must not
+alter simulation *results*, only how fast they are produced.  A digest
+compresses one run's outcome — completed-RPC count, total RNL, and the
+per-QoS byte mix — into a small, stable structure that can be compared
+across runs and across code versions: same seed, same digest.
+
+Digests work against both :class:`~repro.rpc.stack.MetricsCollector`
+modes (full object retention and streaming aggregates), because they
+only rely on counters both modes maintain.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict
+
+
+def completed_rpc_digest(metrics) -> Dict:
+    """Summarize one run's completed-RPC outcome.
+
+    Returns a JSON-serializable dict with:
+
+    * ``issued`` / ``completed`` — RPC counts;
+    * ``rnl_sum_ns`` — the sum of every completed RPC's RNL (a single
+      integer that is exquisitely sensitive to any ordering change);
+    * ``completed_by_qos`` — completions per QoS the RPC ran at;
+    * ``run_bytes_by_qos`` — the per-QoS byte mix of issued traffic.
+    """
+    if getattr(metrics, "streaming", False):
+        completed = metrics.completed_count
+        rnl_sum = sum(metrics.rnl_sum_by_qos.values())
+        by_qos = dict(metrics.completed_by_qos)
+    else:
+        completed = len(metrics.completed)
+        rnl_sum = sum(rpc.rnl_ns for rpc in metrics.completed)
+        by_qos = {}
+        for rpc in metrics.completed:
+            by_qos[rpc.qos_run] = by_qos.get(rpc.qos_run, 0) + 1
+    return {
+        "issued": metrics.issued_count,
+        "completed": completed,
+        "rnl_sum_ns": int(rnl_sum),
+        "completed_by_qos": {str(q): n for q, n in sorted(by_qos.items())},
+        "run_bytes_by_qos": {
+            str(q): b for q, b in sorted(metrics.run_bytes_by_qos.items())
+        },
+    }
+
+
+def digest_hex(digest: Dict) -> str:
+    """Stable hex fingerprint of a digest dict (sorted-key JSON, sha256)."""
+    blob = json.dumps(digest, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()

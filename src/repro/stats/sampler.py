@@ -39,7 +39,7 @@ class PeriodicSampler:
         if self._stopped:
             return
         self.samples.append((self.sim.now, self.probe()))
-        self.sim.schedule(self.interval_ns, self._tick)
+        self.sim.post(self.interval_ns, self._tick)
 
     def values(self) -> List[float]:
         return [v for _, v in self.samples]

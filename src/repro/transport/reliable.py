@@ -67,7 +67,7 @@ class TransportConfig:
             raise ValueError("RTT and RTO must be positive")
 
 
-@dataclass
+@dataclass(slots=True)
 class _Outstanding:
     """Book-keeping for one in-flight packet."""
 
@@ -78,7 +78,7 @@ class _Outstanding:
     retransmits: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class _MsgState:
     msg: Message
     total_packets: int
@@ -215,7 +215,7 @@ class Flow:
         if self._kick_scheduled:
             return
         self._kick_scheduled = True
-        self.sim.schedule(max(1, delay_ns), self._kick)
+        self.sim.post(max(1, delay_ns), self._kick)
 
     def _kick(self) -> None:
         self._kick_scheduled = False
@@ -287,7 +287,7 @@ class Flow:
         if self._timer_armed or not self._outstanding:
             return
         self._timer_armed = True
-        self.sim.schedule(self.config.rto_ns, self._on_timer)
+        self.sim.post(self.config.rto_ns, self._on_timer)
 
     def _on_timer(self) -> None:
         self._timer_armed = False
@@ -371,7 +371,7 @@ class TransportEndpoint:
                 )
             flow = peer._flows_by_id.get(pkt.flow_id)
             if flow is not None:
-                self.sim.schedule(
+                self.sim.post(
                     max(1, self.config.base_rtt_ns // 2),
                     flow.on_ack,
                     pkt.msg_id,

@@ -253,3 +253,91 @@ def test_pfabric_byte_accounting_after_evictions():
         total += p.size_bytes
     assert total == 4096
     assert q.bytes_queued == 0
+
+
+# ----------------------------------------------------------------------
+# Work-conservation / accounting regressions
+# ----------------------------------------------------------------------
+def test_dwrr_fractional_weights_single_class_work_conserving():
+    """Regression: dequeue once capped its scan at 2*len(active)+1
+    visits.  With weights (0.5, 0.3, 0.2) the qos-2 quantum is 819.2B,
+    so a 4096B packet needs 5 grants and the bounded loop returned None
+    with backlog — the port went idle forever over a queued packet."""
+    q = DwrrScheduler((0.5, 0.3, 0.2), buffer_bytes=10**6)
+    p = pkt(qos=2, size=4096)
+    assert q.enqueue(p)
+    assert q.dequeue() is p
+    assert q.packets_queued == 0
+    assert q.dequeue() is None
+
+
+def test_dwrr_fractional_weight_shares():
+    """Fractional weights must both stay work conserving and still
+    deliver the 0.5/0.3/0.2 byte shares under persistent backlog."""
+    q = DwrrScheduler((0.5, 0.3, 0.2), buffer_bytes=10**9)
+    for _ in range(600):
+        for qos in range(3):
+            assert q.enqueue(pkt(qos=qos, size=1000))
+    served = {0: 0, 1: 0, 2: 0}
+    for _ in range(900):
+        p = q.dequeue()
+        assert p is not None, "DWRR returned None with backlog queued"
+        served[p.qos] += p.size_bytes
+    total = sum(served.values())
+    assert abs(served[0] / total - 0.5) < 0.05
+    assert abs(served[1] / total - 0.3) < 0.05
+    assert abs(served[2] / total - 0.2) < 0.05
+
+
+def test_dwrr_drains_after_idle_and_refill():
+    q = DwrrScheduler((0.5, 0.3, 0.2), buffer_bytes=10**6)
+    for _ in range(3):
+        pkts = [pkt(qos=i % 3, size=4096) for i in range(6)]
+        for p in pkts:
+            assert q.enqueue(p)
+        out = []
+        while True:
+            p = q.dequeue()
+            if p is None:
+                break
+            out.append(p)
+        assert sorted(p.uid for p in out) == sorted(p.uid for p in pkts)
+        assert q.packets_queued == 0 and q.bytes_queued == 0
+
+
+def test_wfq_drain_refill_across_virtual_time_resets():
+    """Drain to empty (virtual-time reset), refill with an identical
+    pattern so fresh finish tags coincide with pre-reset ones.  Stale
+    head-heap detection must key on packet identity, not float tag
+    equality — every cycle must serve exactly its own packets, in
+    per-class FIFO order."""
+    q = WfqScheduler((8, 4, 1), buffer_bytes=10**9)
+    for _ in range(5):
+        pkts = [pkt(qos=i % 3, size=1500) for i in range(9)]
+        for p in pkts:
+            assert q.enqueue(p)
+        out = [q.dequeue() for _ in range(9)]
+        assert q.dequeue() is None
+        assert q.packets_queued == 0 and q.bytes_queued == 0
+        assert sorted(p.uid for p in out) == sorted(p.uid for p in pkts)
+        for qos in range(3):
+            assert [p.uid for p in out if p.qos == qos] == [
+                p.uid for p in pkts if p.qos == qos
+            ]
+
+
+def test_fifo_per_class_byte_stats():
+    """Regression: the shared FIFO once recorded the queue *total* as
+    every class's occupancy figure, so max_bytes_per_class tracked the
+    whole queue instead of that class's bytes."""
+    q = FifoScheduler(buffer_bytes=10**6, num_classes=2)
+    assert q.enqueue(pkt(qos=0, size=1000))
+    assert q.enqueue(pkt(qos=1, size=500))
+    assert q.enqueue(pkt(qos=0, size=1000))
+    assert q.class_backlog_bytes(0) == 2000
+    assert q.class_backlog_bytes(1) == 500
+    assert q.stats.max_bytes_per_class == [2000, 500]
+    q.dequeue()
+    q.dequeue()
+    assert q.class_backlog_bytes(0) == 1000
+    assert q.class_backlog_bytes(1) == 0

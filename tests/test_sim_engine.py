@@ -165,3 +165,70 @@ def test_determinism_same_schedule_same_order():
         return order
 
     assert build() == build()
+
+
+# ----------------------------------------------------------------------
+# Clock semantics on interrupted runs (stop / max_events / until)
+# ----------------------------------------------------------------------
+def test_stop_does_not_jump_clock_to_until():
+    """Regression: exiting via stop() once fell through to the
+    advance-to-until epilogue, silently jumping the clock past the
+    interruption point."""
+    sim = Simulator()
+    sim.schedule(100, sim.stop)
+    sim.schedule(500, lambda: None)
+    sim.run(until=1000)
+    assert sim.now == 100
+    # Pending events are untouched; a fresh run serves them and only
+    # then covers the horizon.
+    sim.run(until=1000)
+    assert sim.now == 1000
+    assert sim.events_processed == 2
+
+
+def test_max_events_leaves_clock_at_last_event():
+    sim = Simulator()
+    for t in (10, 20, 30, 40):
+        sim.schedule(t, lambda: None)
+    sim.run(until=1000, max_events=2)
+    assert sim.now == 20
+    assert sim.events_processed == 2
+    sim.run(until=1000)
+    assert sim.now == 1000
+    assert sim.events_processed == 4
+
+
+def test_stop_until_max_events_interplay():
+    """stop() wins over both budgets and leaves the clock at the
+    stopping event; the remaining budget is not consumed."""
+    sim = Simulator()
+    fired = []
+    sim.schedule(10, fired.append, 1)
+    sim.schedule(20, sim.stop)
+    sim.schedule(30, fired.append, 3)
+    sim.run(until=1000, max_events=10)
+    assert fired == [1]
+    assert sim.now == 20
+    sim.run(max_events=1)
+    assert fired == [1, 3]
+    assert sim.now == 30
+
+
+def test_post_interleaves_fifo_with_schedule():
+    """post() shares the sequence counter with schedule(): same-time
+    events fire in submission order regardless of which API queued
+    them."""
+    sim = Simulator()
+    order = []
+    sim.schedule(50, order.append, "a")
+    sim.post(50, order.append, "b")
+    sim.schedule(50, order.append, "c")
+    sim.run()
+    assert order == ["a", "b", "c"]
+    assert sim.events_processed == 3
+
+
+def test_post_rejects_negative_delay():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.post(-1, print)
