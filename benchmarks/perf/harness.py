@@ -28,6 +28,7 @@ Output schema (``BENCH_*.json``)::
 from __future__ import annotations
 
 import json
+import os
 import time
 from typing import Dict, Iterable, Optional
 
@@ -37,7 +38,13 @@ from repro.stats.digest import digest_hex
 
 def run_scenario(name: str, budget: int, seed: int = 42, repeats: int = 3) -> Dict:
     """Time one scenario; returns the result row for the JSON report."""
-    build = SCENARIOS[name]
+    try:
+        build = SCENARIOS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {name!r}; available: "
+            f"{', '.join(sorted(SCENARIOS))}"
+        ) from None
     best: Optional[Dict] = None
     first_hex = None
     for _ in range(max(1, repeats)):
@@ -136,14 +143,22 @@ def main(argv=None) -> int:
                 baseline = json.load(fh)
         except (OSError, json.JSONDecodeError) as exc:
             parser.error(f"cannot read baseline {args.baseline!r}: {exc}")
-    report = run_suite(
-        budget=args.budget,
-        seed=args.seed,
-        repeats=args.repeats,
-        scenarios=args.scenarios,
-        baseline=baseline,
-    )
+    try:
+        report = run_suite(
+            budget=args.budget,
+            seed=args.seed,
+            repeats=args.repeats,
+            scenarios=args.scenarios,
+            baseline=baseline,
+        )
+    except ValueError as exc:
+        # Unknown scenario names surface as a clean CLI error (argparse
+        # guards --scenario, but run_suite is also called from code).
+        parser.error(str(exc))
     if args.output:
+        out_dir = os.path.dirname(args.output)
+        if out_dir:
+            os.makedirs(out_dir, exist_ok=True)
         with open(args.output, "w") as fh:
             json.dump(report, fh, indent=2, sort_keys=True)
             fh.write("\n")

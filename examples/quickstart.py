@@ -8,7 +8,6 @@ excess to the scavenger QoS and the admitted traffic meets its SLO.
 Run:  python examples/quickstart.py
 """
 
-from repro.core.qos import Priority
 from repro.experiments.cluster import ClusterConfig, run_cluster
 from repro.experiments.fig11 import _three_node_traffic
 from repro.rpc.sizes import FixedSize

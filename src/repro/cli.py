@@ -7,6 +7,13 @@ Usage::
     python -m repro fig11 --quick        # smaller/faster parameters
     python -m repro all --quick          # everything (the bench payload)
 
+    python -m repro run fig11 --profile fast --workers 4
+    python -m repro run fig11 --resume 20260806-101500-00042
+
+The ``run`` subcommand goes through :mod:`repro.runner`: sweep points
+are sharded across a worker pool, cached on disk, checked against the
+figure's shape assertions, and the rows land in ``results/<figure>/``.
+
 Each experiment prints the same rows/series the paper reports; see
 EXPERIMENTS.md for the paper-versus-measured record.
 """
@@ -18,6 +25,11 @@ import sys
 import time
 from typing import Callable, Dict, Tuple
 
+from repro.runner import (
+    UnknownExperimentError,
+    UnknownProfileError,
+    run_experiment,
+)
 from repro.experiments import (
     fig08,
     fig09,
@@ -155,15 +167,100 @@ def _both_tables(pair) -> _TablePair:
     return _TablePair(pair[0].table() + "\n\n" + pair[1].table())
 
 
+def _run_main(argv) -> int:
+    """The ``run`` subcommand: sweep a figure through repro.runner."""
+    parser = argparse.ArgumentParser(
+        prog="repro run",
+        description="Run a figure sweep through the orchestration layer.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="figure name (same names as 'python -m repro list')",
+    )
+    parser.add_argument(
+        "--profile",
+        default="fast",
+        help="parameter profile: 'fast' (CI-sized) or 'paper' (default: fast)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the sweep (default: 1, inline)",
+    )
+    parser.add_argument(
+        "--resume",
+        metavar="RUN_ID",
+        default=None,
+        help="reuse completed points from a previous run id",
+    )
+    parser.add_argument(
+        "--replicates",
+        type=int,
+        default=1,
+        help="independent replicates per sweep point (default: 1)",
+    )
+    parser.add_argument(
+        "--results-dir",
+        default="results",
+        help="root directory for run documents (default: results/)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="point cache directory (default: <results-dir>/.cache)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute every point, ignoring the on-disk cache",
+    )
+    args = parser.parse_args(argv)
+
+    if args.workers < 1:
+        print("--workers must be >= 1", file=sys.stderr)
+        return 2
+    try:
+        report = run_experiment(
+            args.experiment,
+            profile=args.profile,
+            workers=args.workers,
+            resume=args.resume,
+            results_dir=args.results_dir,
+            cache_dir=args.cache_dir,
+            use_cache=not args.no_cache,
+            replicates=args.replicates,
+            log=print,
+        )
+    except (UnknownExperimentError, UnknownProfileError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    except RuntimeError as exc:
+        print(f"sweep failed: {exc}", file=sys.stderr)
+        return 1
+
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns a process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "run":
+        return _run_main(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate Aequitas (SIGCOMM 2022) evaluation figures.",
     )
     parser.add_argument(
         "experiment",
-        help="experiment name (see 'list'), 'all', or 'list'",
+        help="experiment name (see 'list'), 'all', 'list', or the 'run' "
+        "subcommand ('python -m repro run <figure> --help')",
     )
     parser.add_argument(
         "--quick",

@@ -31,7 +31,7 @@ from repro.core.slo import SLOMap
 from repro.net.topology import Network, build_star, wfq_factory
 from repro.rpc.sizes import FixedSize, SizeDistribution
 from repro.rpc.stack import MetricsCollector, RpcStack
-from repro.rpc.workload import BurstPattern, OpenLoopSource, PriorityMix
+from repro.rpc.workload import BurstPattern, OpenLoopSource
 from repro.sim.engine import Simulator, ns_from_ms, ns_from_us
 from repro.stats.summary import percentile
 from repro.transport.base import FixedWindowCC

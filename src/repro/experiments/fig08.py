@@ -9,7 +9,7 @@ at x = phi / (phi + 1) = 0.8 beyond which QoS_h delay exceeds QoS_l's.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.analysis.delay_bounds import (
     TrafficModel,
@@ -17,6 +17,7 @@ from repro.analysis.delay_bounds import (
     delay_l,
     priority_inversion_share,
 )
+from repro.runner.point import Point
 
 
 @dataclass
@@ -49,3 +50,51 @@ def run(
     return Fig8Result(
         model=model, rows=rows, inversion_share=priority_inversion_share(model)
     )
+
+
+# ----------------------------------------------------------------------
+# Sweep interface (repro.runner)
+# ----------------------------------------------------------------------
+PROFILES = {
+    "paper": {"points": 41},
+    "fast": {"points": 11},
+}
+
+
+def sweep(profile: str = "paper") -> List[Point]:
+    n = PROFILES[profile]["points"]
+    return [
+        Point("fig08", {"mu": 0.8, "rho": 1.2, "phi": 4.0, "share": i / (n - 1)})
+        for i in range(n)
+    ]
+
+
+def run_point(point: Point, seed: int) -> Dict:
+    p = point.params
+    model = TrafficModel(mu=p["mu"], rho=p["rho"], phi=p["phi"])
+    x = p["share"]
+    return {
+        "share": x,
+        "delay_h": delay_h(x, model),
+        "delay_l": delay_l(x, model),
+        "inversion_share": priority_inversion_share(model),
+    }
+
+
+def check(rows: Sequence[Dict], profile: str) -> List[str]:
+    """Shape assertions: delay-free region, then priority inversion."""
+    failures: List[str] = []
+    if any(r["delay_h"] < 0 or r["delay_l"] < 0 for r in rows):
+        failures.append("fig08: negative worst-case delay")
+    low = [r for r in rows if r["share"] <= 0.25]
+    if low and max(r["delay_h"] for r in low) > 0.05:
+        failures.append("fig08: QoS_h not delay-free at low share")
+    inverted = [r["share"] for r in rows if r["delay_h"] > r["delay_l"] + 1e-9]
+    if not inverted:
+        failures.append("fig08: priority inversion never observed in sweep")
+    elif not 0.75 <= min(inverted) <= 0.95:
+        failures.append(
+            f"fig08: inversion onset at share {min(inverted):.2f}, "
+            "expected near phi/(phi+1) = 0.80"
+        )
+    return failures

@@ -13,9 +13,10 @@ mu = 0.8, rho = 1.4, for two weight settings: 8:4:1 (panel a) and
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.analysis.fluid import sweep_three_qos
+from repro.runner.point import Point
 
 
 @dataclass
@@ -57,3 +58,80 @@ def run(
 def run_both_panels() -> Tuple[Fig9Result, Fig9Result]:
     """Panels (a) 8:4:1 and (b) 50:4:1 of Figure 9."""
     return run(weights=(8, 4, 1)), run(weights=(50, 4, 1))
+
+
+# ----------------------------------------------------------------------
+# Sweep interface (repro.runner)
+# ----------------------------------------------------------------------
+_PANELS = ([8, 4, 1], [50, 4, 1])
+
+PROFILES = {
+    "paper": {"shares": [round(0.05 + 0.05 * i, 2) for i in range(18)]},
+    "fast": {"shares": [round(0.1 * i, 1) for i in range(1, 10)]},
+}
+
+
+def sweep(profile: str = "paper") -> List[Point]:
+    shares = PROFILES[profile]["shares"]
+    return [
+        Point("fig09", {"weights": weights, "mu": 0.8, "rho": 1.4, "share": x})
+        for weights in _PANELS
+        for x in shares
+    ]
+
+
+def run_point(point: Point, seed: int) -> Dict:
+    p = point.params
+    ((x, dh, dm, dl),) = sweep_three_qos(
+        [p["share"]], weights=tuple(p["weights"]), mu=p["mu"], rho=p["rho"]
+    )
+    return {
+        "weights": list(p["weights"]),
+        "share": x,
+        "delay_h": dh,
+        "delay_m": dm,
+        "delay_l": dl,
+    }
+
+
+def _panel_inversion(rows: Sequence[Dict]) -> float:
+    for r in sorted(rows, key=lambda r: r["share"]):
+        if r["delay_h"] > r["delay_m"] + 1e-9 or r["delay_m"] > r["delay_l"] + 1e-9:
+            return r["share"]
+    return 1.0
+
+
+def check(rows: Sequence[Dict], profile: str) -> List[str]:
+    """Lemma-1 shape: raising the QoS_h weight moves the admissible
+    region's right edge outward at the cost of QoS_m delay."""
+    failures: List[str] = []
+    panels = {
+        tuple(weights): [r for r in rows if r["weights"] == weights]
+        for weights in _PANELS
+    }
+    inv_a = _panel_inversion(panels[(8, 4, 1)])
+    inv_b = _panel_inversion(panels[(50, 4, 1)])
+    if not 0.45 <= inv_a <= 0.70:
+        failures.append(
+            f"fig09: 8:4:1 admissible region ends at {inv_a:.2f}, expected ~0.57"
+        )
+    if not inv_b >= 0.80:
+        failures.append(
+            f"fig09: 50:4:1 admissible region ends at {inv_b:.2f}, expected ~0.89"
+        )
+    # The cost of the wider admissible region: once panel (a) has
+    # inverted, the 50:4:1 weighting buys its extra QoS_h headroom with
+    # strictly higher QoS_m delay (share 0.5 is the first swept point
+    # past the 8:4:1 boundary).
+    mid = 0.5
+    dm_a = min(
+        (r["delay_m"] for r in panels[(8, 4, 1)] if abs(r["share"] - mid) < 0.06),
+        default=None,
+    )
+    dm_b = min(
+        (r["delay_m"] for r in panels[(50, 4, 1)] if abs(r["share"] - mid) < 0.06),
+        default=None,
+    )
+    if dm_a is not None and dm_b is not None and not dm_b > dm_a:
+        failures.append("fig09: QoS_m delay did not rise when QoS_h weight grew")
+    return failures

@@ -14,9 +14,10 @@ reports).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.analysis.delay_bounds import TrafficModel, delay_h, delay_l
+from repro.runner.point import Point
 from repro.net.link import Port
 from repro.net.node import Node
 from repro.net.packet import HEADER_BYTES, MTU_BYTES, Packet
@@ -118,3 +119,68 @@ def run(
         sim_h, sim_l = _run_single_share(x, model, period_ns, periods, line_rate_bps)
         rows.append((x, sim_h, sim_l, delay_h(x, model), delay_l(x, model)))
     return Fig10Result(model=model, rows=rows)
+
+
+# ----------------------------------------------------------------------
+# Sweep interface (repro.runner)
+# ----------------------------------------------------------------------
+PROFILES = {
+    "paper": {"shares": [round(0.05 * i, 2) for i in range(1, 20)]},
+    "fast": {"shares": [0.1, 0.4, 0.7, 0.85]},
+}
+
+
+def sweep(profile: str = "paper") -> List[Point]:
+    return [
+        Point(
+            "fig10",
+            {
+                "mu": 0.8,
+                "rho": 1.2,
+                "phi": 4.0,
+                "share": x,
+                "period_us": 500.0,
+                "periods": 2,
+            },
+        )
+        for x in PROFILES[profile]["shares"]
+    ]
+
+
+def run_point(point: Point, seed: int) -> Dict:
+    p = point.params
+    model = TrafficModel(mu=p["mu"], rho=p["rho"], phi=p["phi"])
+    sim_h, sim_l = _run_single_share(
+        p["share"], model, ns_from_us(p["period_us"]), p["periods"], 100e9
+    )
+    return {
+        "share": p["share"],
+        "sim_h": sim_h,
+        "sim_l": sim_l,
+        "theory_h": delay_h(p["share"], model),
+        "theory_l": delay_l(p["share"], model),
+    }
+
+
+def check(rows: Sequence[Dict], profile: str) -> List[str]:
+    """Validation shape: packet sim tracks theory, QoS_l only ever
+    slightly above it (the packetization artifact)."""
+    failures: List[str] = []
+    err_h = max(abs(r["sim_h"] - r["theory_h"]) for r in rows)
+    if err_h > 0.01:
+        failures.append(
+            f"fig10: QoS_h sim-vs-theory error {err_h:.4f} of the period "
+            "(expected < 0.01)"
+        )
+    for r in rows:
+        if r["sim_l"] < r["theory_l"] - 0.005:
+            failures.append(
+                f"fig10: QoS_l sim delay {r['sim_l']:.4f} fell below "
+                f"theory {r['theory_l']:.4f} at share {r['share']:g}"
+            )
+        if r["sim_l"] > r["theory_l"] + 0.02:
+            failures.append(
+                f"fig10: QoS_l packetization artifact too large at "
+                f"share {r['share']:g}"
+            )
+    return failures

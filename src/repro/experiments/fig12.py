@@ -11,11 +11,13 @@ because fewer RPCs contend overall (Little's law).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.qos import Priority
 from repro.experiments.cluster import ClusterConfig, ClusterResult, run_cluster
 from repro.rpc.sizes import FixedSize, SizeDistribution
+from repro.runner.point import Point
+from repro.stats.digest import completed_rpc_digest
 
 
 @dataclass
@@ -100,3 +102,64 @@ def run(
         without_result=results["wfq"],
         with_result=results["aequitas"],
     )
+
+
+# ----------------------------------------------------------------------
+# Sweep interface (repro.runner)
+# ----------------------------------------------------------------------
+PROFILES = {
+    "paper": {"num_hosts": 10, "duration_ms": 40.0, "warmup_ms": 20.0},
+    "fast": {"num_hosts": 6, "duration_ms": 24.0, "warmup_ms": 12.0},
+}
+
+
+def sweep(profile: str = "paper") -> List[Point]:
+    spec = PROFILES[profile]
+    return [
+        Point("fig12", {"scheme": scheme, **spec}) for scheme in ("wfq", "aequitas")
+    ]
+
+
+def run_point(point: Point, seed: int) -> Dict:
+    p = point.params
+    cfg = make_config(
+        p["scheme"],
+        num_hosts=p["num_hosts"],
+        duration_ms=p["duration_ms"],
+        warmup_ms=p["warmup_ms"],
+        seed=seed,
+    )
+    result = run_cluster(cfg)
+    return {
+        "scheme": p["scheme"],
+        "tail_us": {str(q): result.rnl_tail_us(q, 99.9) for q in (0, 1, 2)},
+        "slo_us": {"0": 15.0, "1": 25.0},
+        "digest": completed_rpc_digest(result.metrics),
+    }
+
+
+def _by_scheme(rows: Sequence[Dict]) -> Dict[str, Dict]:
+    return {r["scheme"]: r for r in rows}
+
+
+def check(rows: Sequence[Dict], profile: str) -> List[str]:
+    """Headline shape: enabling Aequitas pulls the SLO classes' tails
+    down toward their SLOs."""
+    failures: List[str] = []
+    by = _by_scheme(rows)
+    if set(by) != {"wfq", "aequitas"}:
+        return [f"fig12: expected wfq+aequitas rows, got {sorted(by)}"]
+    for qos, slo in (("0", 15.0), ("1", 25.0)):
+        wo = by["wfq"]["tail_us"][qos]
+        w = by["aequitas"]["tail_us"][qos]
+        if not w < wo:
+            failures.append(
+                f"fig12: Aequitas did not improve QoS {qos} tail "
+                f"({wo:.1f} -> {w:.1f} us)"
+            )
+        if not w <= 3.0 * slo:
+            failures.append(
+                f"fig12: QoS {qos} tail {w:.1f} us not within 3x of "
+                f"its {slo:g} us SLO"
+            )
+    return failures

@@ -14,10 +14,11 @@ across (port, sample) pairs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.experiments.cluster import attach_traffic, build_cluster
 from repro.experiments.fig12 import make_config
+from repro.runner.point import Point
 from repro.sim.engine import ns_from_ms, ns_from_us
 from repro.stats.summary import cdf_points, percentile
 
@@ -116,3 +117,59 @@ def run(
     without = _run_with_tracking("wfq", num_hosts, duration_ms, warmup_ms, sample_us, seed)
     with_aeq = _run_with_tracking("aequitas", num_hosts, duration_ms, warmup_ms, sample_us, seed)
     return Fig13Result(without=without, with_aequitas=with_aeq)
+
+
+# ----------------------------------------------------------------------
+# Sweep interface (repro.runner)
+# ----------------------------------------------------------------------
+PROFILES = {
+    "paper": {"num_hosts": 10, "duration_ms": 40.0, "warmup_ms": 20.0},
+    "fast": {"num_hosts": 6, "duration_ms": 24.0, "warmup_ms": 12.0},
+}
+
+
+def sweep(profile: str = "paper") -> List[Point]:
+    spec = PROFILES[profile]
+    return [
+        Point("fig13", {"scheme": scheme, "sample_us": 100.0, **spec})
+        for scheme in ("wfq", "aequitas")
+    ]
+
+
+def run_point(point: Point, seed: int) -> Dict:
+    p = point.params
+    trace = _run_with_tracking(
+        p["scheme"],
+        p["num_hosts"],
+        p["duration_ms"],
+        p["warmup_ms"],
+        p["sample_us"],
+        seed,
+    )
+    return {
+        "scheme": p["scheme"],
+        "p99_high_medium": percentile(trace.high_medium, 99.0),
+        "p99_low": percentile(trace.low, 99.0),
+        "samples": len(trace.high_medium),
+    }
+
+
+def check(rows: Sequence[Dict], profile: str) -> List[str]:
+    """Little's-law shape: admission control cuts outstanding QoS_h+m
+    RPCs while the scavenger class absorbs the downgrades."""
+    by = {r["scheme"]: r for r in rows}
+    if set(by) != {"wfq", "aequitas"}:
+        return [f"fig13: expected wfq+aequitas rows, got {sorted(by)}"]
+    failures: List[str] = []
+    if not by["aequitas"]["p99_high_medium"] < by["wfq"]["p99_high_medium"]:
+        failures.append(
+            "fig13: outstanding QoS_h+m did not drop with Aequitas "
+            f"({by['wfq']['p99_high_medium']:.1f} -> "
+            f"{by['aequitas']['p99_high_medium']:.1f})"
+        )
+    if not by["aequitas"]["p99_low"] > by["wfq"]["p99_low"]:
+        failures.append(
+            "fig13: outstanding QoS_l did not grow with Aequitas "
+            "(downgrades should queue there)"
+        )
+    return failures

@@ -10,11 +10,13 @@ step an operator (and Figure 15) uses to pick SLO targets.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.core.qos import Priority
 from repro.experiments.cluster import run_cluster
 from repro.experiments.fig12 import make_config
+from repro.runner.point import Point
+from repro.stats.digest import completed_rpc_digest
 
 
 @dataclass
@@ -77,3 +79,77 @@ def run(
             )
         )
     return Fig14Result(rows=rows)
+
+
+# ----------------------------------------------------------------------
+# Sweep interface (repro.runner)
+# ----------------------------------------------------------------------
+PROFILES = {
+    "paper": {
+        "shares": [0.05, 0.15, 0.25, 0.40, 0.55, 0.70],
+        "num_hosts": 10,
+        "duration_ms": 15.0,
+        "warmup_ms": 5.0,
+    },
+    "fast": {
+        "shares": [0.1, 0.3, 0.5],
+        "num_hosts": 6,
+        "duration_ms": 15.0,
+        "warmup_ms": 5.0,
+    },
+}
+
+
+def sweep(profile: str = "paper") -> List[Point]:
+    spec = PROFILES[profile]
+    return [
+        Point(
+            "fig14",
+            {
+                "qos_h_share": share,
+                "num_hosts": spec["num_hosts"],
+                "duration_ms": spec["duration_ms"],
+                "warmup_ms": spec["warmup_ms"],
+            },
+        )
+        for share in spec["shares"]
+    ]
+
+
+def run_point(point: Point, seed: int) -> Dict:
+    p = point.params
+    share = p["qos_h_share"]
+    mix = {
+        Priority.PC: share,
+        Priority.NC: 0.25,
+        Priority.BE: max(0.0, 1.0 - share - 0.25) or 1e-6,
+    }
+    cfg = make_config(
+        "wfq",
+        num_hosts=p["num_hosts"],
+        duration_ms=p["duration_ms"],
+        warmup_ms=p["warmup_ms"],
+        priority_mix=mix,
+        seed=seed,
+    )
+    result = run_cluster(cfg)
+    return {
+        "qos_h_share": share,
+        "tail_h_us": result.rnl_tail_us(0, 99.9),
+        "tail_m_us": result.rnl_tail_us(1, 99.9),
+        "tail_l_us": result.rnl_tail_us(2, 99.9),
+        "digest": completed_rpc_digest(result.metrics),
+    }
+
+
+def check(rows: Sequence[Dict], profile: str) -> List[str]:
+    """Calibration shape: the baseline QoS_h tail grows with its share."""
+    ordered = sorted(rows, key=lambda r: r["qos_h_share"])
+    failures: List[str] = []
+    if len(ordered) >= 2 and not ordered[-1]["tail_h_us"] > ordered[0]["tail_h_us"]:
+        failures.append(
+            "fig14: QoS_h tail did not grow from share "
+            f"{ordered[0]['qos_h_share']:g} ({ordered[0]['tail_h_us']:.1f} us) "
+            f"to {ordered[-1]['qos_h_share']:g} ({ordered[-1]['tail_h_us']:.1f} us)"
+        )
+    return failures

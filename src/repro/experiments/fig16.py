@@ -10,10 +10,12 @@ plus the fit's relative error.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.experiments.cluster import run_cluster
 from repro.experiments.fig12 import make_config
+from repro.runner.point import Point
+from repro.stats.digest import completed_rpc_digest
 
 
 @dataclass
@@ -62,3 +64,71 @@ def run(
     num = sum(share / rho for rho, share in rows)
     den = sum(1.0 / rho**2 for rho, _ in rows)
     return Fig16Result(rows=rows, fit_c=num / den)
+
+
+# ----------------------------------------------------------------------
+# Sweep interface (repro.runner)
+# ----------------------------------------------------------------------
+PROFILES = {
+    "paper": {
+        "rhos": [1.4, 1.6, 1.8, 2.0, 2.2],
+        "num_hosts": 8,
+        "duration_ms": 30.0,
+        "warmup_ms": 15.0,
+    },
+    "fast": {
+        "rhos": [1.4, 1.8, 2.2],
+        "num_hosts": 6,
+        "duration_ms": 24.0,
+        "warmup_ms": 12.0,
+    },
+}
+
+
+def sweep(profile: str = "paper") -> List[Point]:
+    spec = PROFILES[profile]
+    return [
+        Point(
+            "fig16",
+            {
+                "rho": rho,
+                "num_hosts": spec["num_hosts"],
+                "duration_ms": spec["duration_ms"],
+                "warmup_ms": spec["warmup_ms"],
+            },
+        )
+        for rho in spec["rhos"]
+    ]
+
+
+def run_point(point: Point, seed: int) -> Dict:
+    p = point.params
+    cfg = make_config(
+        "aequitas",
+        num_hosts=p["num_hosts"],
+        duration_ms=p["duration_ms"],
+        warmup_ms=p["warmup_ms"],
+        seed=seed,
+        rho=p["rho"],
+    )
+    result = run_cluster(cfg)
+    return {
+        "rho": p["rho"],
+        "admitted_qos_h_share": result.admitted_mix().get(0, 0.0),
+        "digest": completed_rpc_digest(result.metrics),
+    }
+
+
+def check(rows: Sequence[Dict], profile: str) -> List[str]:
+    """Section-5.2 law: admitted QoS_h share shrinks as rho grows."""
+    ordered = sorted(rows, key=lambda r: r["rho"])
+    failures: List[str] = []
+    first = ordered[0]["admitted_qos_h_share"]
+    last = ordered[-1]["admitted_qos_h_share"]
+    if len(ordered) >= 2 and not last < first:
+        failures.append(
+            f"fig16: admitted QoS_h share did not shrink with burstiness "
+            f"({first:.2f} at rho {ordered[0]['rho']:g} -> {last:.2f} at "
+            f"rho {ordered[-1]['rho']:g})"
+        )
+    return failures

@@ -14,15 +14,17 @@ from which convergence time (§6.6) and fairness gaps are computed.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.qos import Priority
 from repro.experiments.cluster import ClusterConfig, build_cluster
 from repro.rpc.sizes import FixedSize
 from repro.rpc.workload import OpenLoopSource, steady_pattern
+from repro.runner.point import Point
 from repro.sim.engine import ns_from_ms, ns_from_us
 from repro.stats.convergence import convergence_time_ns, relative_gap, steady_value
+from repro.stats.digest import completed_rpc_digest
 from repro.stats.sampler import PeriodicSampler
 
 
@@ -50,6 +52,9 @@ class FairnessResult:
     channel_b: ChannelTrace
     beta: float
     alpha: float
+    # The run's MetricsCollector, for determinism digests; excluded from
+    # equality so older call sites are unaffected.
+    metrics: Optional[object] = field(default=None, compare=False, repr=False)
 
     def throughput_gap(self) -> float:
         """Relative gap between the channels' steady QoS_h goodput."""
@@ -162,10 +167,88 @@ def run_two_channels(
 
     sim.run(until=stop_ns)
     return FairnessResult(
-        channel_a=traces[0], channel_b=traces[1], beta=beta, alpha=alpha
+        channel_a=traces[0],
+        channel_b=traces[1],
+        beta=beta,
+        alpha=alpha,
+        metrics=result.metrics,
     )
 
 
 def run(**kwargs) -> FairnessResult:
     """Figure 17 defaults: 40% vs 80% QoS_h demand."""
     return run_two_channels(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# Sweep interface (repro.runner)
+# ----------------------------------------------------------------------
+PROFILES = {
+    "paper": {"duration_ms": 100.0},
+    "fast": {"duration_ms": 50.0},
+}
+
+
+def sweep(profile: str = "paper") -> List[Point]:
+    spec = PROFILES[profile]
+    return [
+        Point(
+            "fig17",
+            {
+                "share_a": 0.4,
+                "share_b": 0.8,
+                "alpha": 0.05,
+                "beta": 0.01,
+                "duration_ms": spec["duration_ms"],
+            },
+        )
+    ]
+
+
+def run_point(point: Point, seed: int) -> Dict:
+    p = point.params
+    result = run_two_channels(
+        share_a=p["share_a"],
+        share_b=p["share_b"],
+        alpha=p["alpha"],
+        beta=p["beta"],
+        duration_ms=p["duration_ms"],
+        seed=seed,
+    )
+    conv = result.convergence_ms()
+    return {
+        "share_a": p["share_a"],
+        "share_b": p["share_b"],
+        "p_admit_a": result.channel_a.steady_p_admit(),
+        "p_admit_b": result.channel_b.steady_p_admit(),
+        "goodput_a_gbps": result.channel_a.steady_goodput_gbps(),
+        "goodput_b_gbps": result.channel_b.steady_goodput_gbps(),
+        "throughput_gap": result.throughput_gap(),
+        "convergence_ms": conv,
+        "digest": completed_rpc_digest(result.metrics),
+    }
+
+
+def check(rows: Sequence[Dict], profile: str) -> List[str]:
+    """Fairness shape: the heavier channel holds the lower admit
+    probability, and admitted throughputs land far closer than the
+    2x demand split."""
+    failures: List[str] = []
+    for r in rows:
+        if not r["p_admit_b"] < r["p_admit_a"]:
+            failures.append(
+                f"fig17: heavier channel admit probability "
+                f"({r['p_admit_b']:.2f}) not below the lighter one's "
+                f"({r['p_admit_a']:.2f})"
+            )
+        # A 40%-vs-80% demand split served proportionally would leave a
+        # relative goodput gap of ~67%; fair sharing must land well
+        # inside that.
+        if not r["throughput_gap"] < 0.6:
+            failures.append(
+                f"fig17: steady goodput gap {r['throughput_gap']:.1%} "
+                "not meaningfully below the 67% proportional-split gap"
+            )
+        if min(r["goodput_a_gbps"], r["goodput_b_gbps"]) <= 0:
+            failures.append("fig17: a channel starved to zero goodput")
+    return failures

@@ -12,13 +12,15 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, List, Sequence
 
 from repro.experiments.cluster import ClusterConfig, run_cluster
 from repro.experiments.fig12 import make_config
 from repro.rpc.sizes import FixedSize
 from repro.rpc.workload import OpenLoopSource
+from repro.runner.point import Point
 from repro.sim.engine import ns_from_ms
+from repro.stats.digest import completed_rpc_digest
 from repro.stats.summary import percentile
 
 _SIZES = (32 * 1024, 64 * 1024)
@@ -67,6 +69,43 @@ class Fig20Result:
         return "\n".join(lines)
 
 
+def _run_scheme(
+    scheme: str,
+    num_hosts: int,
+    duration_ms: float,
+    warmup_ms: float,
+    report_percentile: float,
+    seed: int,
+):
+    """One scheme's run, reduced to per-(size-slice, QoS) tails."""
+    cfg = make_config(
+        scheme,
+        num_hosts=num_hosts,
+        duration_ms=duration_ms,
+        warmup_ms=warmup_ms,
+        seed=seed,
+        traffic_fn=_mixed_size_traffic,
+    )
+    result = run_cluster(cfg)
+    warm = result.warmup_ns
+    by_slice: Dict[str, Dict[int, float]] = {}
+    for label, selector in (
+        ("total", lambda rpc: True),
+        ("32KB", lambda rpc: rpc.payload_bytes == _SIZES[0]),
+        ("64KB", lambda rpc: rpc.payload_bytes == _SIZES[1]),
+    ):
+        per_qos = {}
+        for qos in (0, 1, 2):
+            samples = [
+                rpc.rnl_ns / rpc.size_mtus
+                for rpc in result.metrics.completed
+                if rpc.qos_run == qos and rpc.issued_ns >= warm and selector(rpc)
+            ]
+            per_qos[qos] = percentile(samples, report_percentile) / 1000.0
+        by_slice[label] = per_qos
+    return by_slice, result
+
+
 def run(
     num_hosts: int = 8,
     duration_ms: float = 30.0,
@@ -76,30 +115,63 @@ def run(
 ) -> Fig20Result:
     tails: Dict[str, Dict[str, Dict[int, float]]] = {}
     for scheme in ("wfq", "aequitas"):
-        cfg = make_config(
-            scheme,
-            num_hosts=num_hosts,
-            duration_ms=duration_ms,
-            warmup_ms=warmup_ms,
-            seed=seed,
-            traffic_fn=_mixed_size_traffic,
+        tails[scheme], _ = _run_scheme(
+            scheme, num_hosts, duration_ms, warmup_ms, report_percentile, seed
         )
-        result = run_cluster(cfg)
-        warm = result.warmup_ns
-        by_slice: Dict[str, Dict[int, float]] = {}
-        for label, selector in (
-            ("total", lambda rpc: True),
-            ("32KB", lambda rpc: rpc.payload_bytes == _SIZES[0]),
-            ("64KB", lambda rpc: rpc.payload_bytes == _SIZES[1]),
-        ):
-            per_qos = {}
-            for qos in (0, 1, 2):
-                samples = [
-                    rpc.rnl_ns / rpc.size_mtus
-                    for rpc in result.metrics.completed
-                    if rpc.qos_run == qos and rpc.issued_ns >= warm and selector(rpc)
-                ]
-                per_qos[qos] = percentile(samples, report_percentile) / 1000.0
-            by_slice[label] = per_qos
-        tails[scheme] = by_slice
     return Fig20Result(tails=tails, slo_h_us=15.0, slo_m_us=25.0)
+
+
+# ----------------------------------------------------------------------
+# Sweep interface (repro.runner)
+# ----------------------------------------------------------------------
+PROFILES = {
+    "paper": {"num_hosts": 8, "duration_ms": 30.0, "warmup_ms": 15.0},
+    "fast": {"num_hosts": 6, "duration_ms": 20.0, "warmup_ms": 10.0},
+}
+
+
+def sweep(profile: str = "paper") -> List[Point]:
+    spec = PROFILES[profile]
+    return [
+        Point("fig20", {"scheme": scheme, **spec}) for scheme in ("wfq", "aequitas")
+    ]
+
+
+def run_point(point: Point, seed: int) -> Dict:
+    p = point.params
+    by_slice, result = _run_scheme(
+        p["scheme"], p["num_hosts"], p["duration_ms"], p["warmup_ms"], 99.9, seed
+    )
+    return {
+        "scheme": p["scheme"],
+        "tails_us": {
+            label: {str(q): v for q, v in per_qos.items()}
+            for label, per_qos in by_slice.items()
+        },
+        "digest": completed_rpc_digest(result.metrics),
+    }
+
+
+def check(rows: Sequence[Dict], profile: str) -> List[str]:
+    """Size-normalization shape: Aequitas improves the overall QoS_h
+    tail and keeps the two size classes' normalized tails comparable."""
+    by = {r["scheme"]: r for r in rows}
+    if set(by) != {"wfq", "aequitas"}:
+        return [f"fig20: expected wfq+aequitas rows, got {sorted(by)}"]
+    failures: List[str] = []
+    wo = by["wfq"]["tails_us"]["total"]["0"]
+    w = by["aequitas"]["tails_us"]["total"]["0"]
+    if not w < wo:
+        failures.append(
+            f"fig20: Aequitas did not improve the total QoS_h tail "
+            f"({wo:.1f} -> {w:.1f} us)"
+        )
+    small = by["aequitas"]["tails_us"]["32KB"]["0"]
+    large = by["aequitas"]["tails_us"]["64KB"]["0"]
+    ratio = max(small, large) / max(min(small, large), 1e-9)
+    if ratio > 3.0:
+        failures.append(
+            f"fig20: normalized QoS_h tails diverge across size classes "
+            f"({small:.1f} vs {large:.1f} us/MTU, ratio {ratio:.1f})"
+        )
+    return failures

@@ -18,13 +18,15 @@ shift toward the scavenger class — are preserved.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.core.qos import Priority
 from repro.experiments.cluster import run_cluster
 from repro.experiments.fig12 import make_config
 from repro.rpc.sizes import production_mixture
 from repro.rpc.workload import byte_mix_to_rpc_mix
+from repro.runner.point import Point
+from repro.stats.digest import completed_rpc_digest
 
 
 @dataclass
@@ -99,3 +101,82 @@ def run(
         slo_h_us=slo_h_us,
         slo_m_us=slo_m_us,
     )
+
+
+# ----------------------------------------------------------------------
+# Sweep interface (repro.runner)
+# ----------------------------------------------------------------------
+PROFILES = {
+    "paper": {
+        "num_hosts": 12,
+        "burst_rho": 4.0,
+        "mu": 0.6,
+        "duration_ms": 40.0,
+        "warmup_ms": 20.0,
+    },
+    "fast": {
+        "num_hosts": 6,
+        "burst_rho": 2.5,
+        "mu": 0.6,
+        "duration_ms": 20.0,
+        "warmup_ms": 10.0,
+    },
+}
+
+
+def sweep(profile: str = "paper") -> List[Point]:
+    spec = PROFILES[profile]
+    return [
+        Point(
+            "fig21",
+            {"scheme": scheme, "slo_h_us": 20.0, "slo_m_us": 30.0, **spec},
+        )
+        for scheme in ("wfq", "aequitas")
+    ]
+
+
+def run_point(point: Point, seed: int) -> Dict:
+    p = point.params
+    sizes = production_mixture()
+    byte_mix = {Priority.PC: 0.6, Priority.NC: 0.3, Priority.BE: 0.1}
+    cfg = make_config(
+        p["scheme"],
+        num_hosts=p["num_hosts"],
+        duration_ms=p["duration_ms"],
+        warmup_ms=p["warmup_ms"],
+        size_dist=sizes,
+        priority_mix=byte_mix_to_rpc_mix(byte_mix, sizes),
+        seed=seed,
+        rho=p["burst_rho"],
+        mu=p["mu"],
+        slo_high_us=p["slo_h_us"],
+        slo_med_us=p["slo_m_us"],
+    )
+    result = run_cluster(cfg)
+    mix = result.admitted_mix()
+    return {
+        "scheme": p["scheme"],
+        "tail_us": {str(q): result.rnl_tail_us(q, 99.9) for q in (0, 1, 2)},
+        "admitted_mix": [mix.get(q, 0.0) for q in (0, 1, 2)],
+        "digest": completed_rpc_digest(result.metrics),
+    }
+
+
+def check(rows: Sequence[Dict], profile: str) -> List[str]:
+    """Extreme-overload shape: large QoS_h tail improvement and a mix
+    shift toward the scavenger class."""
+    by = {r["scheme"]: r for r in rows}
+    if set(by) != {"wfq", "aequitas"}:
+        return [f"fig21: expected wfq+aequitas rows, got {sorted(by)}"]
+    failures: List[str] = []
+    improvement = by["wfq"]["tail_us"]["0"] / max(by["aequitas"]["tail_us"]["0"], 1e-9)
+    if not improvement > 1.5:
+        failures.append(
+            f"fig21: QoS_h tail improvement factor {improvement:.1f}x "
+            "(expected > 1.5x under extreme overload)"
+        )
+    if not by["aequitas"]["admitted_mix"][2] > by["wfq"]["admitted_mix"][2]:
+        failures.append(
+            "fig21: admitted mix did not shift toward the scavenger class"
+        )
+    return failures

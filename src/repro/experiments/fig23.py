@@ -16,12 +16,14 @@ same code path as the prototype's).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.core.qos import Priority
 from repro.experiments.cluster import run_cluster
 from repro.experiments.fig12 import make_config
 from repro.rpc.sizes import FixedSize
+from repro.runner.point import Point
+from repro.stats.digest import completed_rpc_digest
 
 
 @dataclass
@@ -91,3 +93,71 @@ def run(
         with_mix=mix_of(with_aeq),
         target_mix=(0.2, 0.3, 0.5),
     )
+
+
+# ----------------------------------------------------------------------
+# Sweep interface (repro.runner)
+# ----------------------------------------------------------------------
+# Each point is one of the figure's three runs; the reference run (input
+# mix = target mix, no admission) supplies the normalization baseline.
+_ROLES = (
+    ("reference", "wfq", (0.2, 0.3, 0.5)),
+    ("without", "wfq", (0.5, 0.35, 0.15)),
+    ("with", "aequitas", (0.5, 0.35, 0.15)),
+)
+
+PROFILES = {
+    "paper": {"num_hosts": 10, "duration_ms": 30.0, "warmup_ms": 15.0},
+    "fast": {"num_hosts": 6, "duration_ms": 20.0, "warmup_ms": 10.0},
+}
+
+
+def sweep(profile: str = "paper") -> List[Point]:
+    spec = PROFILES[profile]
+    return [
+        Point(
+            "fig23",
+            {"role": role, "scheme": scheme, "mix": list(mix), **spec},
+        )
+        for role, scheme, mix in _ROLES
+    ]
+
+
+def run_point(point: Point, seed: int) -> Dict:
+    p = point.params
+    mix = p["mix"]
+    cfg = make_config(
+        p["scheme"],
+        num_hosts=p["num_hosts"],
+        duration_ms=p["duration_ms"],
+        warmup_ms=p["warmup_ms"],
+        priority_mix={Priority.PC: mix[0], Priority.NC: mix[1], Priority.BE: mix[2]},
+        size_dist=FixedSize(32 * 1024),
+        seed=seed,
+    )
+    result = run_cluster(cfg)
+    admitted = result.admitted_mix()
+    return {
+        "role": p["role"],
+        "tail_us": {str(q): result.rnl_tail_us(q, 99.9) for q in (0, 1, 2)},
+        "admitted_mix": [admitted.get(q, 0.0) for q in (0, 1, 2)],
+        "digest": completed_rpc_digest(result.metrics),
+    }
+
+
+def check(rows: Sequence[Dict], profile: str) -> List[str]:
+    """Testbed shape: Aequitas pulls the normalized QoS_h tail toward
+    the reference run's level."""
+    by = {r["role"]: r for r in rows}
+    if set(by) != {"reference", "without", "with"}:
+        return [f"fig23: expected reference/without/with rows, got {sorted(by)}"]
+    failures: List[str] = []
+    ref = max(by["reference"]["tail_us"]["0"], 1e-9)
+    wo_norm = by["without"]["tail_us"]["0"] / ref
+    w_norm = by["with"]["tail_us"]["0"] / ref
+    if not w_norm < wo_norm:
+        failures.append(
+            f"fig23: normalized QoS_h tail did not improve "
+            f"({wo_norm:.1f}x -> {w_norm:.1f}x of reference)"
+        )
+    return failures

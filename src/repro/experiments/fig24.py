@@ -21,13 +21,14 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.core.qos import Priority
 from repro.experiments.cluster import run_cluster
 from repro.experiments.fig12 import make_config
 from repro.rpc.message import Rpc
 from repro.rpc.sizes import FixedSize
+from repro.runner.point import Point
 from repro.stats.summary import percentile
 
 
@@ -184,3 +185,91 @@ def _run_misaligned(cfg, qos_mapper):
     attach_traffic(result)
     result.sim.run(until=ns_from_ms(cfg.duration_ms))
     return result
+
+
+# ----------------------------------------------------------------------
+# Sweep interface (repro.runner)
+# ----------------------------------------------------------------------
+# One point per ensemble member: each runs its cluster twice
+# (misaligned, then Phase-1 aligned) and reports the PC-tail change.
+PROFILES = {
+    "paper": {
+        "num_clusters": 6,
+        "num_hosts": 6,
+        "duration_ms": 15.0,
+        "warmup_ms": 5.0,
+    },
+    "fast": {
+        "num_clusters": 3,
+        "num_hosts": 5,
+        "duration_ms": 8.0,
+        "warmup_ms": 3.0,
+    },
+}
+
+
+def sweep(profile: str = "paper") -> List[Point]:
+    spec = PROFILES[profile]
+    return [
+        Point(
+            "fig24",
+            {
+                "cluster_id": cid,
+                "num_hosts": spec["num_hosts"],
+                "duration_ms": spec["duration_ms"],
+                "warmup_ms": spec["warmup_ms"],
+            },
+        )
+        for cid in range(spec["num_clusters"])
+    ]
+
+
+def run_point(point: Point, seed: int) -> Dict:
+    p = point.params
+    mapper = make_misaligned_mapper(random.Random(seed * 1009 + 1))
+    mix = {Priority.PC: 0.35, Priority.NC: 0.35, Priority.BE: 0.30}
+    outcomes = {}
+    for phase, qos_mapper in (("before", mapper), ("after", None)):
+        cfg = make_config(
+            "wfq",
+            num_hosts=p["num_hosts"],
+            duration_ms=p["duration_ms"],
+            warmup_ms=p["warmup_ms"],
+            priority_mix=mix,
+            size_dist=FixedSize(32 * 1024),
+            seed=seed,
+        )
+        result = run_cluster(cfg) if qos_mapper is None else _run_misaligned(
+            cfg, qos_mapper
+        )
+        outcomes[phase] = _pc_tail(result, 99.0)
+    change_pct = (
+        100.0
+        * (outcomes["after"] - outcomes["before"])
+        / max(outcomes["before"], 1e-9)
+    )
+    return {
+        "cluster_id": p["cluster_id"],
+        "misalignment_before": misalignment_fraction(mapper),
+        "pc_tail_before_us": outcomes["before"],
+        "pc_tail_after_us": outcomes["after"],
+        "rnl_change_pct": change_pct,
+    }
+
+
+def check(rows: Sequence[Dict], profile: str) -> List[str]:
+    """Phase-1 shape: alignment alone helps — the best cluster improves
+    clearly and the ensemble does not regress on average."""
+    failures: List[str] = []
+    changes = [r["rnl_change_pct"] for r in rows]
+    if not min(changes) < 0:
+        failures.append(
+            f"fig24: no cluster improved from alignment (changes: "
+            f"{', '.join(f'{c:+.1f}%' for c in changes)})"
+        )
+    mean = sum(changes) / len(changes)
+    if mean > 10.0:
+        failures.append(
+            f"fig24: ensemble regressed {mean:+.1f}% on average after alignment"
+        )
+    return failures

@@ -14,9 +14,10 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.analysis.fluid import simulate_fluid
+from repro.runner.point import Point
 from repro.core.admission import AdmissionParams
 from repro.core.qos import QoSConfig
 from repro.core.slo import SLO, SLOMap
@@ -140,3 +141,48 @@ def _roll_mapper(offered, rng):
         return len(offered) - 1
 
     return mapper
+
+
+# ----------------------------------------------------------------------
+# Sweep interface (repro.runner)
+# ----------------------------------------------------------------------
+PROFILES = {
+    "paper": {"num_hosts": 4, "duration_ms": 25.0, "warmup_ms": 12.0},
+    "fast": {"num_hosts": 4, "duration_ms": 15.0, "warmup_ms": 7.0},
+}
+
+
+def sweep(profile: str = "paper") -> List[Point]:
+    return [Point("nqos", dict(PROFILES[profile]))]
+
+
+def run_point(point: Point, seed: int) -> Dict:
+    p = point.params
+    result = run(
+        num_hosts=p["num_hosts"],
+        duration_ms=p["duration_ms"],
+        warmup_ms=p["warmup_ms"],
+        seed=seed,
+    )
+    return {
+        "weights": list(result.weights),
+        "tails_us": {str(q): v for q, v in result.tails_us.items()},
+        "admitted_mix": {str(q): v for q, v in result.admitted_mix.items()},
+        "fluid_delays": list(result.fluid_delays),
+    }
+
+
+def check(rows: Sequence[Dict], profile: str) -> List[str]:
+    """N-QoS shape: five classes all carry traffic with finite,
+    positive tails — nothing in the stack is hard-wired to N = 3."""
+    (row,) = rows
+    failures: List[str] = []
+    for qos, tail in row["tails_us"].items():
+        if not tail > 0.0 or tail != tail or tail == float("inf"):
+            failures.append(f"nqos: QoS {qos} tail is degenerate ({tail})")
+    mix_total = sum(row["admitted_mix"].values())
+    if not 0.9 <= mix_total <= 1.1:
+        failures.append(f"nqos: admitted mix sums to {mix_total:.2f}, expected ~1")
+    if len(row["weights"]) != 5:
+        failures.append(f"nqos: expected 5 QoS classes, got {len(row['weights'])}")
+    return failures

@@ -1,0 +1,69 @@
+"""Structured result store: one JSON document per sweep run.
+
+Layout: ``<root>/<experiment>/<run_id>.json``.  The document records
+the sweep's identity (experiment, profile, code version), every point's
+params/seed/row/digest plus where the row came from (computed, cache,
+or a resumed earlier run), the whole-run determinism digest, and the
+shape-check verdict.  ``--resume RUN_ID`` reloads a document and skips
+every point whose identity still matches.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+
+class ResultStore:
+    """Run-level result documents rooted at one directory."""
+
+    def __init__(self, root: os.PathLike) -> None:
+        self.root = Path(root)
+
+    def new_run_id(self, experiment: str) -> str:
+        """Timestamped, collision-avoiding run id."""
+        stamp = time.strftime("%Y%m%d-%H%M%S")
+        base = f"{stamp}-{os.getpid() % 100000:05d}"
+        run_id, n = base, 1
+        while self.path(experiment, run_id).exists():
+            run_id = f"{base}-{n}"
+            n += 1
+        return run_id
+
+    def path(self, experiment: str, run_id: str) -> Path:
+        return self.root / experiment / f"{run_id}.json"
+
+    def write(self, doc: Dict) -> Path:
+        path = self.path(doc["experiment"], doc["run_id"])
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".json.tmp")
+        with open(tmp, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, path)
+        return path
+
+    def load(self, experiment: str, run_id: str) -> Dict:
+        path = self.path(experiment, run_id)
+        try:
+            with open(path) as fh:
+                return json.load(fh)
+        except OSError as exc:
+            raise FileNotFoundError(
+                f"no stored run {run_id!r} for {experiment!r} "
+                f"(looked at {path}); available: "
+                f"{', '.join(self.list_runs(experiment)) or 'none'}"
+            ) from exc
+
+    def list_runs(self, experiment: str) -> List[str]:
+        exp_dir = self.root / experiment
+        if not exp_dir.is_dir():
+            return []
+        return sorted(p.stem for p in exp_dir.glob("*.json"))
+
+    def latest_run_id(self, experiment: str) -> Optional[str]:
+        runs = self.list_runs(experiment)
+        return runs[-1] if runs else None

@@ -1,7 +1,5 @@
 """Unit tests for the Homa and pFabric baselines."""
 
-import pytest
-
 from repro.baselines.homa import (
     DEFAULT_UNSCHEDULED_MTUS,
     HOMA_PRIORITY_LEVELS,

@@ -1,7 +1,5 @@
 """Tests for the command-line figure runner."""
 
-import pytest
-
 from repro.cli import _EXPERIMENTS, main
 
 

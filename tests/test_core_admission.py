@@ -7,7 +7,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.admission import AdmissionController, AdmissionParams
-from repro.core.qos import Priority, QoSConfig
+from repro.core.qos import Priority
 from repro.core.slo import SLO, SLOMap
 from repro.sim.engine import ns_from_us
 

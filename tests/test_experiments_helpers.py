@@ -37,7 +37,6 @@ def test_fig16_fit_is_least_squares():
     # Perfect C/rho data: the fit recovers C exactly, error ~0.
     c = 0.45
     rows = [(rho, c / rho) for rho in (1.4, 1.6, 1.8, 2.0)]
-    result = Fig16Result(rows=rows, fit_c=0.0)
     num = sum(share / rho for rho, share in rows)
     den = sum(1.0 / rho**2 for rho, _ in rows)
     fit = num / den

@@ -1,8 +1,6 @@
 """End-to-end integration tests: the paper's headline behaviors at
 miniature scale (kept fast enough for the regular test run)."""
 
-import pytest
-
 from repro.core.qos import Priority
 from repro.experiments.cluster import ClusterConfig, run_cluster
 from repro.experiments.fig11 import _three_node_traffic

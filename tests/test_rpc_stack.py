@@ -8,7 +8,7 @@ from repro.core.slo import SLOMap
 from repro.net.packet import MTU_BYTES
 from repro.net.topology import build_star, wfq_factory
 from repro.rpc.stack import MetricsCollector, RpcStack
-from repro.sim.engine import Simulator, ns_from_ms, ns_from_us
+from repro.sim.engine import Simulator, ns_from_us
 from repro.transport.reliable import TransportConfig, TransportEndpoint
 
 

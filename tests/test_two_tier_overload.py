@@ -9,8 +9,6 @@ traffic, and check that admission control still restores the QoS_h SLO.
 
 import random
 
-import pytest
-
 from repro.core.admission import AdmissionParams
 from repro.core.qos import Priority
 from repro.core.slo import SLOMap
