@@ -10,9 +10,13 @@ Usage::
     python -m repro run fig11 --profile fast --workers 4
     python -m repro run fig11 --resume 20260806-101500-00042
 
+    python -m repro lint src tests    # simlint static determinism checks
+
 The ``run`` subcommand goes through :mod:`repro.runner`: sweep points
 are sharded across a worker pool, cached on disk, checked against the
 figure's shape assertions, and the rows land in ``results/<figure>/``.
+The ``lint`` subcommand runs :mod:`repro.lint` (see
+``docs/correctness.md`` for the rule catalogue).
 
 Each experiment prints the same rows/series the paper reports; see
 EXPERIMENTS.md for the paper-versus-measured record.
@@ -252,6 +256,10 @@ def main(argv=None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "run":
         return _run_main(argv[1:])
+    if argv and argv[0] == "lint":
+        from repro.lint.runner import main as lint_main
+
+        return lint_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -259,8 +267,9 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "experiment",
-        help="experiment name (see 'list'), 'all', 'list', or the 'run' "
-        "subcommand ('python -m repro run <figure> --help')",
+        help="experiment name (see 'list'), 'all', 'list', or the 'run' / "
+        "'lint' subcommands ('python -m repro run <figure> --help', "
+        "'python -m repro lint --help')",
     )
     parser.add_argument(
         "--quick",
@@ -285,10 +294,12 @@ def main(argv=None) -> int:
     for name in names:
         desc, full, quick = _EXPERIMENTS[name]
         print(f"== {name}: {desc} ==")
-        start = time.time()
+        # perf_counter, not time(): monotonic, so a wall-clock step
+        # (NTP, suspend) can never print a negative figure duration.
+        start = time.perf_counter()
         result = (quick if args.quick else full)()
         print(result.table())
-        print(f"[{time.time() - start:.1f}s]\n")
+        print(f"[{time.perf_counter() - start:.1f}s]\n")
     return 0
 
 

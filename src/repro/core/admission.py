@@ -28,6 +28,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.qos import Priority, QoSConfig, map_priority_to_qos
 from repro.core.slo import SLOMap
+from repro.sim.sanitize import check_probability, sanitize_enabled
 
 # Paper defaults (Section 6.1): alpha = 0.01 and beta = 0.01 per MTU.
 DEFAULT_ALPHA = 0.01
@@ -99,6 +100,7 @@ class AdmissionController:
         params: AdmissionParams = AdmissionParams(),
         rng: Optional[random.Random] = None,
         clock: Optional[Callable[[], int]] = None,
+        sanitize: Optional[bool] = None,
     ):
         self._slo_map = slo_map
         self._qos_config: QoSConfig = slo_map.qos_config
@@ -109,6 +111,7 @@ class AdmissionController:
             level: _QoSState() for level in slo_map.levels()
         }
         self._trace: Optional[List[Tuple[int, int, float]]] = None
+        self._sanitize = sanitize_enabled(sanitize)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -157,6 +160,12 @@ class AdmissionController:
         if not self._slo_map.has_slo(qos_requested):
             return AdmissionDecision(qos_requested, qos_requested, downgraded=False)
         state = self._state[qos_requested]
+        if self._sanitize:
+            check_probability(
+                state.p_admit,
+                where="on_rpc_issue",
+                provenance={"qos": qos_requested},
+            )
         if self._rng.random() <= state.p_admit:
             return AdmissionDecision(qos_requested, qos_requested, downgraded=False)
         return AdmissionDecision(
@@ -193,5 +202,11 @@ class AdmissionController:
                 self._params.floor,
             )
             state.decreases += 1
+        if self._sanitize:
+            check_probability(
+                state.p_admit,
+                where="on_rpc_completion",
+                provenance={"qos": qos_run, "rnl_ns": rnl_ns, "size_mtus": size_mtus},
+            )
         if self._trace is not None:
             self._trace.append((now, qos_run, state.p_admit))

@@ -30,7 +30,7 @@ class ChannelRegistry:
         params: AdmissionParams = AdmissionParams(),
         seed: int = 0,
         clock: Optional[Callable[[], int]] = None,
-    ):
+    ) -> None:
         self._slo_map = slo_map
         self._params = params
         self._seed = seed

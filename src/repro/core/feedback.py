@@ -88,7 +88,7 @@ class DowngradeAwarePolicy:
     def observe(self, downgraded: bool) -> None:
         """Feed one RPC outcome (was it downgraded by the network?)."""
         self._outcomes.append(downgraded)
-        if len(self._outcomes) < self._outcomes.maxlen:
+        if len(self._outcomes) < self.params.window:
             return
         frac = self.downgrade_fraction()
         if frac > self.params.high_watermark:

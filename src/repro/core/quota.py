@@ -63,7 +63,7 @@ class QuotaReservation:
 class _Bucket:
     __slots__ = ("tokens", "last_ns", "rate_bps", "burst")
 
-    def __init__(self, rate_bps: float, burst: int):
+    def __init__(self, rate_bps: float, burst: int) -> None:
         self.rate_bps = rate_bps
         self.burst = float(burst)
         self.tokens = float(burst)
@@ -95,7 +95,7 @@ class QuotaServer:
         clock: Callable[[], int],
         total_rate_bps: Dict[int, float],
         work_conserving: bool = True,
-    ):
+    ) -> None:
         self._clock = clock
         self._reservations: Dict[Tuple[Hashable, int], _Bucket] = {}
         self._reserved_rate: Dict[int, float] = {}

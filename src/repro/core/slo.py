@@ -17,7 +17,7 @@ i.e. an SLO at a higher tail makes additive increase more conservative.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping
+from typing import Dict, List, Mapping
 
 from repro.core.qos import QoS, QoSConfig
 
@@ -106,6 +106,6 @@ class SLOMap:
     def has_slo(self, level: int) -> bool:
         return level in self._targets
 
-    def levels(self):
+    def levels(self) -> List[int]:
         """QoS levels that carry an SLO, highest priority first."""
         return sorted(self._targets)

@@ -1,0 +1,32 @@
+"""simlint: AST-based static determinism lint for the simulator.
+
+Run it as ``python -m repro lint [paths]`` (or ``python -m repro.lint``).
+Rules live in :mod:`repro.lint.rules`; scoping, suppression handling,
+and the CLI in :mod:`repro.lint.runner`.  The runtime counterpart —
+SimSanitizer — lives in :mod:`repro.sim.sanitize`.
+"""
+
+from repro.lint.rules import RULES, Finding
+from repro.lint.runner import (
+    HOST_ALLOWLIST,
+    SIM_DOMAIN_PREFIXES,
+    LintError,
+    classify,
+    lint_file,
+    lint_paths,
+    lint_source,
+    main,
+)
+
+__all__ = [
+    "Finding",
+    "HOST_ALLOWLIST",
+    "LintError",
+    "RULES",
+    "SIM_DOMAIN_PREFIXES",
+    "classify",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "main",
+]

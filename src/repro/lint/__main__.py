@@ -1,0 +1,7 @@
+"""``python -m repro.lint`` — run simlint directly."""
+
+import sys
+
+from repro.lint.runner import main
+
+sys.exit(main())

@@ -1,0 +1,430 @@
+"""simlint rule definitions: AST checks for simulator determinism.
+
+Every rule is a heuristic over one module's AST.  The common shape:
+:class:`RuleVisitor` walks a file once, resolving imported names to
+dotted paths (so ``from time import time`` and ``time.time`` are the
+same call), and emits :class:`Finding` records.  Scoping — which rules
+apply to simulator-domain code versus host-side orchestration code —
+is decided by the caller (:mod:`repro.lint.runner`), not here.
+
+The rules (see ``docs/correctness.md`` for the full contract):
+
+========  ============================================================
+SIM001    wall-clock reads (``time.time``/``datetime.now``/...) inside
+          simulator-domain code — sim code must use ``Simulator.now``
+SIM002    module-level ``random.*`` calls — draws must come from a
+          seeded ``random.Random`` (``repro.sim.rng``)
+SIM003    float ``==``/``!=`` on virtual-time / finish-tag values —
+          compare serials or integer nanoseconds instead
+SIM004    iteration over an unordered ``set`` / ``dict.keys()`` that
+          schedules events — iteration order feeds the event heap
+SIM005    mutable default argument (list/dict/set)
+SIM006    RNG object created at module scope — shared across
+          worker-parallel entry points, breaking per-point seeding
+SIM007    scheduling new events after ``stop()`` in the same function —
+          the post-stop events mutate state the run no longer observes
+SIM008    ``run_point`` signature without a ``seed`` parameter — every
+          sweep entry point must thread the per-point seed through
+========  ============================================================
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+#: rule id -> one-line description (the CLI's ``--explain`` output).
+RULES: Dict[str, str] = {
+    "SIM001": "wall-clock call in simulator-domain code (use Simulator.now)",
+    "SIM002": "module-level random.* call (use a seeded repro.sim.rng stream)",
+    "SIM003": "float ==/!= on a virtual-time/finish-tag value",
+    "SIM004": "event scheduling driven by unordered set/dict.keys() iteration",
+    "SIM005": "mutable default argument",
+    "SIM006": "RNG object created at module scope (shared across workers)",
+    "SIM007": "event scheduled after stop() in the same function",
+    "SIM008": "run_point signature does not thread a seed",
+}
+
+#: Rules that only apply to simulator-domain files (suppressed for
+#: host-side orchestration code via the runner's allowlist).
+SIM_DOMAIN_ONLY: Set[str] = {"SIM001"}
+
+#: Rules that the host-side allowlist exempts entirely (wall-clock and
+#: process-global randomness are legitimate in the CLI / worker pool).
+HOST_EXEMPT: Set[str] = {"SIM001", "SIM002", "SIM006"}
+
+_WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: Functions of the global ``random`` module whose call sites SIM002
+#: flags.  ``random.Random`` (constructing an instance) is the fix, so
+#: it is deliberately absent.
+_GLOBAL_RANDOM_CALLS = frozenset(
+    {
+        "random.betavariate",
+        "random.choice",
+        "random.choices",
+        "random.expovariate",
+        "random.gauss",
+        "random.getrandbits",
+        "random.lognormvariate",
+        "random.normalvariate",
+        "random.paretovariate",
+        "random.randbytes",
+        "random.randint",
+        "random.random",
+        "random.randrange",
+        "random.sample",
+        "random.seed",
+        "random.shuffle",
+        "random.triangular",
+        "random.uniform",
+        "random.vonmisesvariate",
+        "random.weibullvariate",
+    }
+)
+
+#: Identifiers that mark a value as a WFQ virtual-time / finish-tag
+#: quantity for SIM003.  Matching is on the terminal identifier of a
+#: name/attribute (subscripts unwrap to their base), exact or via the
+#: ``*_tag`` / ``finish_*`` / ``*_finish`` conventions.
+_TAG_IDENTIFIERS = frozenset(
+    {
+        "finish",
+        "finish_tag",
+        "last_finish",
+        "start_tag",
+        "tag",
+        "virtual_time",
+        "vt",
+        "vtime",
+    }
+)
+
+#: Constructors whose module-scope use SIM006 flags.
+_RNG_CONSTRUCTORS = frozenset(
+    {
+        "random.Random",
+        "random.SystemRandom",
+        "numpy.random.default_rng",
+        "repro.sim.rng.make_rng",
+        "repro.sim.rng.substream",
+        "make_rng",
+        "substream",
+    }
+)
+
+_SCHEDULING_METHODS = frozenset({"schedule", "schedule_at", "post"})
+
+_MUTABLE_DEFAULT_CALLS = frozenset(
+    {"list", "dict", "set", "collections.defaultdict", "defaultdict", "deque"}
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+def _terminal_identifier(node: ast.expr) -> Optional[str]:
+    """The rightmost identifier of a name/attribute/subscript chain.
+
+    ``self._last_finish[qos]`` -> ``_last_finish``; ``tag`` -> ``tag``;
+    anything without a terminal name (literals, calls) -> ``None``.
+    """
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _is_tag_identifier(name: Optional[str]) -> bool:
+    if name is None:
+        return False
+    bare = name.lstrip("_")
+    return (
+        bare in _TAG_IDENTIFIERS
+        or bare.endswith("_tag")
+        or bare.endswith("_finish")
+        or bare.startswith("finish_")
+        or bare.startswith("vtime_")
+        or bare.startswith("virtual_time")
+    )
+
+
+class RuleVisitor(ast.NodeVisitor):
+    """Single-pass visitor that applies every simlint rule to one module."""
+
+    def __init__(self, path: str, enabled: Iterable[str]):
+        self.path = path
+        self.enabled = set(enabled)
+        self.findings: List[Finding] = []
+        #: local name -> dotted module/attribute path it was imported as.
+        self._imports: Dict[str, str] = {}
+        #: nesting depth of function bodies (0 == module/class scope).
+        self._function_depth = 0
+        #: per-function line of the first ``.stop()`` call seen (SIM007).
+        self._stop_lines: List[Optional[int]] = []
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def _emit(self, rule: str, node: ast.AST, message: str) -> None:
+        if rule in self.enabled:
+            self.findings.append(
+                Finding(
+                    path=self.path,
+                    line=getattr(node, "lineno", 1),
+                    col=getattr(node, "col_offset", 0) + 1,
+                    rule=rule,
+                    message=message,
+                )
+            )
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self._imports[alias.asname or alias.name.split(".")[0]] = alias.name
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module and node.level == 0:
+            for alias in node.names:
+                self._imports[alias.asname or alias.name] = (
+                    f"{node.module}.{alias.name}"
+                )
+        self.generic_visit(node)
+
+    def _resolve(self, node: ast.expr) -> Optional[str]:
+        """Dotted path of a call target, following import aliases."""
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        base = self._imports.get(node.id, node.id)
+        parts.append(base)
+        return ".".join(reversed(parts))
+
+    # ------------------------------------------------------------------
+    # SIM001 / SIM002 / SIM007 (call sites)
+    # ------------------------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        qualified = self._resolve(node.func)
+        if qualified in _WALL_CLOCK_CALLS:
+            self._emit(
+                "SIM001",
+                node,
+                f"wall-clock call `{qualified}` — simulator code must take "
+                "time from `Simulator.now` (integer virtual nanoseconds)",
+            )
+        if qualified in _GLOBAL_RANDOM_CALLS:
+            self._emit(
+                "SIM002",
+                node,
+                f"module-level `{qualified}()` draws from the process-global "
+                "RNG — use a seeded stream from `repro.sim.rng` "
+                "(make_rng/substream) instead",
+            )
+        if isinstance(node.func, ast.Attribute):
+            attr = node.func.attr
+            if attr == "stop" and self._stop_lines and self._stop_lines[-1] is None:
+                self._stop_lines[-1] = node.lineno
+            elif (
+                attr in _SCHEDULING_METHODS
+                and self._stop_lines
+                and self._stop_lines[-1] is not None
+                and node.lineno > self._stop_lines[-1]
+            ):
+                self._emit(
+                    "SIM007",
+                    node,
+                    f"`.{attr}()` after `.stop()` (line "
+                    f"{self._stop_lines[-1]}) schedules work the stopped "
+                    "run will never observe deterministically",
+                )
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------------
+    # SIM003 (float equality on tag values)
+    # ------------------------------------------------------------------
+    def visit_Compare(self, node: ast.Compare) -> None:
+        if any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+            operands = [node.left, *node.comparators]
+            for operand in operands:
+                name = _terminal_identifier(operand)
+                if _is_tag_identifier(name):
+                    self._emit(
+                        "SIM003",
+                        node,
+                        f"float equality on virtual-time value `{name}` — "
+                        "compare packet serials or integer nanoseconds; float "
+                        "tags collide and drift",
+                    )
+                    break
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------------
+    # SIM004 (unordered iteration feeding the event heap)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _is_unordered_iterable(node: ast.expr) -> Optional[str]:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return "a set literal"
+        if isinstance(node, ast.Call):
+            if isinstance(node.func, ast.Name) and node.func.id in (
+                "set",
+                "frozenset",
+            ):
+                return f"`{node.func.id}()`"
+            if isinstance(node.func, ast.Attribute) and node.func.attr == "keys":
+                return "`.keys()`"
+        return None
+
+    def visit_For(self, node: ast.For) -> None:
+        kind = self._is_unordered_iterable(node.iter)
+        if kind is not None:
+            schedules = any(
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and sub.func.attr in _SCHEDULING_METHODS
+                for stmt in node.body
+                for sub in ast.walk(stmt)
+            )
+            if schedules:
+                self._emit(
+                    "SIM004",
+                    node,
+                    f"iterating {kind} to schedule events — wrap the "
+                    "iterable in `sorted(...)` so the event order is "
+                    "independent of hash seeding and insertion history",
+                )
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------------
+    # SIM005 / SIM006 / SIM008 (definitions and module scope)
+    # ------------------------------------------------------------------
+    def _check_defaults(self, node: ast.AST, args: ast.arguments) -> None:
+        for default in [*args.defaults, *args.kw_defaults]:
+            if default is None:
+                continue
+            mutable = isinstance(default, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                                           ast.DictComp, ast.SetComp))
+            if not mutable and isinstance(default, ast.Call):
+                qualified = self._resolve(default.func)
+                mutable = qualified in _MUTABLE_DEFAULT_CALLS
+            if mutable:
+                self._emit(
+                    "SIM005",
+                    default,
+                    "mutable default argument is shared across calls — "
+                    "default to None and allocate inside the function",
+                )
+
+    def _check_run_point(self, node: ast.FunctionDef) -> None:
+        if node.name != "run_point":
+            return
+        args = node.args
+        names = [
+            a.arg
+            for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)
+        ]
+        if "seed" not in names:
+            self._emit(
+                "SIM008",
+                node,
+                "`run_point` must accept a `seed` parameter — per-point "
+                "seeds are what keep `--workers 1` == `--workers N` "
+                "bit-identical",
+            )
+
+    def _visit_function(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node, node.args)
+        self._check_run_point(node)
+        self._function_depth += 1
+        self._stop_lines.append(None)
+        self.generic_visit(node)
+        self._stop_lines.pop()
+        self._function_depth -= 1
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function  # type: ignore[assignment]
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._check_defaults(node, node.args)
+        self._function_depth += 1
+        self.generic_visit(node)
+        self._function_depth -= 1
+
+    def _check_module_rng(self, value: ast.expr, node: ast.AST) -> None:
+        if self._function_depth > 0 or not isinstance(value, ast.Call):
+            return
+        qualified = self._resolve(value.func)
+        if qualified in _RNG_CONSTRUCTORS or (
+            qualified is not None and qualified.endswith(".Random")
+        ):
+            self._emit(
+                "SIM006",
+                node,
+                f"RNG `{qualified}` created at module scope is shared by "
+                "every worker that imports this module — create it inside "
+                "the per-point entry and derive streams with "
+                "`repro.sim.rng.substream`",
+            )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self._check_module_rng(node.value, node)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._check_module_rng(node.value, node)
+        self.generic_visit(node)
+
+
+def run_rules(
+    tree: ast.Module, path: str, enabled: Iterable[str]
+) -> List[Finding]:
+    """Apply the enabled rules to one parsed module."""
+    visitor = RuleVisitor(path, enabled)
+    visitor.visit(tree)
+    return visitor.findings
+
+
+def parse_rule_list(spec: str) -> Tuple[str, ...]:
+    """Parse a ``SIM001,SIM005``-style list, validating rule ids."""
+    rules = tuple(part.strip() for part in spec.split(",") if part.strip())
+    unknown = [r for r in rules if r not in RULES]
+    if unknown:
+        raise ValueError(
+            f"unknown simlint rule(s): {', '.join(unknown)}; "
+            f"known: {', '.join(sorted(RULES))}"
+        )
+    return rules

@@ -1,0 +1,227 @@
+"""simlint driver: file discovery, scoping, suppression, reporting.
+
+Scoping model
+-------------
+
+Three file classes decide which rules run where:
+
+* **simulator-domain** files (``repro/sim``, ``repro/net``,
+  ``repro/core``, ``repro/rpc``, ``repro/transport``,
+  ``repro/baselines``) get every rule — this is the code whose
+  determinism the digests depend on;
+* **host-side allowlisted** files (``repro/cli.py``, ``repro/runner/``,
+  ``repro/lint/``, ``repro/__main__.py``) are exempt from the
+  wall-clock/global-randomness rules (``SIM001``/``SIM002``/``SIM006``)
+  — timing a sweep or seeding a worker pool is their job;
+* everything else (experiments, stats, analysis, tests, examples) gets
+  every rule except the sim-domain-only ``SIM001``.
+
+Per-line suppression: append ``# simlint: ignore[SIM001]`` (one or more
+comma-separated rule ids) to the offending line, or a bare
+``# simlint: ignore`` to silence every rule on that line.  Suppressions
+are deliberate, documented exceptions — keep them rare.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import sys
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.rules import (
+    Finding,
+    HOST_EXEMPT,
+    RULES,
+    SIM_DOMAIN_ONLY,
+    parse_rule_list,
+    run_rules,
+)
+
+#: Path fragments (posix) marking simulator-domain packages.
+SIM_DOMAIN_PREFIXES: Tuple[str, ...] = (
+    "repro/sim/",
+    "repro/net/",
+    "repro/core/",
+    "repro/rpc/",
+    "repro/transport/",
+    "repro/baselines/",
+)
+
+#: Path fragments (posix) of host-side code exempt from SIM001/002/006.
+HOST_ALLOWLIST: Tuple[str, ...] = (
+    "repro/cli.py",
+    "repro/__main__.py",
+    "repro/runner/",
+    "repro/lint/",
+)
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*simlint:\s*ignore(?:\[(?P<rules>[A-Za-z0-9_,\s]+)\])?"
+)
+
+
+class LintError(Exception):
+    """A file could not be linted (unreadable or unparseable)."""
+
+
+def classify(path: str) -> str:
+    """``"sim"``, ``"host"``, or ``"general"`` for a posix-ish path."""
+    posix = Path(path).as_posix()
+    if any(fragment in posix for fragment in HOST_ALLOWLIST):
+        return "host"
+    if any(fragment in posix for fragment in SIM_DOMAIN_PREFIXES):
+        return "sim"
+    return "general"
+
+
+def rules_for(path: str, select: Optional[Sequence[str]] = None) -> Set[str]:
+    """The rule ids that apply to one file."""
+    enabled = set(select) if select else set(RULES)
+    kind = classify(path)
+    if kind == "host":
+        enabled -= HOST_EXEMPT
+    elif kind == "general":
+        enabled -= SIM_DOMAIN_ONLY
+    return enabled
+
+
+def suppressed_rules(line: str) -> Optional[Set[str]]:
+    """Rules a source line suppresses: a set, or ``None`` for *all*."""
+    match = _SUPPRESS_RE.search(line)
+    if match is None:
+        return set()
+    spec = match.group("rules")
+    if spec is None:
+        return None  # bare `# simlint: ignore` silences everything
+    return {part.strip().upper() for part in spec.split(",") if part.strip()}
+
+
+def apply_suppressions(
+    findings: Iterable[Finding], source_lines: Sequence[str]
+) -> List[Finding]:
+    kept: List[Finding] = []
+    for finding in findings:
+        line = (
+            source_lines[finding.line - 1]
+            if 0 < finding.line <= len(source_lines)
+            else ""
+        )
+        suppressed = suppressed_rules(line)
+        if suppressed is None or finding.rule in suppressed:
+            continue
+        kept.append(finding)
+    return kept
+
+
+def lint_source(
+    source: str, path: str, select: Optional[Sequence[str]] = None
+) -> List[Finding]:
+    """Lint one in-memory module (the unit the fixture tests drive)."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        raise LintError(f"{path}: syntax error on line {exc.lineno}: {exc.msg}")
+    findings = run_rules(tree, path, rules_for(path, select))
+    return apply_suppressions(findings, source.splitlines())
+
+
+def lint_file(path: Path, select: Optional[Sequence[str]] = None) -> List[Finding]:
+    try:
+        source = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise LintError(f"{path}: unreadable: {exc}")
+    return lint_source(source, str(path), select)
+
+
+def iter_python_files(paths: Sequence[str]) -> List[Path]:
+    """Expand files/directories into a sorted, de-duplicated file list."""
+    seen: Set[Path] = set()
+    ordered: List[Path] = []
+    for raw in paths:
+        root = Path(raw)
+        if root.is_dir():
+            candidates = sorted(root.rglob("*.py"))
+        elif root.suffix == ".py":
+            candidates = [root]
+        else:
+            raise LintError(f"{raw}: not a Python file or directory")
+        for candidate in candidates:
+            if candidate not in seen:
+                seen.add(candidate)
+                ordered.append(candidate)
+    return ordered
+
+
+def lint_paths(
+    paths: Sequence[str], select: Optional[Sequence[str]] = None
+) -> Tuple[List[Finding], List[str]]:
+    """Lint every file under ``paths``.
+
+    Returns ``(findings, errors)`` — findings sorted by location,
+    errors being unreadable/unparseable files.
+    """
+    findings: List[Finding] = []
+    errors: List[str] = []
+    for path in iter_python_files(paths):
+        try:
+            findings.extend(lint_file(path, select))
+        except LintError as exc:
+            errors.append(str(exc))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings, errors
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """``python -m repro lint`` entry point."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="simlint: static determinism checks for the simulator.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests"],
+        help="files or directories to lint (default: src tests)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--explain",
+        action="store_true",
+        help="list every rule with its description and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.explain:
+        for rule_id in sorted(RULES):
+            print(f"{rule_id}  {RULES[rule_id]}")
+        return 0
+
+    try:
+        select = parse_rule_list(args.select) if args.select else None
+        findings, errors = lint_paths(args.paths, select)
+    except (LintError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    for finding in findings:
+        print(finding.render())
+    for error in errors:
+        print(error, file=sys.stderr)
+    if errors:
+        return 2
+    if findings:
+        print(
+            f"simlint: {len(findings)} finding(s) "
+            f"({len({f.path for f in findings})} file(s))"
+        )
+        return 1
+    return 0

@@ -10,7 +10,7 @@ paper's WFQ analysis assumes.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from repro.net.packet import Packet
 from repro.net.queues import Scheduler
@@ -61,7 +61,7 @@ class Port:
         # workload uses; memoizing them keeps float math (and rounding)
         # off the per-packet path.  Values come from serialization_ns()
         # itself, so cached and uncached results are bit-identical.
-        self._ser_cache: dict = {}
+        self._ser_cache: Dict[int, int] = {}
         # Bound-callable caches: these run once per packet; resolving
         # them through self.sim / self.scheduler / self.peer every time
         # costs an attribute walk plus a method-object allocation each.
@@ -110,9 +110,12 @@ class Port:
     def _finish_transmit(self, pkt: Packet) -> None:
         self.bytes_sent += pkt.size_bytes
         self.packets_sent += 1
+        deliver = self._deliver
+        if deliver is None:  # pragma: no cover - send() guards connectivity
+            raise RuntimeError(f"{self.name} lost its peer mid-transmission")
         # Deliver after the wire's propagation delay, then immediately
         # look for more backlog (work conservation).
-        self._post(self.prop_delay_ns, self._deliver, pkt)
+        self._post(self.prop_delay_ns, deliver, pkt)
         self._start_next()
 
     @property

@@ -19,7 +19,7 @@ from repro.sim.engine import Simulator
 class Node:
     """Anything that can terminate a wire."""
 
-    def __init__(self, sim: Simulator, name: str):
+    def __init__(self, sim: Simulator, name: str) -> None:
         self.sim = sim
         self.name = name
 
@@ -40,7 +40,7 @@ class Switch(Node):
     WFQ".
     """
 
-    def __init__(self, sim: Simulator, name: str):
+    def __init__(self, sim: Simulator, name: str) -> None:
         super().__init__(sim, name)
         self.ports: List[Port] = []
         self.routes: Dict[int, Port] = {}
@@ -70,7 +70,7 @@ class Host(Node):
     are the integers the topology assigns; packets address hosts by id.
     """
 
-    def __init__(self, sim: Simulator, host_id: int, name: Optional[str] = None):
+    def __init__(self, sim: Simulator, host_id: int, name: Optional[str] = None) -> None:
         super().__init__(sim, name or f"host{host_id}")
         self.host_id = host_id
         self.nic: Optional[Port] = None

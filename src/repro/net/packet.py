@@ -87,7 +87,7 @@ class Packet:
         remaining_mtus: int = 0,
         deadline_ns: Optional[int] = None,
         msg_id: int = 0,
-    ):
+    ) -> None:
         self.src = src
         self.dst = dst
         self.size_bytes = size_bytes

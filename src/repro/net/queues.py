@@ -22,9 +22,10 @@ import itertools
 import math
 from collections import deque
 from heapq import heappop as _heappop, heappush as _heappush
-from typing import Deque, Dict, List, Optional, Sequence, Tuple
+from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.net.packet import MTU_BYTES, Packet
+from repro.sim.sanitize import SanitizerError, sanitize_enabled
 
 
 class SchedulerStats:
@@ -47,9 +48,16 @@ class SchedulerStats:
 
 
 class Scheduler:
-    """Interface every port scheduler implements."""
+    """Interface every port scheduler implements.
 
-    def __init__(self, num_classes: int, buffer_bytes: int):
+    ``sanitize`` enables the SimSanitizer conservation checks for this
+    instance (``None`` defers to ``REPRO_SANITIZE``); sanitized and
+    unsanitized schedulers make bit-identical service decisions.
+    """
+
+    def __init__(
+        self, num_classes: int, buffer_bytes: int, sanitize: Optional[bool] = None
+    ):
         if buffer_bytes <= 0:
             raise ValueError("buffer must be positive")
         self.num_classes = num_classes
@@ -57,6 +65,7 @@ class Scheduler:
         self.bytes_queued = 0
         self.packets_queued = 0
         self.stats = SchedulerStats(num_classes)
+        self._sanitize = sanitize_enabled(sanitize)
 
     def enqueue(self, pkt: Packet) -> bool:
         raise NotImplementedError
@@ -71,12 +80,50 @@ class Scheduler:
         if not 0 <= qos < self.num_classes:
             raise ValueError(f"packet QoS {qos} out of range for {self.num_classes} classes")
 
+    # ------------------------------------------------------------------
+    # SimSanitizer hooks (only reached when ``self._sanitize`` is True)
+    # ------------------------------------------------------------------
+    def _evicted_count(self) -> int:
+        """Packets dropped *after* admission (pFabric eviction); the
+        conservation identity charges them separately from refusals."""
+        return 0
+
+    def _conservation_error(self, detail: str, pkt: Optional[Packet]) -> SanitizerError:
+        return SanitizerError(
+            "queue-conservation",
+            f"{type(self).__name__}: {detail}",
+            {
+                "packet": repr(pkt) if pkt is not None else None,
+                "enqueued": list(self.stats.enqueued),
+                "dequeued": list(self.stats.dequeued),
+                "dropped": list(self.stats.dropped),
+                "packets_queued": self.packets_queued,
+                "bytes_queued": self.bytes_queued,
+            },
+        )
+
+    def _sanitize_check(self, pkt: Optional[Packet]) -> None:
+        """Totals-level conservation: enq == deq + evicted + backlog."""
+        if self.bytes_queued < 0 or self.packets_queued < 0:
+            raise self._conservation_error("negative buffer occupancy", pkt)
+        enq = sum(self.stats.enqueued)
+        deq = sum(self.stats.dequeued)
+        expect = deq + self._evicted_count() + self.packets_queued
+        if enq != expect:
+            raise self._conservation_error(
+                f"packet conservation broken: enqueued={enq} != "
+                f"dequeued+evicted+backlog={expect}",
+                pkt,
+            )
+
 
 class FifoScheduler(Scheduler):
     """Single shared FIFO; QoS is ignored (the no-QoS baseline)."""
 
-    def __init__(self, buffer_bytes: int, num_classes: int = 1):
-        super().__init__(num_classes, buffer_bytes)
+    def __init__(
+        self, buffer_bytes: int, num_classes: int = 1, sanitize: Optional[bool] = None
+    ):
+        super().__init__(num_classes, buffer_bytes, sanitize)
         self._queue: Deque[Packet] = deque()
         # Per-class byte occupancy: the shared FIFO still attributes
         # bytes to the (clamped) QoS class so ``max_bytes_per_class``
@@ -97,6 +144,8 @@ class FifoScheduler(Scheduler):
         self._class_bytes[qos] += pkt.size_bytes
         self.packets_queued += 1
         self.stats.record_enqueue(qos, self._class_bytes[qos])
+        if self._sanitize:
+            self._sanitize_check(pkt)
         return True
 
     def dequeue(self) -> Optional[Packet]:
@@ -108,14 +157,33 @@ class FifoScheduler(Scheduler):
         self._class_bytes[qos] -= pkt.size_bytes
         self.packets_queued -= 1
         self.stats.dequeued[qos] += 1
+        if self._sanitize:
+            self._sanitize_check(pkt)
         return pkt
+
+    def _sanitize_check(self, pkt: Optional[Packet]) -> None:
+        super()._sanitize_check(pkt)
+        if self.packets_queued != len(self._queue):
+            raise self._conservation_error(
+                f"packets_queued={self.packets_queued} != "
+                f"queue length {len(self._queue)}",
+                pkt,
+            )
+        if sum(self._class_bytes) != self.bytes_queued:
+            raise self._conservation_error(
+                f"per-class bytes {self._class_bytes} do not sum to "
+                f"bytes_queued={self.bytes_queued}",
+                pkt,
+            )
 
 
 class _ClassedScheduler(Scheduler):
     """Shared plumbing for schedulers with one FIFO per QoS class."""
 
-    def __init__(self, num_classes: int, buffer_bytes: int):
-        super().__init__(num_classes, buffer_bytes)
+    def __init__(
+        self, num_classes: int, buffer_bytes: int, sanitize: Optional[bool] = None
+    ):
+        super().__init__(num_classes, buffer_bytes, sanitize)
         self._queues: List[Deque[Packet]] = [deque() for _ in range(num_classes)]
         self._class_bytes = [0] * num_classes
 
@@ -133,6 +201,8 @@ class _ClassedScheduler(Scheduler):
         self._class_bytes[pkt.qos] += pkt.size_bytes
         self.packets_queued += 1
         self.stats.record_enqueue(pkt.qos, self._class_bytes[pkt.qos])
+        if self._sanitize:
+            self._sanitize_check(pkt)
         return True
 
     def _remove(self, qos: int) -> Packet:
@@ -141,7 +211,38 @@ class _ClassedScheduler(Scheduler):
         self._class_bytes[qos] -= pkt.size_bytes
         self.packets_queued -= 1
         self.stats.dequeued[qos] += 1
+        if self._sanitize:
+            self._sanitize_check(pkt)
         return pkt
+
+    def _sanitize_check(self, pkt: Optional[Packet]) -> None:
+        """Per-class conservation: enq[c] == deq[c] + len(queue[c])."""
+        enq = self.stats.enqueued
+        deq = self.stats.dequeued
+        for qos in range(self.num_classes):
+            backlog = len(self._queues[qos])
+            if enq[qos] != deq[qos] + backlog:
+                raise self._conservation_error(
+                    f"class {qos} conservation broken: enqueued={enq[qos]} != "
+                    f"dequeued={deq[qos]} + backlog={backlog}",
+                    pkt,
+                )
+            if self._class_bytes[qos] < 0:
+                raise self._conservation_error(
+                    f"class {qos} byte counter negative: {self._class_bytes[qos]}",
+                    pkt,
+                )
+        if sum(self._class_bytes) != self.bytes_queued:
+            raise self._conservation_error(
+                f"per-class bytes {self._class_bytes} do not sum to "
+                f"bytes_queued={self.bytes_queued}",
+                pkt,
+            )
+        if self.packets_queued != sum(len(q) for q in self._queues):
+            raise self._conservation_error(
+                f"packets_queued={self.packets_queued} != sum of class backlogs",
+                pkt,
+            )
 
 
 class WfqScheduler(_ClassedScheduler):
@@ -152,10 +253,15 @@ class WfqScheduler(_ClassedScheduler):
     the weight values).
     """
 
-    def __init__(self, weights: Sequence[float], buffer_bytes: int):
+    def __init__(
+        self,
+        weights: Sequence[float],
+        buffer_bytes: int,
+        sanitize: Optional[bool] = None,
+    ):
         if any(w <= 0 for w in weights):
             raise ValueError("WFQ weights must be positive")
-        super().__init__(len(weights), buffer_bytes)
+        super().__init__(len(weights), buffer_bytes, sanitize)
         self.weights = tuple(float(w) for w in weights)
         self._virtual_time = 0.0
         self._last_finish = [0.0] * len(weights)
@@ -206,6 +312,8 @@ class WfqScheduler(_ClassedScheduler):
         self._tags[qos].append((finish, serial))
         if len(queue) == 1:
             _heappush(self._head_tags, (finish, qos, serial))
+        if self._sanitize:
+            self._sanitize_check(pkt)
         return True
 
     def dequeue(self) -> Optional[Packet]:
@@ -225,6 +333,22 @@ class WfqScheduler(_ClassedScheduler):
             self._class_bytes[qos] -= size
             self.packets_queued -= 1
             self._stats_dequeued[qos] += 1
+            if self._sanitize and tag < self._virtual_time:
+                # SCFQ invariant: every pending finish tag is >= V (tags
+                # are minted at max(V, last_finish) + size/weight and V
+                # only advances to served tags), so service order is
+                # virtual-time monotone within a busy period.
+                raise SanitizerError(
+                    "wfq-virtual-time",
+                    "finish tag served behind the virtual clock",
+                    {
+                        "packet": repr(pkt),
+                        "finish_tag": tag,
+                        "virtual_time": self._virtual_time,
+                        "qos": qos,
+                        "serial": serial,
+                    },
+                )
             if tag > self._virtual_time:
                 self._virtual_time = tag
             if tag_queue:
@@ -237,6 +361,8 @@ class WfqScheduler(_ClassedScheduler):
                 # check exact.
                 self._virtual_time = 0.0
                 self._last_finish = [0.0] * self.num_classes
+            if self._sanitize:
+                self._sanitize_check(pkt)
             return pkt
         return None
 
@@ -266,10 +392,16 @@ class DwrrScheduler(_ClassedScheduler):
     virtual-time PGPS); each class's quantum is weight * MTU bytes.
     """
 
-    def __init__(self, weights: Sequence[float], buffer_bytes: int, quantum_bytes: int = MTU_BYTES):
+    def __init__(
+        self,
+        weights: Sequence[float],
+        buffer_bytes: int,
+        quantum_bytes: int = MTU_BYTES,
+        sanitize: Optional[bool] = None,
+    ):
         if any(w <= 0 for w in weights):
             raise ValueError("DWRR weights must be positive")
-        super().__init__(len(weights), buffer_bytes)
+        super().__init__(len(weights), buffer_bytes, sanitize)
         self.weights = tuple(float(w) for w in weights)
         self._quanta = [w * quantum_bytes for w in self.weights]
         self._deficit = [0.0] * len(weights)
@@ -344,17 +476,20 @@ class PFabricScheduler(Scheduler):
     switch behavior.
     """
 
-    def __init__(self, buffer_bytes: int, num_classes: int = 3):
-        super().__init__(num_classes, buffer_bytes)
+    def __init__(
+        self, buffer_bytes: int, num_classes: int = 3, sanitize: Optional[bool] = None
+    ):
+        super().__init__(num_classes, buffer_bytes, sanitize)
         self._heap: List[Tuple[int, int, Packet]] = []
         self._counter = itertools.count()
         self._evicted: Dict[int, bool] = {}
+        self._evictions = 0
         # Lazy max-tracking for evictions: a second heap keyed
         # ``(-remaining_mtus, -arrival)`` whose stale entries (already
         # dequeued or evicted) are skipped on peek.  This replaces an
         # O(n) scan of the whole queue per overflowing arrival.
         self._maxheap: List[Tuple[int, int, Packet]] = []
-        self._present: set = set()  # uids currently queued
+        self._present: Set[int] = set()  # uids currently queued
 
     def enqueue(self, pkt: Packet) -> bool:
         qos = min(pkt.qos, self.num_classes - 1)
@@ -368,6 +503,7 @@ class PFabricScheduler(Scheduler):
             _heappop(self._maxheap)  # victim is the live top
             self.bytes_queued -= victim.size_bytes
             self.packets_queued -= 1
+            self._evictions += 1
             self.stats.dropped[min(victim.qos, self.num_classes - 1)] += 1
         count = next(self._counter)
         _heappush(self._heap, (pkt.remaining_mtus, count, pkt))
@@ -378,7 +514,21 @@ class PFabricScheduler(Scheduler):
         self.stats.record_enqueue(qos, self.bytes_queued)
         if len(self._maxheap) > 4 * self.packets_queued + 64:
             self._compact_maxheap()
+        if self._sanitize:
+            self._sanitize_check(pkt)
         return True
+
+    def _evicted_count(self) -> int:
+        return self._evictions
+
+    def _sanitize_check(self, pkt: Optional[Packet]) -> None:
+        super()._sanitize_check(pkt)
+        if len(self._present) != self.packets_queued:
+            raise self._conservation_error(
+                f"live-uid set size {len(self._present)} != "
+                f"packets_queued={self.packets_queued}",
+                pkt,
+            )
 
     def _largest_queued(self) -> Optional[Packet]:
         """Peek the largest-remaining live packet (stale tops dropped)."""
@@ -416,5 +566,7 @@ class PFabricScheduler(Scheduler):
             self.bytes_queued -= pkt.size_bytes
             self.packets_queued -= 1
             self.stats.dequeued[min(pkt.qos, self.num_classes - 1)] += 1
+            if self._sanitize:
+                self._sanitize_check(pkt)
             return pkt
         return None

@@ -10,7 +10,7 @@ the two-tier fabric adds the "overloads can occur anywhere" structure
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.net.link import DEFAULT_LINE_RATE_BPS, DEFAULT_PROP_DELAY_NS, Port
 from repro.net.node import Host, Switch
@@ -21,10 +21,12 @@ from repro.sim.engine import Simulator
 SchedulerFactory = Callable[[], Scheduler]
 
 
-def wfq_factory(weights, buffer_bytes: int = 4 * 1024 * 1024) -> SchedulerFactory:
+def wfq_factory(
+    weights: Sequence[float], buffer_bytes: int = 4 * 1024 * 1024
+) -> SchedulerFactory:
     """Factory producing a WFQ scheduler with the given weights per port."""
-    weights = tuple(weights)
-    return lambda: WfqScheduler(weights, buffer_bytes)
+    frozen = tuple(weights)
+    return lambda: WfqScheduler(frozen, buffer_bytes)
 
 
 @dataclass

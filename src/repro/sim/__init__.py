@@ -1,4 +1,5 @@
-"""Discrete-event simulation kernel (clock, event heap, seeded RNG)."""
+"""Discrete-event simulation kernel (clock, event heap, seeded RNG,
+runtime invariant checking)."""
 
 from repro.sim.engine import (
     NS_PER_MS,
@@ -12,10 +13,18 @@ from repro.sim.engine import (
     us_from_ns,
 )
 from repro.sim.rng import make_rng, poisson_interarrivals_ns, substream
+from repro.sim.sanitize import (
+    SANITIZE_ENV_VAR,
+    SanitizerError,
+    sanitize_enabled,
+)
 
 __all__ = [
     "Event",
+    "SANITIZE_ENV_VAR",
+    "SanitizerError",
     "Simulator",
+    "sanitize_enabled",
     "NS_PER_US",
     "NS_PER_MS",
     "NS_PER_SEC",

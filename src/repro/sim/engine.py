@@ -17,6 +17,8 @@ from __future__ import annotations
 from heapq import heappop as _heappop, heappush as _heappush
 from typing import Any, Callable, List, Optional, Tuple
 
+from repro.sim.sanitize import SanitizerError, sanitize_enabled
+
 NS_PER_US = 1_000
 NS_PER_MS = 1_000_000
 NS_PER_SEC = 1_000_000_000
@@ -85,19 +87,38 @@ class Simulator:
         sim = Simulator()
         sim.schedule(100, callback, arg1, arg2)   # fire 100 ns from now
         sim.run(until=ns_from_ms(10))
+
+    ``sanitize`` switches on the SimSanitizer clock/heap invariant
+    checks for this instance (``None`` defers to ``REPRO_SANITIZE``);
+    see :mod:`repro.sim.sanitize`.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, sanitize: Optional[bool] = None) -> None:
         self._now: int = 0
         # Heap entries are either ``(time, seq, Event)`` (cancellable,
         # from :meth:`schedule`) or ``(time, seq, fn, args)`` (the
         # fire-and-forget fast path of :meth:`post`).  ``seq`` is unique
         # so ordering never compares the third element and the two entry
         # shapes can share one heap.
-        self._heap: List[tuple] = []
+        self._heap: List[Tuple[Any, ...]] = []
         self._seq: int = 0
         self._events_processed: int = 0
         self._stopped: bool = False
+        self.sanitize: bool = sanitize_enabled(sanitize)
+
+    def _sanitize_pop(self, time: int, seq: int, fn: Callable[..., None]) -> None:
+        """Clock-monotonicity / heap-ordering check on a popped event."""
+        if time < self._now:
+            raise SanitizerError(
+                "clock-monotonicity",
+                "event fires in the past",
+                {
+                    "callback": getattr(fn, "__qualname__", repr(fn)),
+                    "event_time_ns": time,
+                    "seq": seq,
+                    "now_ns": self._now,
+                },
+            )
 
     @property
     def now(self) -> int:
@@ -166,6 +187,8 @@ class Simulator:
                 if event.cancelled:
                     continue
                 fn, args = event.fn, event.args
+            if self.sanitize:
+                self._sanitize_pop(item[0], item[1], fn)
             self._now = item[0]
             self._events_processed += 1
             fn(*args)
@@ -191,6 +214,7 @@ class Simulator:
         fired = 0
         limit = -1 if max_events is None else max_events
         horizon = _FOREVER if until is None else until
+        sanitize = self.sanitize
         # ``fired`` is folded into ``_events_processed`` on every exit
         # path (the finally) instead of per event; the counter is only
         # observable between events anyway since callbacks run inline.
@@ -204,7 +228,7 @@ class Simulator:
                 time = item[0]
                 if time > horizon:
                     _heappush(heap, item)
-                    self._now = until
+                    self._now = horizon
                     return
                 if len(item) == 4:
                     fn, args = item[2], item[3]
@@ -213,6 +237,8 @@ class Simulator:
                     if event.cancelled:
                         continue
                     fn, args = event.fn, event.args
+                if sanitize:
+                    self._sanitize_pop(time, item[1], fn)
                 self._now = time
                 fn(*args)
                 fired += 1

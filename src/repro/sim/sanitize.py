@@ -1,0 +1,92 @@
+"""SimSanitizer: cheap runtime invariant checking for the simulator.
+
+The determinism and correctness claims of this reproduction (AIMD
+dynamics, WFQ delay bounds, bit-identical parallel sweeps) rest on a
+small set of invariants that normally go unchecked on the hot path:
+
+* **clock monotonicity** — the simulator clock never moves backwards;
+  every popped event's timestamp is ``>= now``;
+* **event-heap ordering** — events fire in nondecreasing ``(time, seq)``
+  order;
+* **queue conservation** — for every scheduler, per class:
+  ``enqueued == dequeued + evicted + backlog`` (packets) and the
+  per-class byte counters always sum to ``bytes_queued``;
+* **WFQ virtual-time monotonicity** — SCFQ's virtual clock ``V`` never
+  decreases within a busy period, and every served finish tag is
+  ``>= V``;
+* **admit-probability bounds** — Algorithm 1 keeps
+  ``0 <= p_admit <= 1`` at all times.
+
+Sanitizing is opt-in and behavior-preserving: the hooks only *read*
+state, so a sanitized run produces bit-identical results (and digests)
+to an unsanitized one — just slower.  Enable it globally with the
+``REPRO_SANITIZE=1`` environment variable, or per object with
+``Simulator(sanitize=True)`` / ``WfqScheduler(..., sanitize=True)`` /
+``AdmissionController(..., sanitize=True)``.
+
+Violations raise :class:`SanitizerError` carrying the offending
+event's provenance (callback, timestamp, sequence number) or the
+offending packet/probability, so a broken invariant points at *where*
+determinism or accounting broke instead of merely failing an
+end-to-end digest comparison later.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Mapping, Optional
+
+#: Environment variable that switches sanitizing on process-wide.
+SANITIZE_ENV_VAR = "REPRO_SANITIZE"
+
+_FALSEY = frozenset({"", "0", "false", "no", "off"})
+
+
+def sanitize_enabled(explicit: Optional[bool] = None) -> bool:
+    """Resolve the effective sanitize flag.
+
+    An explicit ``True``/``False`` wins; ``None`` defers to the
+    ``REPRO_SANITIZE`` environment variable (any value other than a
+    falsey string enables it).
+    """
+    if explicit is not None:
+        return explicit
+    return os.environ.get(SANITIZE_ENV_VAR, "").strip().lower() not in _FALSEY
+
+
+class SanitizerError(AssertionError):
+    """A SimSanitizer invariant was violated.
+
+    Attributes:
+        invariant: short machine-readable name of the broken invariant
+            (e.g. ``"clock-monotonicity"``, ``"queue-conservation"``).
+        provenance: mapping describing the offending event / packet /
+            state, rendered into the message for humans and kept
+            structured for tests and tooling.
+    """
+
+    def __init__(
+        self,
+        invariant: str,
+        message: str,
+        provenance: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        self.invariant = invariant
+        self.provenance: Mapping[str, Any] = dict(provenance or {})
+        detail = ""
+        if self.provenance:
+            pairs = ", ".join(f"{k}={v!r}" for k, v in self.provenance.items())
+            detail = f" [{pairs}]"
+        super().__init__(f"SimSanitizer[{invariant}]: {message}{detail}")
+
+
+def check_probability(
+    p: float, *, where: str, provenance: Optional[Mapping[str, Any]] = None
+) -> None:
+    """Raise unless ``0 <= p <= 1`` (admit-probability bound)."""
+    if not 0.0 <= p <= 1.0:
+        raise SanitizerError(
+            "admit-probability-bounds",
+            f"{where}: p_admit={p!r} escaped [0, 1]",
+            provenance,
+        )

@@ -1,0 +1,258 @@
+"""simlint fixture tests: every rule must fire on a minimal bad snippet
+and stay quiet on the corresponding good one, suppression comments must
+silence exactly the named rule, and the host-side allowlist must exempt
+orchestration code from the determinism rules.
+
+The final test is the repo gate: ``src`` and ``tests`` must lint clean,
+which is what keeps ``python -m repro lint src tests`` exiting 0 in CI.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import RULES, classify, lint_paths, lint_source
+from repro.lint.runner import main as lint_main
+from repro.lint.rules import parse_rule_list
+
+SIM_PATH = "src/repro/sim/fixture.py"
+NET_PATH = "src/repro/net/fixture.py"
+GENERAL_PATH = "tests/fixture.py"
+HOST_PATH = "src/repro/runner/fixture.py"
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def rules_in(source: str, path: str = SIM_PATH):
+    return [f.rule for f in lint_source(source, path)]
+
+
+# ----------------------------------------------------------------------
+# One bad + one good fixture per rule
+# ----------------------------------------------------------------------
+BAD_FIXTURES = {
+    "SIM001": "import time\n\ndef now():\n    return time.time()\n",
+    "SIM002": "import random\n\ndef draw():\n    return random.random()\n",
+    "SIM003": (
+        "def stale(tag, head_tag):\n"
+        "    return tag == head_tag\n"
+    ),
+    "SIM004": (
+        "def kick(sim, hosts):\n"
+        "    for h in set(hosts):\n"
+        "        sim.schedule(1, h.start)\n"
+    ),
+    "SIM005": "def collect(acc=[]):\n    return acc\n",
+    "SIM006": "import random\n\n_RNG = random.Random(0)\n",
+    "SIM007": (
+        "def finish(sim, cleanup):\n"
+        "    sim.stop()\n"
+        "    sim.post(0, cleanup)\n"
+    ),
+    "SIM008": "def run_point(point):\n    return {}\n",
+}
+
+GOOD_FIXTURES = {
+    "SIM001": (
+        "def now(sim):\n"
+        "    return sim.now\n"
+    ),
+    "SIM002": (
+        "from repro.sim.rng import make_rng\n\n"
+        "def draw(seed):\n"
+        "    return make_rng(seed).random()\n"
+    ),
+    "SIM003": (
+        "def stale(tag_queue, serial):\n"
+        "    return tag_queue[0][1] != serial\n"
+    ),
+    "SIM004": (
+        "def kick(sim, hosts):\n"
+        "    for h in sorted(set(hosts)):\n"
+        "        sim.schedule(1, h.start)\n"
+    ),
+    "SIM005": (
+        "def collect(acc=None):\n"
+        "    return [] if acc is None else acc\n"
+    ),
+    "SIM006": (
+        "import random\n\n"
+        "def fresh(seed):\n"
+        "    return random.Random(seed)\n"
+    ),
+    "SIM007": (
+        "def finish(sim, cleanup):\n"
+        "    sim.post(0, cleanup)\n"
+        "    sim.stop()\n"
+    ),
+    "SIM008": "def run_point(point, seed):\n    return {}\n",
+}
+
+
+@pytest.mark.parametrize("rule", sorted(RULES))
+def test_bad_fixture_fires(rule):
+    assert rule in rules_in(BAD_FIXTURES[rule]), f"{rule} must fire"
+
+
+@pytest.mark.parametrize("rule", sorted(RULES))
+def test_good_fixture_clean(rule):
+    assert rule not in rules_in(GOOD_FIXTURES[rule]), f"{rule} false positive"
+
+
+# ----------------------------------------------------------------------
+# Rule-specific behavior beyond the minimal fixtures
+# ----------------------------------------------------------------------
+def test_sim001_resolves_from_imports_and_datetime():
+    assert rules_in(
+        "from time import perf_counter\n\ndef f():\n    return perf_counter()\n"
+    ) == ["SIM001"]
+    assert rules_in(
+        "from datetime import datetime\n\ndef f():\n    return datetime.now()\n"
+    ) == ["SIM001"]
+
+
+def test_sim002_allows_seeded_instances():
+    source = (
+        "import random\n\n"
+        "def f(seed):\n"
+        "    rng = random.Random(seed)\n"
+        "    return rng.random()\n"
+    )
+    assert rules_in(source) == []
+
+
+def test_sim003_matches_attribute_and_subscript_tags():
+    source = (
+        "class W:\n"
+        "    def f(self, qos, t):\n"
+        "        return self._last_finish[qos] == t\n"
+    )
+    assert rules_in(source, NET_PATH) == ["SIM003"]
+    # Ordering comparisons on tags are the intended idiom — never flagged.
+    assert rules_in("def f(tag, vt):\n    return tag > vt\n") == []
+
+
+def test_sim004_requires_scheduling_in_body():
+    benign = "def f(hosts):\n    for h in set(hosts):\n        print(h)\n"
+    assert rules_in(benign) == []
+    keys = (
+        "def f(sim, d):\n"
+        "    for k in d.keys():\n"
+        "        sim.post(0, k)\n"
+    )
+    assert rules_in(keys) == ["SIM004"]
+
+
+def test_sim006_flags_substream_at_module_scope():
+    source = "from repro.sim.rng import substream\n\nR = substream(0, 'x')\n"
+    assert rules_in(source) == ["SIM006"]
+
+
+def test_sim008_accepts_keyword_only_seed():
+    source = "def run_point(point, *, seed):\n    return {}\n"
+    assert rules_in(source) == []
+
+
+# ----------------------------------------------------------------------
+# Suppression comments
+# ----------------------------------------------------------------------
+def test_per_line_suppression_silences_named_rule():
+    source = (
+        "import time\n\n"
+        "def now():\n"
+        "    return time.time()  # simlint: ignore[SIM001]\n"
+    )
+    assert rules_in(source) == []
+
+
+def test_suppression_of_other_rule_keeps_finding():
+    source = (
+        "import time\n\n"
+        "def now():\n"
+        "    return time.time()  # simlint: ignore[SIM005]\n"
+    )
+    assert rules_in(source) == ["SIM001"]
+
+
+def test_bare_suppression_silences_every_rule_on_line():
+    source = "def collect(acc=[]):  # simlint: ignore\n    return acc\n"
+    assert rules_in(source, GENERAL_PATH) == []
+
+
+def test_suppression_accepts_multiple_rules():
+    source = (
+        "import time\n\n"
+        "def now(acc=[]):  # simlint: ignore[SIM005]\n"
+        "    return time.time()  # simlint: ignore[SIM001, SIM002]\n"
+    )
+    assert rules_in(source) == []
+
+
+# ----------------------------------------------------------------------
+# Scoping: sim-domain vs host-side allowlist vs general code
+# ----------------------------------------------------------------------
+def test_classify_paths():
+    assert classify("src/repro/net/queues.py") == "sim"
+    assert classify("src/repro/runner/pool.py") == "host"
+    assert classify("src/repro/cli.py") == "host"
+    assert classify("src/repro/lint/runner.py") == "host"
+    assert classify("tests/test_lint.py") == "general"
+    assert classify("src/repro/experiments/fig08.py") == "general"
+
+
+def test_host_allowlist_exempts_wall_clock_and_global_random():
+    assert rules_in(BAD_FIXTURES["SIM001"], HOST_PATH) == []
+    assert rules_in(BAD_FIXTURES["SIM002"], HOST_PATH) == []
+    assert rules_in(BAD_FIXTURES["SIM006"], HOST_PATH) == []
+    # ...but generic bug rules still apply to host code.
+    assert rules_in(BAD_FIXTURES["SIM005"], HOST_PATH) == ["SIM005"]
+
+
+def test_wall_clock_not_flagged_outside_sim_domain():
+    # SIM001 is sim-domain-only: experiments and tests may time things.
+    assert rules_in(BAD_FIXTURES["SIM001"], GENERAL_PATH) == []
+    # SIM002 still applies outside the sim domain (unseeded randomness
+    # in an experiment breaks sweep reproducibility all the same).
+    assert rules_in(BAD_FIXTURES["SIM002"], GENERAL_PATH) == ["SIM002"]
+
+
+# ----------------------------------------------------------------------
+# CLI plumbing
+# ----------------------------------------------------------------------
+def test_parse_rule_list_rejects_unknown():
+    assert parse_rule_list("SIM001, SIM005") == ("SIM001", "SIM005")
+    with pytest.raises(ValueError):
+        parse_rule_list("SIM999")
+
+
+def test_cli_exit_codes(tmp_path, capsys):
+    bad = tmp_path / "repro" / "sim" / "bad.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text("import time\n\ndef f():\n    return time.time()\n")
+    assert lint_main([str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "SIM001" in out and "bad.py" in out
+
+    bad.write_text("def f(sim):\n    return sim.now\n")
+    assert lint_main([str(tmp_path)]) == 0
+
+    bad.write_text("def f(:\n")
+    assert lint_main([str(tmp_path)]) == 2
+
+
+def test_cli_explain_lists_all_rules(capsys):
+    assert lint_main(["--explain"]) == 0
+    out = capsys.readouterr().out
+    for rule in RULES:
+        assert rule in out
+
+
+# ----------------------------------------------------------------------
+# The repo gate
+# ----------------------------------------------------------------------
+def test_repo_lints_clean():
+    findings, errors = lint_paths(
+        [str(REPO_ROOT / "src"), str(REPO_ROOT / "tests")]
+    )
+    assert errors == []
+    assert findings == [], "\n".join(f.render() for f in findings)
