@@ -36,8 +36,21 @@ from benchmarks.perf.scenarios import SCENARIOS
 from repro.stats.digest import digest_hex
 
 
-def run_scenario(name: str, budget: int, seed: int = 42, repeats: int = 3) -> Dict:
-    """Time one scenario; returns the result row for the JSON report."""
+def run_scenario(
+    name: str,
+    budget: int,
+    seed: int = 42,
+    repeats: int = 3,
+    instrumented: bool = False,
+) -> Dict:
+    """Time one scenario; returns the result row for the JSON report.
+
+    ``instrumented=True`` builds and runs the scenario under a full
+    observability context (tracer + profiler + registry), which is how
+    the traced-vs-plain overhead and the digest-parity guarantee are
+    measured.  The context must be active during *construction* — hooks
+    bind then, not at run time.
+    """
     try:
         build = SCENARIOS[name]
     except KeyError:
@@ -48,12 +61,26 @@ def run_scenario(name: str, budget: int, seed: int = 42, repeats: int = 3) -> Di
     best: Optional[Dict] = None
     first_hex = None
     for _ in range(max(1, repeats)):
-        built = build(budget, seed)
-        sim = built.sim
-        t0 = time.perf_counter()
-        sim.run(**built.run_kwargs)
-        wall = time.perf_counter() - t0
-        digest = built.digest_fn()
+        if instrumented:
+            from repro.obs.runtime import ObsContext, activate, deactivate
+
+            activate(ObsContext.full())
+            try:
+                built = build(budget, seed)
+                sim = built.sim
+                t0 = time.perf_counter()
+                sim.run(**built.run_kwargs)
+                wall = time.perf_counter() - t0
+                digest = built.digest_fn()
+            finally:
+                deactivate()
+        else:
+            built = build(budget, seed)
+            sim = built.sim
+            t0 = time.perf_counter()
+            sim.run(**built.run_kwargs)
+            wall = time.perf_counter() - t0
+            digest = built.digest_fn()
         hex_ = digest_hex(digest)
         if first_hex is None:
             first_hex = hex_
@@ -81,9 +108,16 @@ def run_suite(
     repeats: int = 3,
     scenarios: Optional[Iterable[str]] = None,
     baseline: Optional[Dict] = None,
+    instrumented: bool = False,
     log=print,
 ) -> Dict:
-    """Run every scenario; optionally fold in a baseline for speedups."""
+    """Run every scenario; optionally fold in a baseline for speedups.
+
+    ``instrumented=True`` additionally runs each scenario under a full
+    observability context and records the traced-vs-plain overhead plus
+    whether the digest stayed bit-identical (the zero-overhead-off
+    contract's measurable half).
+    """
     names = list(scenarios) if scenarios else list(SCENARIOS)
     report: Dict = {
         "budget_events": budget,
@@ -91,6 +125,8 @@ def run_suite(
         "repeats": repeats,
         "scenarios": {},
     }
+    if instrumented:
+        report["instrumented"] = {}
     for name in names:
         row = run_scenario(name, budget, seed=seed, repeats=repeats)
         report["scenarios"][name] = row
@@ -98,6 +134,28 @@ def run_suite(
             f"{name:24s} {row['events']:>9d} events  "
             f"{row['wall_s']:>7.3f}s  {row['events_per_sec']:>12,.0f} ev/s"
         )
+        if instrumented:
+            traced = run_scenario(
+                name, budget, seed=seed, repeats=repeats, instrumented=True
+            )
+            overhead = row["events_per_sec"] / traced["events_per_sec"]
+            match = traced["digest_hex"] == row["digest_hex"]
+            report["instrumented"][name] = {
+                "events_per_sec": traced["events_per_sec"],
+                "wall_s": traced["wall_s"],
+                "overhead_x": round(overhead, 3),
+                "digest_match": match,
+            }
+            log(
+                f"{name:24s} instrumented {traced['events_per_sec']:>12,.0f} ev/s  "
+                f"overhead {overhead:.2f}x  "
+                f"(digest {'MATCH' if match else 'DIFFERS'})"
+            )
+            if not match:
+                raise RuntimeError(
+                    f"{name}: instrumented run diverged from plain run "
+                    f"({traced['digest_hex']} != {row['digest_hex']})"
+                )
     if baseline is not None:
         report["baseline"] = baseline
         report["speedup"] = {}
@@ -132,6 +190,9 @@ def main(argv=None) -> int:
                         help="run only these scenarios (repeatable)")
     parser.add_argument("--baseline", type=str, default=None,
                         help="earlier report to compute speedups against")
+    parser.add_argument("--instrumented", action="store_true",
+                        help="also run each scenario under full observability "
+                             "and report the overhead + digest parity")
     parser.add_argument("--output", type=str, default=None,
                         help="write the JSON report here (e.g. BENCH_PR1.json)")
     args = parser.parse_args(argv)
@@ -150,6 +211,7 @@ def main(argv=None) -> int:
             repeats=args.repeats,
             scenarios=args.scenarios,
             baseline=baseline,
+            instrumented=args.instrumented,
         )
     except ValueError as exc:
         # Unknown scenario names surface as a clean CLI error (argparse

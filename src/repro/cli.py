@@ -9,7 +9,9 @@ Usage::
 
     python -m repro run fig11 --profile fast --workers 4
     python -m repro run fig11 --resume 20260806-101500-00042
+    python -m repro run fig11 --trace    # per-point Chrome traces
 
+    python -m repro trace fig08          # traced companion run + report
     python -m repro lint src tests    # simlint static determinism checks
 
 The ``run`` subcommand goes through :mod:`repro.runner`: sweep points
@@ -219,6 +221,13 @@ def _run_main(argv) -> int:
         action="store_true",
         help="recompute every point, ignoring the on-disk cache",
     )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="record RPC-lifecycle traces per sweep point (writes Chrome "
+        "trace + span JSONL under <results-dir>/<run-id>/traces/; "
+        "disables the point cache for the run)",
+    )
     args = parser.parse_args(argv)
 
     if args.workers < 1:
@@ -234,6 +243,7 @@ def _run_main(argv) -> int:
             cache_dir=args.cache_dir,
             use_cache=not args.no_cache,
             replicates=args.replicates,
+            trace=args.trace,
             log=print,
         )
     except (UnknownExperimentError, UnknownProfileError) as exc:
@@ -250,12 +260,85 @@ def _run_main(argv) -> int:
     return 0 if report.ok else 1
 
 
+def _trace_main(argv) -> int:
+    """The ``trace`` subcommand: one traced companion run of a figure."""
+    parser = argparse.ArgumentParser(
+        prog="repro trace",
+        description="Run a figure's traced companion simulation with the "
+        "full observability stack (RPC spans, queue residency, sim-time "
+        "profile) and export a Perfetto-loadable Chrome trace.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="figure name (same names as 'python -m repro list')",
+    )
+    parser.add_argument(
+        "--profile",
+        default="fast",
+        choices=("fast", "paper"),
+        help="scenario size: 'fast' (CI-sized) or 'paper' (3x horizon)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="override the traced run's seed",
+    )
+    parser.add_argument(
+        "--out",
+        default="results/traces",
+        help="output directory root (default: results/traces)",
+    )
+    parser.add_argument(
+        "--top",
+        type=int,
+        default=5,
+        help="top-K entries per section of the text report (default: 5)",
+    )
+    args = parser.parse_args(argv)
+
+    from pathlib import Path
+
+    from repro.obs.export import (
+        trace_report,
+        write_chrome_trace,
+        write_jsonl,
+        write_metrics_series,
+    )
+    from repro.obs.scenarios import run_traced_figure
+
+    try:
+        traced = run_traced_figure(
+            args.experiment, profile=args.profile, seed=args.seed
+        )
+    except UnknownExperimentError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    outdir = Path(args.out) / args.experiment
+    outdir.mkdir(parents=True, exist_ok=True)
+    stem = f"{args.experiment}-{args.profile}"
+    chrome_path = outdir / f"{stem}.trace.json"
+    write_chrome_trace(chrome_path, traced.tracer, traced.registry)
+    write_jsonl(outdir / f"{stem}.spans.jsonl", traced.tracer)
+    write_metrics_series(outdir / f"{stem}.metrics.jsonl", traced.registry)
+
+    print(f"== trace {args.experiment} ({args.profile}, seed {traced.cfg.seed}) ==")
+    print(trace_report(traced.tracer, traced.profiler, top_k=args.top))
+    print(f"chrome trace: {chrome_path} (load at https://ui.perfetto.dev)")
+    print(f"span log:     {outdir / (stem + '.spans.jsonl')}")
+    print(f"metric series: {outdir / (stem + '.metrics.jsonl')}")
+    return 0
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns a process exit code."""
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "run":
         return _run_main(argv[1:])
+    if argv and argv[0] == "trace":
+        return _trace_main(argv[1:])
     if argv and argv[0] == "lint":
         from repro.lint.runner import main as lint_main
 
@@ -268,8 +351,8 @@ def main(argv=None) -> int:
     parser.add_argument(
         "experiment",
         help="experiment name (see 'list'), 'all', 'list', or the 'run' / "
-        "'lint' subcommands ('python -m repro run <figure> --help', "
-        "'python -m repro lint --help')",
+        "'trace' / 'lint' subcommands ('python -m repro run <figure> --help', "
+        "'python -m repro trace <figure> --help', 'python -m repro lint --help')",
     )
     parser.add_argument(
         "--quick",

@@ -112,6 +112,12 @@ class AdmissionController:
         }
         self._trace: Optional[List[Tuple[int, int, float]]] = None
         self._sanitize = sanitize_enabled(sanitize)
+        #: Optional observer of AIMD adjustments, called as
+        #: ``on_adjust(qos, p_admit, kind, now_ns)`` with kind
+        #: ``"increase"``/``"decrease"`` — read-only with respect to the
+        #: algorithm, wired by :class:`~repro.core.channel.ChannelRegistry`
+        #: when observability tracing is on.
+        self.on_adjust: Optional[Callable[[int, float, str, int], None]] = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -194,6 +200,8 @@ class AdmissionController:
                 state.p_admit = min(state.p_admit + self._params.alpha, 1.0)
                 state.t_last_increase_ns = now
                 state.increases += 1
+                if self.on_adjust is not None:
+                    self.on_adjust(qos_run, state.p_admit, "increase", now)
         else:
             # Multiplicative decrease, proportional to RPC size in MTUs:
             # a large RPC missing its SLO counts as many unit misses.
@@ -202,6 +210,8 @@ class AdmissionController:
                 self._params.floor,
             )
             state.decreases += 1
+            if self.on_adjust is not None:
+                self.on_adjust(qos_run, state.p_admit, "decrease", now)
         if self._sanitize:
             check_probability(
                 state.p_admit,

@@ -30,11 +30,16 @@ class ChannelRegistry:
         params: AdmissionParams = AdmissionParams(),
         seed: int = 0,
         clock: Optional[Callable[[], int]] = None,
+        on_adjust: Optional[Callable[[Hashable, int, float, str, int], None]] = None,
     ) -> None:
         self._slo_map = slo_map
         self._params = params
         self._seed = seed
         self._clock = clock
+        # Optional AIMD observer called as (dst, qos, p_admit, kind,
+        # now_ns); installed on each controller at creation with its
+        # destination bound in.  Read-only — see AdmissionController.
+        self._on_adjust = on_adjust
         self._controllers: Dict[Hashable, AdmissionController] = {}
 
     def controller(self, dst: Hashable) -> AdmissionController:
@@ -45,6 +50,11 @@ class ChannelRegistry:
             ctrl = AdmissionController(
                 self._slo_map, self._params, rng=rng, clock=self._clock
             )
+            if self._on_adjust is not None:
+                observe = self._on_adjust
+                ctrl.on_adjust = (
+                    lambda qos, p, kind, now, _dst=dst: observe(_dst, qos, p, kind, now)
+                )
             self._controllers[dst] = ctrl
         return ctrl
 

@@ -25,6 +25,9 @@ SIM007    scheduling new events after ``stop()`` in the same function —
           the post-stop events mutate state the run no longer observes
 SIM008    ``run_point`` signature without a ``seed`` parameter — every
           sweep entry point must thread the per-point seed through
+SIM009    ``print()`` inside simulator-domain code — hot-path I/O skews
+          profiles and bypasses the observability layer; emit through
+          ``repro.obs`` instruments (or return data) instead
 ========  ============================================================
 """
 
@@ -44,15 +47,17 @@ RULES: Dict[str, str] = {
     "SIM006": "RNG object created at module scope (shared across workers)",
     "SIM007": "event scheduled after stop() in the same function",
     "SIM008": "run_point signature does not thread a seed",
+    "SIM009": "print() in simulator-domain code (use repro.obs instruments)",
 }
 
 #: Rules that only apply to simulator-domain files (suppressed for
 #: host-side orchestration code via the runner's allowlist).
-SIM_DOMAIN_ONLY: Set[str] = {"SIM001"}
+SIM_DOMAIN_ONLY: Set[str] = {"SIM001", "SIM009"}
 
-#: Rules that the host-side allowlist exempts entirely (wall-clock and
-#: process-global randomness are legitimate in the CLI / worker pool).
-HOST_EXEMPT: Set[str] = {"SIM001", "SIM002", "SIM006"}
+#: Rules that the host-side allowlist exempts entirely (wall-clock,
+#: process-global randomness, and stdout are legitimate in the CLI /
+#: worker pool).
+HOST_EXEMPT: Set[str] = {"SIM001", "SIM002", "SIM006", "SIM009"}
 
 _WALL_CLOCK_CALLS = frozenset(
     {
@@ -238,6 +243,17 @@ class RuleVisitor(ast.NodeVisitor):
     # ------------------------------------------------------------------
     def visit_Call(self, node: ast.Call) -> None:
         qualified = self._resolve(node.func)
+        if qualified == "print":
+            # Only a bare builtin call counts: an imported or locally
+            # defined `print` resolves to a dotted path above and a
+            # method `.print(...)` never reaches _resolve as a Name.
+            self._emit(
+                "SIM009",
+                node,
+                "`print()` in simulator-domain code does per-event I/O "
+                "(skewing profiles) and hides data from the trace/metrics "
+                "layer — record through `repro.obs` or return the value",
+            )
         if qualified in _WALL_CLOCK_CALLS:
             self._emit(
                 "SIM001",

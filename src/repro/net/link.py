@@ -14,6 +14,7 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from repro.net.packet import Packet
 from repro.net.queues import Scheduler
+from repro.obs.runtime import active_tracer
 from repro.sim.engine import Simulator
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -69,6 +70,12 @@ class Port:
         self._sched_enqueue = scheduler.enqueue
         self._sched_dequeue = scheduler.dequeue
         self._deliver: Optional[Callable[[Packet], None]] = None
+        # Observability hook, resolved once at construction: None when
+        # tracing is off, so every traced path below is a single
+        # pointer test (the zero-overhead-off contract).
+        self._tracer = active_tracer()
+        if self._tracer is not None:
+            scheduler.bind_trace(self._tracer, name, sim)
 
     def connect(self, peer: "Node") -> None:
         """Attach the downstream node this port feeds."""
@@ -85,7 +92,11 @@ class Port:
             raise RuntimeError(f"{self.name} is not connected")
         if not self._sched_enqueue(pkt):
             self.packets_dropped += 1
+            if self._tracer is not None:
+                self._tracer.on_drop(self.name, pkt, self.sim.now, reason="refused")
             return False
+        if self._tracer is not None:
+            self._tracer.on_enqueue(self.name, pkt, self.sim.now)
         if not self.busy:
             self._start_next()
         return True
@@ -105,6 +116,10 @@ class Port:
             now = self.sim.now
             for hook in self.on_transmit:
                 hook(pkt, now)
+        if self._tracer is not None:
+            now = self.sim.now
+            self._tracer.on_dequeue(self.name, pkt, now)
+            self._tracer.on_transmit(self.name, pkt, now, tx_ns)
         self._post(tx_ns, self._finish_transmit, pkt)
 
     def _finish_transmit(self, pkt: Packet) -> None:

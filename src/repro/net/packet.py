@@ -52,6 +52,9 @@ class Packet:
         kind: DATA / ACK / GRANT / CONTROL.
         sent_time_ns: set by the transport when the packet leaves the
             sender; used for RTT measurement.
+        enqueued_ns: stamped by the observability tracer when the packet
+            enters an egress scheduler (queue-residency spans); nothing
+            in the simulator reads it, so it cannot affect results.
         remaining_mtus: SRPT hint — MTUs left in the message *including*
             this packet (pFabric/Homa priority).
         deadline_ns: absolute deadline (D3/PDQ).
@@ -67,6 +70,7 @@ class Packet:
         "seq",
         "kind",
         "sent_time_ns",
+        "enqueued_ns",
         "remaining_mtus",
         "deadline_ns",
         "msg_id",
@@ -96,6 +100,7 @@ class Packet:
         self.seq = seq
         self.kind = kind
         self.sent_time_ns = 0
+        self.enqueued_ns = 0
         self.remaining_mtus = remaining_mtus
         self.deadline_ns = deadline_ns
         self.msg_id = msg_id

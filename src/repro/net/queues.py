@@ -22,10 +22,14 @@ import itertools
 import math
 from collections import deque
 from heapq import heappop as _heappop, heappush as _heappush
-from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.net.packet import MTU_BYTES, Packet
 from repro.sim.sanitize import SanitizerError, sanitize_enabled
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.trace import Tracer
+    from repro.sim.engine import Simulator
 
 
 class SchedulerStats:
@@ -66,6 +70,19 @@ class Scheduler:
         self.packets_queued = 0
         self.stats = SchedulerStats(num_classes)
         self._sanitize = sanitize_enabled(sanitize)
+        # Observability binding (see repro.obs): None unless the owning
+        # port wired a tracer at construction.  Only cold paths (drops
+        # after admission, i.e. pFabric evictions) consult it — arrival
+        # refusals are observed by the port itself.
+        self._tracer: Optional["Tracer"] = None
+        self._trace_node = ""
+        self._trace_sim: Optional["Simulator"] = None
+
+    def bind_trace(self, tracer: "Tracer", node: str, sim: "Simulator") -> None:
+        """Attach a tracer (with a clock source) for in-scheduler events."""
+        self._tracer = tracer
+        self._trace_node = node
+        self._trace_sim = sim
 
     def enqueue(self, pkt: Packet) -> bool:
         raise NotImplementedError
@@ -505,6 +522,10 @@ class PFabricScheduler(Scheduler):
             self.packets_queued -= 1
             self._evictions += 1
             self.stats.dropped[min(victim.qos, self.num_classes - 1)] += 1
+            if self._tracer is not None and self._trace_sim is not None:
+                self._tracer.on_drop(
+                    self._trace_node, victim, self._trace_sim.now, reason="evicted"
+                )
         count = next(self._counter)
         _heappush(self._heap, (pkt.remaining_mtus, count, pkt))
         _heappush(self._maxheap, (-pkt.remaining_mtus, -count, pkt))

@@ -1,0 +1,293 @@
+"""Trace exporters: JSONL, Chrome ``trace_event`` JSON, text summaries.
+
+The Chrome format (one ``traceEvents`` array of ``ph``-typed records,
+timestamps and durations in microseconds) loads directly into Perfetto
+(https://ui.perfetto.dev) and ``chrome://tracing``:
+
+* each network node (switch egress port, host NIC) becomes a *process*
+  with a ``process_name`` metadata record, and each QoS class a
+  *thread* inside it, so queue residency stacks per (node, qos) exactly
+  like the paper's per-hop decomposition;
+* queue residency and serialization intervals are complete (``ph: X``)
+  events; drops are instants (``ph: i``); AIMD ``p_admit`` adjustments
+  are counter tracks (``ph: C``) — the convergence plots of Section 6.3
+  fall out of Perfetto's counter view directly;
+* RPC spans live under one ``rpcs`` process, threaded by source host.
+
+The text reports answer the first diagnostic questions — where does
+queue residency accumulate per QoS, how many RPCs downgraded, what does
+the SLO verdict look like — without leaving the terminal.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import SimProfiler
+from repro.obs.trace import Tracer
+
+
+def _us(ns: int) -> float:
+    return ns / 1000.0
+
+
+def chrome_trace(
+    tracer: Tracer,
+    registry: Optional[MetricsRegistry] = None,
+) -> Dict[str, object]:
+    """Build a Chrome ``trace_event`` document from a tracer's records."""
+    events: List[Dict[str, object]] = []
+
+    # Stable pid assignment: rpcs first, then nodes sorted by name.
+    nodes = sorted(
+        {span.node for span in tracer.queue_spans}
+        | {span.node for span in tracer.tx_spans}
+        | {drop.node for drop in tracer.drops}
+    )
+    rpc_pid = 1
+    pids = {node: i + 2 for i, node in enumerate(nodes)}
+    events.append(
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": rpc_pid,
+            "args": {"name": "rpcs"},
+        }
+    )
+    for node, pid in pids.items():
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "args": {"name": node},
+            }
+        )
+
+    for span in tracer.rpc_spans:
+        if span.completed_ns is not None:
+            events.append(
+                {
+                    "name": f"rpc {span.src}->{span.dst} q{span.qos_run}",
+                    "cat": "rpc",
+                    "ph": "X",
+                    "pid": rpc_pid,
+                    "tid": span.src,
+                    "ts": _us(span.issued_ns),
+                    "dur": _us(span.completed_ns - span.issued_ns),
+                    "args": {
+                        "rpc_id": span.rpc_id,
+                        "qos_requested": span.qos_requested,
+                        "qos_run": span.qos_run,
+                        "downgraded": span.downgraded,
+                        "rnl_ns": span.rnl_ns,
+                        "slo_met": span.slo_met,
+                        "payload_bytes": span.payload_bytes,
+                    },
+                }
+            )
+        else:
+            events.append(
+                {
+                    "name": "rpc terminated" if span.terminated else "rpc open",
+                    "cat": "rpc",
+                    "ph": "i",
+                    "s": "t",
+                    "pid": rpc_pid,
+                    "tid": span.src,
+                    "ts": _us(span.issued_ns),
+                    "args": {"rpc_id": span.rpc_id, "qos_run": span.qos_run},
+                }
+            )
+
+    for qspan in tracer.queue_spans:
+        events.append(
+            {
+                "name": f"queue q{qspan.qos}",
+                "cat": "queue",
+                "ph": "X",
+                "pid": pids[qspan.node],
+                "tid": qspan.qos,
+                "ts": _us(qspan.enqueued_ns),
+                "dur": _us(qspan.residency_ns),
+                "args": {"bytes": qspan.size_bytes, "kind": qspan.kind},
+            }
+        )
+
+    for tspan in tracer.tx_spans:
+        events.append(
+            {
+                "name": f"tx q{tspan.qos}",
+                "cat": "tx",
+                "ph": "X",
+                "pid": pids[tspan.node],
+                "tid": tspan.qos,
+                "ts": _us(tspan.start_ns),
+                "dur": _us(tspan.duration_ns),
+                "args": {"bytes": tspan.size_bytes},
+            }
+        )
+
+    for drop in tracer.drops:
+        events.append(
+            {
+                "name": f"drop ({drop.reason})",
+                "cat": "drop",
+                "ph": "i",
+                "s": "t",
+                "pid": pids[drop.node],
+                "tid": drop.qos,
+                "ts": _us(drop.time_ns),
+                "args": {"bytes": drop.size_bytes},
+            }
+        )
+
+    for adm in tracer.admission_events:
+        events.append(
+            {
+                "name": f"p_admit {adm.channel} q{adm.qos}",
+                "cat": "admission",
+                "ph": "C",
+                "pid": rpc_pid,
+                "ts": _us(adm.time_ns),
+                "args": {"p_admit": adm.p_admit},
+            }
+        )
+
+    doc: Dict[str, object] = {
+        "traceEvents": events,
+        "displayTimeUnit": "ns",
+    }
+    if registry is not None and registry.series:
+        doc["otherData"] = {"metrics_series_samples": len(registry.series)}
+    return doc
+
+
+def write_chrome_trace(
+    path: Union[str, Path],
+    tracer: Tracer,
+    registry: Optional[MetricsRegistry] = None,
+) -> Path:
+    """Write a Perfetto-loadable trace file; returns its path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(chrome_trace(tracer, registry), fh)
+    return path
+
+
+def write_jsonl(path: Union[str, Path], tracer: Tracer) -> Path:
+    """Write every trace record as one typed JSON object per line."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as fh:
+        for rspan in tracer.rpc_spans:
+            fh.write(json.dumps({"type": "rpc", **asdict(rspan)}) + "\n")
+        for qspan in tracer.queue_spans:
+            fh.write(json.dumps({"type": "queue", **asdict(qspan)}) + "\n")
+        for tspan in tracer.tx_spans:
+            fh.write(json.dumps({"type": "tx", **asdict(tspan)}) + "\n")
+        for drop in tracer.drops:
+            fh.write(json.dumps({"type": "drop", **asdict(drop)}) + "\n")
+        for adm in tracer.admission_events:
+            fh.write(json.dumps({"type": "admission", **asdict(adm)}) + "\n")
+    return path
+
+
+def write_metrics_series(path: Union[str, Path], registry: MetricsRegistry) -> Path:
+    """Write the sim-time snapshot series as JSONL (one tick per line)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as fh:
+        for now_ns, snapshot in registry.series:
+            fh.write(json.dumps({"t_ns": now_ns, "metrics": snapshot}) + "\n")
+    return path
+
+
+# ----------------------------------------------------------------------
+# Text summaries
+# ----------------------------------------------------------------------
+def queue_residency_report(tracer: Tracer, top_k: int = 5) -> str:
+    """Top queue-residency contributors per QoS class.
+
+    This is the per-hop decomposition view: for each QoS, which egress
+    queues accumulated the most total residency (and how bad the worst
+    single packet got).
+    """
+    by_key = tracer.queue_residency_by_node()
+    if not by_key:
+        return "queue residency: no queue spans recorded"
+    qos_levels = sorted({qos for (_node, qos) in by_key})
+    lines = ["queue residency by QoS (top contributors):"]
+    for qos in qos_levels:
+        rows = [
+            (node, count, total, peak)
+            for (node, q), (count, total, peak) in by_key.items()
+            if q == qos
+        ]
+        rows.sort(key=lambda r: (-r[2], r[0]))
+        total_qos = sum(r[2] for r in rows)
+        lines.append(f"  QoS {qos}: {total_qos / 1e3:.1f} us total residency")
+        for node, count, total, peak in rows[:top_k]:
+            share = total / total_qos if total_qos else 0.0
+            mean_us = total / count / 1e3 if count else 0.0
+            lines.append(
+                f"    {share * 100:5.1f}%  {node:<16} "
+                f"{total / 1e3:9.1f} us over {count} pkts "
+                f"(mean {mean_us:.2f} us, max {peak / 1e3:.2f} us)"
+            )
+        hidden = len(rows) - top_k
+        if hidden > 0:
+            lines.append(f"    ... and {hidden} more queues")
+    return "\n".join(lines)
+
+
+def rpc_report(tracer: Tracer) -> str:
+    """Per-QoS RPC lifecycle counts and SLO verdicts."""
+    spans = tracer.rpc_spans
+    if not spans:
+        return "rpcs: no spans recorded"
+    by_qos: Dict[int, List[int]] = {}
+    for span in spans:
+        row = by_qos.setdefault(span.qos_requested, [0, 0, 0, 0, 0])
+        row[0] += 1
+        if span.downgraded:
+            row[1] += 1
+        if span.completed:
+            row[2] += 1
+        if span.slo_met:
+            row[3] += 1
+        if span.terminated:
+            row[4] += 1
+    lines = [f"rpcs: {len(spans)} issued"]
+    for qos in sorted(by_qos):
+        issued, downgraded, completed, met, terminated = by_qos[qos]
+        lines.append(
+            f"  requested QoS {qos}: {issued} issued, {downgraded} downgraded, "
+            f"{completed} completed, {met} met SLO, {terminated} terminated"
+        )
+    if tracer.drops:
+        lines.append(f"drops: {len(tracer.drops)} packets")
+    if tracer.admission_events:
+        decreases = sum(1 for e in tracer.admission_events if e.kind == "decrease")
+        lines.append(
+            f"admission: {len(tracer.admission_events)} p_admit adjustments "
+            f"({decreases} decreases)"
+        )
+    return "\n".join(lines)
+
+
+def trace_report(
+    tracer: Tracer,
+    profiler: Optional[SimProfiler] = None,
+    top_k: int = 5,
+) -> str:
+    """The full text summary the trace CLI prints."""
+    parts = [rpc_report(tracer), queue_residency_report(tracer, top_k)]
+    if profiler is not None:
+        parts.append(profiler.report(top=top_k))
+    return "\n\n".join(parts)

@@ -1,0 +1,249 @@
+"""Metrics registry: counters, gauges, and fixed-bucket histograms.
+
+Instruments are keyed by ``(metric, qos, node)`` — the label axes every
+per-QoS, per-hop question in this reproduction decomposes into.  The
+histogram uses fixed log-spaced bucket bounds so observation cost is a
+single bisect (no per-sample allocation) and memory is constant no
+matter how many RPCs a run issues — the streaming-collector complement
+to exact percentiles over retained records.
+
+A :class:`MetricsRegistry` can additionally snapshot every instrument
+at a configurable *sim-time* cadence (:meth:`install_sampler`), giving
+time series of e.g. per-QoS RNL percentiles or downgrade counts over a
+run.  Sampling callbacks only read instrument state, so an instrumented
+run stays bit-identical to a plain one.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+
+#: Label identity of one instrument: (metric name, qos, node).
+MetricKey = Tuple[str, Optional[int], Optional[str]]
+
+
+def exponential_bounds(
+    lo: float = 100.0, hi: float = 1_000_000_000.0, per_decade: int = 8
+) -> Tuple[float, ...]:
+    """Log-spaced histogram bucket upper bounds, ``lo`` .. ``hi``.
+
+    The defaults span 100 ns to 1 s with 8 buckets per decade — a
+    resolution of about 33% per bucket, ample for tail percentiles that
+    the paper quotes to two significant figures.
+    """
+    if lo <= 0 or hi <= lo:
+        raise ValueError("need 0 < lo < hi")
+    if per_decade < 1:
+        raise ValueError("per_decade must be >= 1")
+    ratio = 10.0 ** (1.0 / per_decade)
+    bounds: List[float] = []
+    edge = lo
+    while edge < hi:
+        bounds.append(edge)
+        edge *= ratio
+    bounds.append(hi)
+    return tuple(bounds)
+
+
+class Counter:
+    """A monotonically increasing count (drops, downgrades, issues)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """A point-in-time value (queue depth, p_admit)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Fixed-bucket histogram with interpolated quantiles.
+
+    ``bounds`` are the bucket *upper* edges; one implicit overflow
+    bucket catches everything above the last edge.  Quantiles are
+    linearly interpolated within the containing bucket and clamped to
+    the observed min/max, so they are exact at the extremes and within
+    one bucket's relative width everywhere else.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "total", "min", "max")
+
+    def __init__(self, name: str, bounds: Optional[Sequence[float]] = None) -> None:
+        self.name = name
+        self.bounds: Tuple[float, ...] = (
+            tuple(bounds) if bounds is not None else exponential_bounds()
+        )
+        if list(self.bounds) != sorted(self.bounds):
+            raise ValueError("histogram bounds must be sorted ascending")
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_right(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Interpolated value at quantile ``q`` in [0, 1]."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        cumulative = 0
+        for i, bucket_count in enumerate(self.counts):
+            if bucket_count == 0:
+                continue
+            if cumulative + bucket_count >= target:
+                lower = self.bounds[i - 1] if i > 0 else self.min
+                upper = self.bounds[i] if i < len(self.bounds) else self.max
+                lower = max(lower, self.min)
+                upper = min(upper, self.max)
+                if upper <= lower:
+                    return lower
+                fraction = (target - cumulative) / bucket_count
+                return lower + fraction * (upper - lower)
+            cumulative += bucket_count
+        return self.max  # pragma: no cover - unreachable (target <= count)
+
+    def percentile(self, pctl: float) -> float:
+        """Interpolated value at percentile ``pctl`` in [0, 100]."""
+        return self.quantile(pctl / 100.0)
+
+    def summary(self) -> Dict[str, float]:
+        """The summary shape shared with batch-mode exact statistics."""
+        if self.count == 0:
+            return {
+                "count": 0.0,
+                "mean": 0.0,
+                "min": 0.0,
+                "max": 0.0,
+                "p50": 0.0,
+                "p90": 0.0,
+                "p99": 0.0,
+                "p999": 0.0,
+            }
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.percentile(50.0),
+            "p90": self.percentile(90.0),
+            "p99": self.percentile(99.0),
+            "p999": self.percentile(99.9),
+        }
+
+
+def _label(key: MetricKey) -> str:
+    name, qos, node = key
+    tags = []
+    if qos is not None:
+        tags.append(f"qos={qos}")
+    if node is not None:
+        tags.append(f"node={node}")
+    return f"{name}{{{','.join(tags)}}}" if tags else name
+
+
+class MetricsRegistry:
+    """Get-or-create registry of instruments keyed ``(metric, qos, node)``."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[MetricKey, Counter] = {}
+        self._gauges: Dict[MetricKey, Gauge] = {}
+        self._histograms: Dict[MetricKey, Histogram] = {}
+        #: Sim-time snapshot series: (sim_now_ns, snapshot dict).
+        self.series: List[Tuple[int, Dict[str, object]]] = []
+
+    def counter(
+        self, name: str, qos: Optional[int] = None, node: Optional[str] = None
+    ) -> Counter:
+        key = (name, qos, node)
+        inst = self._counters.get(key)
+        if inst is None:
+            inst = self._counters[key] = Counter(_label(key))
+        return inst
+
+    def gauge(
+        self, name: str, qos: Optional[int] = None, node: Optional[str] = None
+    ) -> Gauge:
+        key = (name, qos, node)
+        inst = self._gauges.get(key)
+        if inst is None:
+            inst = self._gauges[key] = Gauge(_label(key))
+        return inst
+
+    def histogram(
+        self,
+        name: str,
+        qos: Optional[int] = None,
+        node: Optional[str] = None,
+        bounds: Optional[Sequence[float]] = None,
+    ) -> Histogram:
+        key = (name, qos, node)
+        inst = self._histograms.get(key)
+        if inst is None:
+            inst = self._histograms[key] = Histogram(_label(key), bounds)
+        return inst
+
+    def snapshot(self) -> Dict[str, object]:
+        """Flat label -> value view of every instrument, for export."""
+        out: Dict[str, object] = {}
+        for counter in self._counters.values():
+            out[counter.name] = counter.value
+        for gauge in self._gauges.values():
+            out[gauge.name] = gauge.value
+        for hist in self._histograms.values():
+            out[hist.name] = hist.summary()
+        return out
+
+    def install_sampler(
+        self,
+        sim: "Simulator",
+        cadence_ns: int,
+        until_ns: Optional[int] = None,
+    ) -> None:
+        """Append a snapshot to :attr:`series` every ``cadence_ns`` of
+        sim time, until ``until_ns`` (or forever — the run loop's own
+        horizon then bounds it).  Read-only: sampling never perturbs
+        simulation results.
+        """
+        if cadence_ns <= 0:
+            raise ValueError("cadence must be positive")
+
+        def _tick() -> None:
+            self.series.append((sim.now, self.snapshot()))
+            if until_ns is None or sim.now + cadence_ns <= until_ns:
+                sim.post(cadence_ns, _tick)
+
+        sim.post(cadence_ns, _tick)

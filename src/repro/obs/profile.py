@@ -1,0 +1,100 @@
+"""Sim-time profiling: wall-clock attribution per event-handler type.
+
+The simulator's run loop is a stream of callbacks; knowing *which*
+handler type (port transmit-finish, transport timeout, source tick,
+admission completion...) the wall-clock goes to is what makes a slow
+sweep point diagnosable.  :class:`SimProfiler` wraps each event's
+invocation with two ``perf_counter`` reads and aggregates by the
+callback's ``__qualname__``.
+
+The profiler lives outside the sim domain on purpose: simlint's SIM001
+bans wall-clock reads inside simulator code (they are a determinism
+hazard when mixed into event logic), so the engine never touches
+``time`` itself — it hands the callback to :meth:`timed`, which is only
+ever reached when profiling was explicitly enabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Any, Callable, Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class ProfileRow:
+    """Aggregated cost of one handler type."""
+
+    name: str
+    calls: int
+    total_s: float
+    mean_us: float
+    share: float
+
+
+class SimProfiler:
+    """Aggregates wall-clock per event-handler ``__qualname__``."""
+
+    __slots__ = ("_stats",)
+
+    def __init__(self) -> None:
+        # name -> [calls, total_seconds]; a mutable list keeps the
+        # per-event path to one dict lookup and two in-place updates.
+        self._stats: Dict[str, List[float]] = {}
+
+    def timed(self, fn: Callable[..., None], args: Tuple[Any, ...]) -> None:
+        """Invoke ``fn(*args)``, charging its wall-clock to its type."""
+        start = perf_counter()
+        fn(*args)
+        elapsed = perf_counter() - start
+        name = getattr(fn, "__qualname__", None) or repr(fn)
+        entry = self._stats.get(name)
+        if entry is None:
+            self._stats[name] = [1.0, elapsed]
+        else:
+            entry[0] += 1.0
+            entry[1] += elapsed
+
+    @property
+    def total_events(self) -> int:
+        return int(sum(entry[0] for entry in self._stats.values()))
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(entry[1] for entry in self._stats.values())
+
+    def rows(self) -> List[ProfileRow]:
+        """Per-handler aggregates, most expensive first."""
+        total = self.total_seconds or 1.0
+        rows = [
+            ProfileRow(
+                name=name,
+                calls=int(calls),
+                total_s=seconds,
+                mean_us=(seconds / calls * 1e6) if calls else 0.0,
+                share=seconds / total,
+            )
+            for name, (calls, seconds) in self._stats.items()
+        ]
+        rows.sort(key=lambda r: (-r.total_s, r.name))
+        return rows
+
+    def report(self, top: int = 10, width: int = 30) -> str:
+        """Text flamegraph: one bar per handler type, cost-ordered."""
+        rows = self.rows()
+        if not rows:
+            return "profile: no events recorded"
+        lines = [
+            f"profile: {self.total_events} events, "
+            f"{self.total_seconds * 1e3:.1f} ms handler wall-clock"
+        ]
+        for row in rows[:top]:
+            bar = "#" * max(1, round(row.share * width))
+            lines.append(
+                f"  {row.share * 100:5.1f}% {bar:<{width}} "
+                f"{row.name}  ({row.calls} calls, {row.mean_us:.2f} us/call)"
+            )
+        hidden = len(rows) - top
+        if hidden > 0:
+            lines.append(f"  ... and {hidden} more handler types")
+        return "\n".join(lines)

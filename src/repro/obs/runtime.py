@@ -1,0 +1,115 @@
+"""Observability runtime: the process-wide opt-in context.
+
+Instrumented components (the engine, ports, schedulers, RPC stacks)
+resolve their hooks *at construction time* through the accessors here:
+
+* :func:`active_tracer` / :func:`active_profiler` /
+  :func:`active_registry` return the live instrument, or ``None`` when
+  observability is off — the caller stores the result and guards every
+  hook site with a single ``is not None`` test (or, in the engine,
+  selects a separate profiled run loop), which is the whole
+  zero-overhead-off story;
+* :func:`activate` / :func:`deactivate` install and remove a context —
+  the trace CLI and the runner wrap each simulation in an
+  activate/deactivate pair;
+* the ``REPRO_TRACE`` environment variable (same truthiness rules as
+  ``REPRO_SANITIZE``) switches tracing on process-wide without touching
+  call sites, mirroring the sanitizer's opt-in pattern.
+
+Because resolution happens at construction, a context must be active
+*before* the simulation is built.  That is deliberate: it keeps every
+per-event code path free of global lookups.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import SimProfiler
+from repro.obs.trace import Tracer
+
+#: Environment variable that switches tracing on process-wide.
+TRACE_ENV_VAR = "REPRO_TRACE"
+
+_FALSEY = frozenset({"", "0", "false", "no", "off"})
+
+
+def trace_enabled_by_env() -> bool:
+    """Whether ``REPRO_TRACE`` requests process-wide tracing."""
+    return os.environ.get(TRACE_ENV_VAR, "").strip().lower() not in _FALSEY
+
+
+class ObsContext:
+    """One observability session: tracer + profiler + metrics registry.
+
+    Each component is optional so callers pay only for what they asked
+    for (profiling adds two clock reads per event; tracing adds span
+    records per packet).
+    """
+
+    def __init__(
+        self,
+        tracer: Optional[Tracer] = None,
+        profiler: Optional[SimProfiler] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.tracer = tracer
+        self.profiler = profiler
+        self.registry = registry
+
+    @classmethod
+    def full(cls) -> "ObsContext":
+        """A context with all three instruments enabled."""
+        return cls(
+            tracer=Tracer(), profiler=SimProfiler(), registry=MetricsRegistry()
+        )
+
+
+_active: Optional[ObsContext] = None
+
+
+def activate(context: Optional[ObsContext] = None) -> ObsContext:
+    """Install ``context`` (default: a full one) as the active context.
+
+    Replaces any previously active context; components built afterwards
+    bind to the new one.
+    """
+    global _active
+    _active = context if context is not None else ObsContext.full()
+    return _active
+
+
+def deactivate() -> None:
+    """Remove the active context; newly built components run plain."""
+    global _active
+    _active = None
+
+
+def active() -> Optional[ObsContext]:
+    """The active context, if any.
+
+    When no context was activated explicitly, honors ``REPRO_TRACE`` by
+    lazily installing a full one, so the env var alone turns tracing on
+    for any entry point (the sanitizer's opt-in pattern).
+    """
+    global _active
+    if _active is None and trace_enabled_by_env():
+        _active = ObsContext.full()
+    return _active
+
+
+def active_tracer() -> Optional[Tracer]:
+    ctx = active()
+    return ctx.tracer if ctx is not None else None
+
+
+def active_profiler() -> Optional[SimProfiler]:
+    ctx = active()
+    return ctx.profiler if ctx is not None else None
+
+
+def active_registry() -> Optional[MetricsRegistry]:
+    ctx = active()
+    return ctx.registry if ctx is not None else None

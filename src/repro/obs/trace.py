@@ -1,0 +1,238 @@
+"""Structured RPC-lifecycle and network tracing.
+
+A :class:`Tracer` collects four kinds of records while a simulation
+runs:
+
+* **RPC spans** — one per issued RPC, following the paper's lifecycle:
+  issued (with the Phase-1 requested QoS), admitted or downgraded
+  (Phase 2), and delivered with the measured RNL and the SLO verdict;
+* **queue spans** — per-hop residency: a packet's time between entering
+  an egress scheduler and being picked for serialization, attributed to
+  ``(node, qos)`` — the quantity the paper's WFQ delay bounds are about;
+* **tx spans** — serialization intervals on each port;
+* **drop / admission events** — buffer refusals, pFabric evictions, and
+  every AIMD ``p_admit`` adjustment (Algorithm 1 increase/decrease).
+
+Hook methods are only invoked by instrumented components when a tracer
+is active (see :mod:`repro.obs.runtime`): every hook site in the
+simulator is a single ``is not None`` test when tracing is off — the
+null-object fast path that keeps the zero-overhead-off guarantee.  All
+hooks are read-only with respect to simulation state (the one exception
+— stamping :attr:`Packet.enqueued_ns` — writes a field nothing in the
+simulator reads), so traced and untraced runs produce bit-identical
+results and digests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.packet import Packet
+    from repro.rpc.message import Rpc
+
+
+@dataclass(slots=True)
+class RpcSpan:
+    """One RPC's lifecycle, from issue to completion (or not)."""
+
+    rpc_id: int
+    src: int
+    dst: int
+    qos_requested: int
+    qos_run: int
+    downgraded: bool
+    issued_ns: int
+    payload_bytes: int
+    size_mtus: int
+    completed_ns: Optional[int] = None
+    rnl_ns: Optional[int] = None
+    #: SLO verdict at completion: True/False for RPCs whose *requested*
+    #: QoS carries an SLO (downgraded RPCs count as misses, matching the
+    #: Fig-22 success metric), None for scavenger-class requests.
+    slo_met: Optional[bool] = None
+    terminated: bool = False
+
+    @property
+    def completed(self) -> bool:
+        return self.completed_ns is not None
+
+
+@dataclass(slots=True)
+class QueueSpan:
+    """One packet's residency in one egress scheduler."""
+
+    node: str
+    qos: int
+    enqueued_ns: int
+    dequeued_ns: int
+    size_bytes: int
+    kind: int
+
+    @property
+    def residency_ns(self) -> int:
+        return self.dequeued_ns - self.enqueued_ns
+
+
+@dataclass(slots=True)
+class TxSpan:
+    """One packet's serialization interval on a port."""
+
+    node: str
+    qos: int
+    start_ns: int
+    duration_ns: int
+    size_bytes: int
+
+
+@dataclass(slots=True)
+class DropEvent:
+    """A packet lost at a scheduler: buffer refusal or pFabric eviction."""
+
+    node: str
+    qos: int
+    time_ns: int
+    size_bytes: int
+    reason: str  # "refused" | "evicted"
+
+
+@dataclass(slots=True)
+class AdmissionEvent:
+    """One AIMD adjustment of a channel's admit probability."""
+
+    time_ns: int
+    channel: str
+    qos: int
+    p_admit: float
+    kind: str  # "increase" | "decrease"
+
+
+class Tracer:
+    """Collects lifecycle spans from instrumented simulator components.
+
+    Every hook takes the current simulation time explicitly — the
+    caller always has it at hand, and the tracer stays free of clock
+    plumbing (and of any dependency on the engine).
+    """
+
+    def __init__(self) -> None:
+        self._rpc_spans: Dict[int, RpcSpan] = {}
+        self.queue_spans: List[QueueSpan] = []
+        self.tx_spans: List[TxSpan] = []
+        self.drops: List[DropEvent] = []
+        self.admission_events: List[AdmissionEvent] = []
+
+    # ------------------------------------------------------------------
+    # RPC lifecycle (called by repro.rpc.stack)
+    # ------------------------------------------------------------------
+    def on_rpc_issued(self, rpc: "Rpc") -> None:
+        """Open a span at issue time, after the admission decision."""
+        qos_requested = rpc.qos_requested if rpc.qos_requested is not None else 0
+        qos_run = rpc.qos_run if rpc.qos_run is not None else qos_requested
+        self._rpc_spans[rpc.rpc_id] = RpcSpan(
+            rpc_id=rpc.rpc_id,
+            src=rpc.src,
+            dst=rpc.dst,
+            qos_requested=qos_requested,
+            qos_run=qos_run,
+            downgraded=rpc.downgraded,
+            issued_ns=rpc.issued_ns,
+            payload_bytes=rpc.payload_bytes,
+            size_mtus=rpc.size_mtus,
+        )
+
+    def on_rpc_completed(self, rpc: "Rpc", slo_met: Optional[bool]) -> None:
+        span = self._rpc_spans.get(rpc.rpc_id)
+        if span is None:  # issued before the tracer was activated
+            return
+        span.completed_ns = rpc.completed_ns
+        span.rnl_ns = rpc.rnl_ns
+        span.slo_met = slo_met
+
+    def on_rpc_terminated(self, rpc: "Rpc") -> None:
+        span = self._rpc_spans.get(rpc.rpc_id)
+        if span is not None:
+            span.terminated = True
+
+    # ------------------------------------------------------------------
+    # Queueing and transmission (called by repro.net.link / queues)
+    # ------------------------------------------------------------------
+    def on_enqueue(self, node: str, pkt: "Packet", now_ns: int) -> None:
+        """Stamp the packet so its residency closes at dequeue time."""
+        pkt.enqueued_ns = now_ns
+
+    def on_dequeue(self, node: str, pkt: "Packet", now_ns: int) -> None:
+        self.queue_spans.append(
+            QueueSpan(
+                node=node,
+                qos=pkt.qos,
+                enqueued_ns=pkt.enqueued_ns,
+                dequeued_ns=now_ns,
+                size_bytes=pkt.size_bytes,
+                kind=int(pkt.kind),
+            )
+        )
+
+    def on_transmit(self, node: str, pkt: "Packet", now_ns: int, tx_ns: int) -> None:
+        self.tx_spans.append(
+            TxSpan(
+                node=node,
+                qos=pkt.qos,
+                start_ns=now_ns,
+                duration_ns=tx_ns,
+                size_bytes=pkt.size_bytes,
+            )
+        )
+
+    def on_drop(self, node: str, pkt: "Packet", now_ns: int, reason: str) -> None:
+        self.drops.append(
+            DropEvent(
+                node=node,
+                qos=pkt.qos,
+                time_ns=now_ns,
+                size_bytes=pkt.size_bytes,
+                reason=reason,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Admission control (called via repro.core.channel observer)
+    # ------------------------------------------------------------------
+    def on_admission(
+        self, channel: str, qos: int, p_admit: float, kind: str, now_ns: int
+    ) -> None:
+        self.admission_events.append(
+            AdmissionEvent(
+                time_ns=now_ns, channel=channel, qos=qos, p_admit=p_admit, kind=kind
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    @property
+    def rpc_spans(self) -> List[RpcSpan]:
+        """All RPC spans, in issue order."""
+        return list(self._rpc_spans.values())
+
+    def rpc_span(self, rpc_id: int) -> Optional[RpcSpan]:
+        return self._rpc_spans.get(rpc_id)
+
+    def queue_residency_by_node(
+        self, qos: Optional[int] = None
+    ) -> Dict[Tuple[str, int], Tuple[int, int, int]]:
+        """Aggregate residency per ``(node, qos)``.
+
+        Returns ``(node, qos) -> (packets, total_residency_ns, max_ns)``,
+        optionally restricted to one QoS class.
+        """
+        agg: Dict[Tuple[str, int], Tuple[int, int, int]] = {}
+        for span in self.queue_spans:
+            if qos is not None and span.qos != qos:
+                continue
+            key = (span.node, span.qos)
+            count, total, peak = agg.get(key, (0, 0, 0))
+            residency = span.residency_ns
+            agg[key] = (count + 1, total + residency, max(peak, residency))
+        return agg

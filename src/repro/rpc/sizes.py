@@ -53,7 +53,7 @@ class FixedSize(SizeDistribution):
 class ChoiceSize(SizeDistribution):
     """Discrete mixture of payload sizes (e.g. the 32 KB/64 KB mix of §6.8)."""
 
-    def __init__(self, options: Sequence[Tuple[int, float]]):
+    def __init__(self, options: Sequence[Tuple[int, float]]) -> None:
         if not options:
             raise ValueError("need at least one option")
         if any(size <= 0 or weight <= 0 for size, weight in options):
@@ -84,7 +84,7 @@ class LogNormalSize(SizeDistribution):
         sigma: float,
         min_bytes: int = 512,
         max_bytes: int = 1 << 20,
-    ):
+    ) -> None:
         if median_bytes <= 0 or sigma <= 0:
             raise ValueError("median and sigma must be positive")
         if min_bytes <= 0 or max_bytes < min_bytes:

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.core.qos import Priority
 from repro.rpc.sizes import SizeDistribution
@@ -88,7 +88,7 @@ class OpenLoopSource:
         start_ns: int = 0,
         stop_ns: Optional[int] = None,
         deterministic: bool = False,
-    ):
+    ) -> None:
         if not dsts:
             raise ValueError("need at least one destination")
         total_mix = sum(priority_mix.values())
@@ -200,7 +200,7 @@ def all_to_all_sources(
     line_rate_bps: float = 100e9,
     seed: int = 7,
     stop_ns: Optional[int] = None,
-) -> list:
+) -> List[OpenLoopSource]:
     """One source per host, sending to every other host uniformly.
 
     This is the paper's 33/144-node communication pattern: each host
@@ -208,7 +208,7 @@ def all_to_all_sources(
     every receiver's downlink also sees average load mu (balanced
     all-to-all).
     """
-    sources = []
+    sources: List[OpenLoopSource] = []
     host_ids = [stack.host.host_id for stack in stacks]
     for stack in stacks:
         dsts = [h for h in host_ids if h != stack.host.host_id]

@@ -19,7 +19,7 @@ import json
 import os
 import tempfile
 from pathlib import Path
-from typing import Dict, Optional
+from typing import Any, Dict, Optional, Union
 
 from repro.runner.point import Point
 
@@ -46,7 +46,7 @@ def code_version() -> str:
 class ResultCache:
     """Point-level result cache rooted at one directory."""
 
-    def __init__(self, root: os.PathLike) -> None:
+    def __init__(self, root: Union[str, "os.PathLike[str]"]) -> None:
         self.root = Path(root)
         self.hits = 0
         self.misses = 0
@@ -55,7 +55,7 @@ class ResultCache:
         key = point.cache_key(code_ver)
         return self.root / point.experiment / key[:2] / f"{key}.json"
 
-    def get(self, point: Point, code_ver: str) -> Optional[Dict]:
+    def get(self, point: Point, code_ver: str) -> Optional[Dict[str, Any]]:
         """The cached row for this point, or None on miss/corruption."""
         path = self._path(point, code_ver)
         try:
@@ -65,9 +65,10 @@ class ResultCache:
             self.misses += 1
             return None
         self.hits += 1
-        return entry["row"]
+        row: Dict[str, Any] = entry["row"]
+        return row
 
-    def put(self, point: Point, code_ver: str, row: Dict) -> None:
+    def put(self, point: Point, code_ver: str, row: Dict[str, Any]) -> None:
         path = self._path(point, code_ver)
         path.parent.mkdir(parents=True, exist_ok=True)
         entry = {

@@ -19,7 +19,7 @@ import time
 import traceback
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.runner.cache import ResultCache, code_version
 from repro.runner.point import Point
@@ -27,14 +27,42 @@ from repro.runner.registry import driver_for, validate_profile
 from repro.runner.store import ResultStore
 from repro.stats.digest import digest_hex
 
+#: (sweep index, point, per-point trace directory or None).
+_Task = Tuple[int, Point, Optional[str]]
+#: ("ok", index, row, wall_s) or ("err", index, formatted error, 0.0).
+_Outcome = Tuple[str, int, Any, float]
 
-def _execute_point(task):
-    """Worker entry: run one point.  Top-level so spawn can pickle it."""
-    index, point = task
+
+def _execute_point(task: _Task) -> _Outcome:
+    """Worker entry: run one point.  Top-level so spawn can pickle it.
+
+    ``task`` is ``(index, point, trace_dir)``; a non-None ``trace_dir``
+    wraps the point in a fresh observability context and exports its
+    Chrome trace + span log there (one file pair per point).
+    """
+    index, point, trace_dir = task
     try:
         driver = driver_for(point.experiment)
         start = time.perf_counter()
-        row = driver.run_point(point, point.seed)
+        if trace_dir is None:
+            row = driver.run_point(point, point.seed)
+        else:
+            from repro.obs.export import write_chrome_trace, write_jsonl
+            from repro.obs.runtime import ObsContext, activate, deactivate
+
+            context = ObsContext.full()
+            activate(context)
+            try:
+                row = driver.run_point(point, point.seed)
+            finally:
+                deactivate()
+            out = Path(trace_dir)
+            out.mkdir(parents=True, exist_ok=True)
+            if context.tracer is not None:
+                write_chrome_trace(
+                    out / f"point-{index:03d}.trace.json", context.tracer
+                )
+                write_jsonl(out / f"point-{index:03d}.spans.jsonl", context.tracer)
         wall = time.perf_counter() - start
         return ("ok", index, row, wall)
     except Exception as exc:  # propagated with context by the parent
@@ -49,7 +77,7 @@ class RunReport:
     profile: str
     run_id: str
     path: Path
-    rows: List[Dict]
+    rows: List[Dict[str, Any]]
     digest_hex: str
     computed: int
     cached: int
@@ -88,15 +116,23 @@ def run_experiment(
     cache_dir: Optional[str] = None,
     use_cache: bool = True,
     replicates: int = 1,
+    trace: bool = False,
     log: Optional[Callable[[str], None]] = None,
 ) -> RunReport:
     """Run one figure's sweep and persist the result document.
+
+    ``trace=True`` runs every point under a fresh observability context
+    and writes per-point Chrome traces + span logs next to the run
+    document; the point cache is bypassed for the run (a cached row has
+    no trace to export, and a traced row must actually execute).
 
     Raises :class:`~repro.runner.registry.UnknownExperimentError` /
     :class:`~repro.runner.registry.UnknownProfileError` for bad names,
     and ``RuntimeError`` if any point's computation fails.
     """
     emit = log or (lambda _msg: None)
+    if trace:
+        use_cache = False
     driver = driver_for(name)
     validate_profile(name, profile)
     if workers < 1:
@@ -116,7 +152,7 @@ def run_experiment(
     store = ResultStore(results_dir)
     cache = ResultCache(cache_dir or Path(results_dir) / "_cache")
 
-    resumed_rows: Dict[int, Dict] = {}
+    resumed_rows: Dict[int, Dict[str, Any]] = {}
     if resume is not None:
         prior = store.load(name, resume)
         by_key = {
@@ -132,7 +168,7 @@ def run_experiment(
     else:
         run_id = store.new_run_id(name)
 
-    cached_rows: Dict[int, Dict] = {}
+    cached_rows: Dict[int, Dict[str, Any]] = {}
     if use_cache:
         for i, point in enumerate(points):
             if i in resumed_rows:
@@ -141,8 +177,11 @@ def run_experiment(
             if row is not None:
                 cached_rows[i] = row
 
+    trace_dir: Optional[str] = None
+    if trace:
+        trace_dir = str(Path(results_dir) / name / f"{run_id}-traces")
     todo = [
-        (i, point)
+        (i, point, trace_dir)
         for i, point in enumerate(points)
         if i not in resumed_rows and i not in cached_rows
     ]
@@ -151,19 +190,23 @@ def run_experiment(
         f"{len(resumed_rows)} resumed, {len(cached_rows)} cached, "
         f"{len(todo)} to compute on {workers} worker(s)"
     )
+    if trace_dir is not None:
+        emit(f"  tracing on: per-point traces -> {trace_dir}/")
 
     start = time.perf_counter()
-    computed_rows: Dict[int, Dict] = {}
+    computed_rows: Dict[int, Dict[str, Any]] = {}
     walls: Dict[int, float] = {}
     if todo:
+        outcomes: Iterable[_Outcome]
         if workers == 1:
             outcomes = map(_execute_point, todo)
         else:
             ctx = multiprocessing.get_context("spawn")
             pool = ctx.Pool(processes=min(workers, len(todo)))
             try:
-                outcomes = pool.imap_unordered(_execute_point, todo, chunksize=1)
-                outcomes = list(outcomes)
+                outcomes = list(
+                    pool.imap_unordered(_execute_point, todo, chunksize=1)
+                )
             finally:
                 pool.close()
                 pool.join()
@@ -179,8 +222,8 @@ def run_experiment(
             if use_cache:
                 cache.put(points[index], code_ver, payload)
 
-    rows: List[Dict] = []
-    entries: List[Dict] = []
+    rows: List[Dict[str, Any]] = []
+    entries: List[Dict[str, Any]] = []
     for i, point in enumerate(points):
         if i in resumed_rows:
             row, source = resumed_rows[i], "resume"
@@ -223,6 +266,7 @@ def run_experiment(
         "workers": workers,
         "replicates": replicates,
         "code_version": code_ver,
+        "traced": trace,
         "created_unix": int(time.time()),
         "wall_s": round(wall_s, 3),
         "counts": {

@@ -10,9 +10,10 @@ tracebacks.
 from __future__ import annotations
 
 import importlib
-from typing import List
+from types import ModuleType
+from typing import Dict, List
 
-FIGURE_MODULES = {
+FIGURE_MODULES: Dict[str, str] = {
     "fig08": "repro.experiments.fig08",
     "fig09": "repro.experiments.fig09",
     "fig10": "repro.experiments.fig10",
@@ -49,7 +50,7 @@ def available_experiments() -> List[str]:
     return sorted(FIGURE_MODULES)
 
 
-def driver_for(name: str):
+def driver_for(name: str) -> ModuleType:
     """Import and validate the driver module for a figure name."""
     try:
         module_name = FIGURE_MODULES[name]

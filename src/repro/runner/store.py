@@ -14,13 +14,13 @@ import json
 import os
 import time
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional, Union
 
 
 class ResultStore:
     """Run-level result documents rooted at one directory."""
 
-    def __init__(self, root: os.PathLike) -> None:
+    def __init__(self, root: Union[str, "os.PathLike[str]"]) -> None:
         self.root = Path(root)
 
     def new_run_id(self, experiment: str) -> str:
@@ -36,7 +36,7 @@ class ResultStore:
     def path(self, experiment: str, run_id: str) -> Path:
         return self.root / experiment / f"{run_id}.json"
 
-    def write(self, doc: Dict) -> Path:
+    def write(self, doc: Dict[str, Any]) -> Path:
         path = self.path(doc["experiment"], doc["run_id"])
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_suffix(".json.tmp")
@@ -46,11 +46,12 @@ class ResultStore:
         os.replace(tmp, path)
         return path
 
-    def load(self, experiment: str, run_id: str) -> Dict:
+    def load(self, experiment: str, run_id: str) -> Dict[str, Any]:
         path = self.path(experiment, run_id)
         try:
             with open(path) as fh:
-                return json.load(fh)
+                doc: Dict[str, Any] = json.load(fh)
+                return doc
         except OSError as exc:
             raise FileNotFoundError(
                 f"no stored run {run_id!r} for {experiment!r} "

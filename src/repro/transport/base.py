@@ -55,7 +55,7 @@ class Message:
         on_complete: Optional[Callable[["Message"], None]] = None,
         deadline_ns: Optional[int] = None,
         context: object = None,
-    ):
+    ) -> None:
         if payload_bytes <= 0:
             raise ValueError("message payload must be positive")
         self.msg_id = next(Message._id_counter)
@@ -124,7 +124,7 @@ class FixedWindowCC(CongestionControl):
     control off) and by baselines that regulate rate by other means.
     """
 
-    def __init__(self, cwnd: float = 1e9):
+    def __init__(self, cwnd: float = 1e9) -> None:
         self.cwnd = cwnd
 
     def on_ack(self, rtt_ns: int, now_ns: int, acked_packets: int = 1) -> None:

@@ -98,7 +98,7 @@ class Flow:
         dst: int,
         qos: int,
         config: TransportConfig,
-    ):
+    ) -> None:
         self.sim = sim
         self.endpoint = endpoint
         self.src = endpoint.host.host_id
@@ -310,7 +310,9 @@ class Flow:
 class TransportEndpoint:
     """Host-level transport: flow demux, ACK generation, completion hooks."""
 
-    def __init__(self, sim: Simulator, host: Host, config: TransportConfig = TransportConfig()):
+    def __init__(
+        self, sim: Simulator, host: Host, config: TransportConfig = TransportConfig()
+    ) -> None:
         self.sim = sim
         self.host = host
         self.config = config

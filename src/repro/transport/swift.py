@@ -47,7 +47,9 @@ class SwiftParams:
 class SwiftCC(CongestionControl):
     """Per-flow Swift congestion window."""
 
-    def __init__(self, params: SwiftParams = SwiftParams(), initial_cwnd: float = 8.0):
+    def __init__(
+        self, params: SwiftParams = SwiftParams(), initial_cwnd: float = 8.0
+    ) -> None:
         self.params = params
         self.cwnd = min(max(initial_cwnd, params.min_cwnd), params.max_cwnd)
         self._last_decrease_ns = -(10**18)

@@ -50,6 +50,10 @@ BAD_FIXTURES = {
         "    sim.post(0, cleanup)\n"
     ),
     "SIM008": "def run_point(point):\n    return {}\n",
+    "SIM009": (
+        "def on_deliver(pkt):\n"
+        "    print('delivered', pkt.serial)\n"
+    ),
 }
 
 GOOD_FIXTURES = {
@@ -86,6 +90,10 @@ GOOD_FIXTURES = {
         "    sim.stop()\n"
     ),
     "SIM008": "def run_point(point, seed):\n    return {}\n",
+    "SIM009": (
+        "def on_deliver(pkt, tracer):\n"
+        "    tracer.on_enqueue('nic0', pkt, 0)\n"
+    ),
 }
 
 
@@ -133,7 +141,7 @@ def test_sim003_matches_attribute_and_subscript_tags():
 
 
 def test_sim004_requires_scheduling_in_body():
-    benign = "def f(hosts):\n    for h in set(hosts):\n        print(h)\n"
+    benign = "def f(hosts):\n    for h in set(hosts):\n        h.reset()\n"
     assert rules_in(benign) == []
     keys = (
         "def f(sim, d):\n"
@@ -151,6 +159,14 @@ def test_sim006_flags_substream_at_module_scope():
 def test_sim008_accepts_keyword_only_seed():
     source = "def run_point(point, *, seed):\n    return {}\n"
     assert rules_in(source) == []
+
+
+def test_sim009_only_flags_the_builtin_in_sim_domain():
+    # A method named print on some object is not console I/O.
+    assert rules_in("def f(doc):\n    doc.print()\n") == []
+    # Sim-domain only: general and host code may print freely.
+    assert rules_in(BAD_FIXTURES["SIM009"], GENERAL_PATH) == []
+    assert "SIM009" in rules_in(BAD_FIXTURES["SIM009"], NET_PATH)
 
 
 # ----------------------------------------------------------------------
@@ -204,6 +220,7 @@ def test_host_allowlist_exempts_wall_clock_and_global_random():
     assert rules_in(BAD_FIXTURES["SIM001"], HOST_PATH) == []
     assert rules_in(BAD_FIXTURES["SIM002"], HOST_PATH) == []
     assert rules_in(BAD_FIXTURES["SIM006"], HOST_PATH) == []
+    assert rules_in(BAD_FIXTURES["SIM009"], HOST_PATH) == []
     # ...but generic bug rules still apply to host code.
     assert rules_in(BAD_FIXTURES["SIM005"], HOST_PATH) == ["SIM005"]
 

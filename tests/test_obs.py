@@ -1,0 +1,455 @@
+"""Observability layer: span completeness, histogram math, exporters.
+
+The contract under test has three legs:
+
+* **completeness** — with tracing on, every RPC the metrics collector
+  counted has exactly one span, and the spans reconstruct the same
+  aggregate RNL sums the collector computed independently;
+* **zero overhead off** — a traced run and a plain run of the same
+  scenario produce bit-identical determinism digests (the tracer is
+  read-only with respect to simulation state);
+* **export fidelity** — the Chrome ``trace_event`` document is
+  schema-valid (Perfetto-loadable) and the JSONL record stream matches
+  the tracer's in-memory records one-for-one.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.core.admission import AdmissionParams
+from repro.core.qos import Priority
+from repro.core.slo import SLOMap
+from repro.net.topology import build_two_tier, wfq_factory
+from repro.obs.export import (
+    chrome_trace,
+    queue_residency_report,
+    rpc_report,
+    trace_report,
+    write_chrome_trace,
+    write_jsonl,
+    write_metrics_series,
+)
+from repro.obs.metrics import Histogram, MetricsRegistry, exponential_bounds
+from repro.obs.profile import SimProfiler
+from repro.obs.runtime import (
+    ObsContext,
+    activate,
+    active,
+    active_tracer,
+    deactivate,
+    trace_enabled_by_env,
+)
+from repro.obs.trace import Tracer
+from repro.rpc.sizes import FixedSize
+from repro.rpc.stack import MetricsCollector, RpcStack
+from repro.rpc.workload import OpenLoopSource, steady_pattern
+from repro.sim.engine import Simulator, ns_from_ms, ns_from_us
+from repro.stats.digest import completed_rpc_digest, digest_hex
+from repro.stats.summary import percentile as exact_percentile
+from repro.transport.reliable import TransportConfig, TransportEndpoint
+from repro.transport.swift import SwiftCC, SwiftParams
+
+
+@pytest.fixture(autouse=True)
+def _obs_clean():
+    """Never leak an active observability context between tests."""
+    deactivate()
+    yield
+    deactivate()
+
+
+def _run_two_tier(traced: bool, duration_ms: float = 4.0, seed: int = 9):
+    """The overloaded two-tier scenario, optionally under tracing.
+
+    Same wiring as test_two_tier_overload.run_two_tier (admission on):
+    QoS_h alone oversubscribes the ToR uplinks, so the run exercises
+    downgrades, AIMD decreases, and deep queue residency in the core.
+    """
+    context = None
+    if traced:
+        context = activate(ObsContext.full())
+    try:
+        sim = Simulator()
+        net = build_two_tier(
+            sim,
+            num_tors=2,
+            hosts_per_tor=3,
+            scheduler_factory=wfq_factory((8, 4, 1)),
+            line_rate_bps=100e9,
+            uplink_oversubscription=2.0,
+        )
+        slo_map = SLOMap.for_three_levels(
+            ns_from_us(15), ns_from_us(25), target_percentile=99.0
+        )
+        config = TransportConfig(
+            cc_factory=lambda: SwiftCC(SwiftParams(target_delay_ns=ns_from_us(25))),
+            ack_bypass=True,
+        )
+        endpoints = [TransportEndpoint(sim, h, config) for h in net.hosts]
+        for a in endpoints:
+            for b in endpoints:
+                if a is not b:
+                    a.register_peer(b)
+        metrics = MetricsCollector()
+        stacks = [
+            RpcStack(sim, net.hosts[i], endpoints[i], slo_map,
+                     AdmissionParams(alpha=0.05), metrics, seed=seed)
+            for i in range(net.num_hosts)
+        ]
+        for i in range(3):
+            OpenLoopSource(
+                sim,
+                stacks[i],
+                [3, 4, 5],
+                {Priority.PC: 0.8, Priority.BE: 0.2},
+                FixedSize(32 * 1024),
+                steady_pattern(0.8),
+                rng=random.Random(seed * 13 + i),
+                stop_ns=ns_from_ms(duration_ms),
+            )
+        sim.run(until=ns_from_ms(duration_ms))
+    finally:
+        if traced:
+            deactivate()
+    return context, metrics
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    deactivate()  # module fixtures run outside the autouse guard's scope
+    try:
+        return _run_two_tier(traced=True)
+    finally:
+        deactivate()
+
+
+# ----------------------------------------------------------------------
+# Span completeness
+# ----------------------------------------------------------------------
+def test_rpc_spans_are_complete_against_collector(traced_run):
+    context, metrics = traced_run
+    tracer = context.tracer
+    spans = tracer.rpc_spans
+
+    assert len(spans) == metrics.issued_count > 0
+    completed = [s for s in spans if s.completed]
+    assert len(completed) == metrics.completed_count > 0
+    assert sum(1 for s in spans if s.downgraded) == metrics.downgrades > 0
+    assert sum(1 for s in spans if s.terminated) == metrics.terminated
+
+    # Spans independently reconstruct the collector's digest aggregates.
+    rnl_by_qos = {}
+    count_by_qos = {}
+    for span in completed:
+        assert span.rnl_ns is not None and span.rnl_ns > 0
+        assert span.completed_ns >= span.issued_ns
+        rnl_by_qos[span.qos_run] = rnl_by_qos.get(span.qos_run, 0) + span.rnl_ns
+        count_by_qos[span.qos_run] = count_by_qos.get(span.qos_run, 0) + 1
+    assert rnl_by_qos == metrics.rnl_sum_by_qos
+    assert count_by_qos == metrics.completed_by_qos
+
+    # Downgraded RPCs run below their requested class and, because the
+    # requested class carries an SLO, always count as verdict misses.
+    for span in spans:
+        if span.downgraded:
+            assert span.qos_run > span.qos_requested
+            assert span.slo_met is not True
+
+    # Every span is retrievable by id; unknown ids are None.
+    assert tracer.rpc_span(completed[0].rpc_id) is completed[0]
+    assert tracer.rpc_span(-1) is None
+
+
+def test_queue_and_tx_spans_cover_the_fabric(traced_run):
+    context, _metrics = traced_run
+    tracer = context.tracer
+
+    assert tracer.queue_spans, "overloaded run must record queue residency"
+    # Every dequeue starts a serialization, so the streams pair up.
+    assert len(tracer.tx_spans) == len(tracer.queue_spans)
+
+    for span in tracer.queue_spans:
+        assert span.dequeued_ns >= span.enqueued_ns >= 0
+        assert span.residency_ns == span.dequeued_ns - span.enqueued_ns
+        assert span.size_bytes > 0
+
+    nodes = {span.node for span in tracer.queue_spans}
+    # Host NICs and the oversubscribed core both show up.
+    assert any(node.startswith("nic") for node in nodes)
+    assert any(not node.startswith("nic") for node in nodes)
+
+    # The aggregate view sums exactly over the raw spans.
+    agg = tracer.queue_residency_by_node()
+    assert sum(count for count, _t, _m in agg.values()) == len(tracer.queue_spans)
+    assert sum(total for _c, total, _m in agg.values()) == sum(
+        s.residency_ns for s in tracer.queue_spans
+    )
+    qos0 = tracer.queue_residency_by_node(qos=0)
+    assert set(qos0) == {key for key in agg if key[1] == 0}
+
+
+def test_admission_events_record_aimd_decreases(traced_run):
+    context, _metrics = traced_run
+    events = context.tracer.admission_events
+    assert events, "persistent QoS_h overload must trigger AIMD adjustments"
+    assert {e.kind for e in events} <= {"increase", "decrease"}
+    assert any(e.kind == "decrease" for e in events)
+    for event in events:
+        assert 0.0 <= event.p_admit <= 1.0
+        assert "->" in event.channel
+
+
+# ----------------------------------------------------------------------
+# Zero overhead off: traced and plain runs are bit-identical
+# ----------------------------------------------------------------------
+def test_traced_run_digest_matches_plain_run(traced_run):
+    _context, traced_metrics = traced_run
+    _none, plain_metrics = _run_two_tier(traced=False)
+    assert digest_hex(completed_rpc_digest(traced_metrics)) == digest_hex(
+        completed_rpc_digest(plain_metrics)
+    )
+
+
+# ----------------------------------------------------------------------
+# Histogram bucket math vs exact quantiles
+# ----------------------------------------------------------------------
+def test_histogram_quantiles_within_bucket_resolution():
+    rng = random.Random(42)
+    samples = [rng.lognormvariate(9.0, 0.8) for _ in range(5000)]
+    hist = Histogram("rnl")
+    for s in samples:
+        hist.observe(s)
+
+    assert hist.count == len(samples)
+    assert hist.mean == pytest.approx(sum(samples) / len(samples))
+    # Extremes are exact (clamped to observed min/max).
+    assert hist.quantile(0.0) == pytest.approx(min(samples))
+    assert hist.quantile(1.0) == pytest.approx(max(samples))
+    # Interior quantiles are within one bucket's relative width (~33%
+    # at 8 buckets/decade) of the exact order statistic.
+    for pctl in (50.0, 90.0, 99.0, 99.9):
+        exact = exact_percentile(samples, pctl)
+        assert hist.percentile(pctl) == pytest.approx(exact, rel=0.35)
+
+    summary = hist.summary()
+    assert summary["count"] == float(len(samples))
+    assert summary["min"] == pytest.approx(min(samples))
+    assert summary["max"] == pytest.approx(max(samples))
+    assert summary["p50"] <= summary["p90"] <= summary["p99"] <= summary["p999"]
+
+
+def test_histogram_edge_cases_and_validation():
+    empty = Histogram("empty")
+    assert empty.quantile(0.5) == 0.0
+    assert empty.summary() == {
+        "count": 0.0, "mean": 0.0, "min": 0.0, "max": 0.0,
+        "p50": 0.0, "p90": 0.0, "p99": 0.0, "p999": 0.0,
+    }
+    with pytest.raises(ValueError):
+        empty.quantile(-0.01)
+    with pytest.raises(ValueError):
+        empty.quantile(1.01)
+    with pytest.raises(ValueError):
+        Histogram("bad", bounds=(10.0, 5.0))
+    with pytest.raises(ValueError):
+        exponential_bounds(lo=0.0)
+    with pytest.raises(ValueError):
+        exponential_bounds(lo=10.0, hi=5.0)
+    with pytest.raises(ValueError):
+        exponential_bounds(per_decade=0)
+
+    # Values beyond the last edge land in the overflow bucket and the
+    # quantile stays clamped to the observed max.
+    hist = Histogram("overflow", bounds=(1.0, 10.0))
+    for value in (0.5, 5.0, 1e6):
+        hist.observe(value)
+    assert hist.counts[-1] == 1
+    assert hist.quantile(1.0) == pytest.approx(1e6)
+
+
+# ----------------------------------------------------------------------
+# Metrics registry
+# ----------------------------------------------------------------------
+def test_registry_get_or_create_and_snapshot():
+    reg = MetricsRegistry()
+    c = reg.counter("rpc_issued", qos=0)
+    c.inc()
+    c.inc(2)
+    assert reg.counter("rpc_issued", qos=0) is c
+    assert reg.counter("rpc_issued", qos=1) is not c
+    reg.gauge("p_admit", qos=0, node="h0").set(0.25)
+    reg.histogram("rnl_norm_ns", qos=0).observe(1500.0)
+
+    snap = reg.snapshot()
+    assert snap["rpc_issued{qos=0}"] == 3
+    assert snap["rpc_issued{qos=1}"] == 0
+    assert snap["p_admit{qos=0,node=h0}"] == 0.25
+    hist_summary = snap["rnl_norm_ns{qos=0}"]
+    assert hist_summary["count"] == 1.0
+    assert hist_summary["p50"] == pytest.approx(1500.0, rel=0.35)
+
+
+def test_registry_sampler_snapshots_at_sim_cadence():
+    reg = MetricsRegistry()
+    sim = Simulator()
+    counter = reg.counter("events")
+    sim.post(1500, counter.inc)  # lands between the 1st and 2nd ticks
+    reg.install_sampler(sim, cadence_ns=1000, until_ns=5000)
+    sim.run(until=10_000)
+
+    assert [t for t, _snap in reg.series] == [1000, 2000, 3000, 4000, 5000]
+    values = [snap["events"] for _t, snap in reg.series]
+    assert values == [0, 1, 1, 1, 1]
+
+    with pytest.raises(ValueError):
+        reg.install_sampler(sim, cadence_ns=0)
+
+
+# ----------------------------------------------------------------------
+# Profiler
+# ----------------------------------------------------------------------
+def test_profiler_attributes_every_event(traced_run):
+    context, _metrics = traced_run
+    profiler = context.profiler
+    assert profiler.total_events > 0
+    rows = profiler.rows()
+    assert sum(r.calls for r in rows) == profiler.total_events
+    assert abs(sum(r.share for r in rows) - 1.0) < 1e-9
+    # Cost-ordered, and the known hot handlers are attributed by name.
+    assert rows == sorted(rows, key=lambda r: (-r.total_s, r.name))
+    names = {r.name for r in rows}
+    assert any("_finish_transmit" in n for n in names)
+    report = profiler.report(top=3)
+    assert "profile:" in report and rows[0].name in report
+
+
+def test_profiler_standalone_counts_match_engine():
+    profiler = SimProfiler()
+    sim = Simulator(profiler=profiler)
+    hits = []
+    for i in range(5):
+        sim.post(i * 10, hits.append, i)
+    sim.run()
+    assert len(hits) == 5
+    assert profiler.total_events == sim.events_processed == 5
+    assert SimProfiler().report() == "profile: no events recorded"
+
+
+# ----------------------------------------------------------------------
+# Exporters
+# ----------------------------------------------------------------------
+def test_chrome_trace_schema(traced_run):
+    context, _metrics = traced_run
+    doc = chrome_trace(context.tracer, context.registry)
+    json.dumps(doc)  # must be serializable as-is
+
+    assert doc["displayTimeUnit"] == "ns"
+    events = doc["traceEvents"]
+    assert {e["ph"] for e in events} <= {"X", "i", "C", "M"}
+
+    named_pids = {
+        e["pid"]: e["args"]["name"]
+        for e in events
+        if e["ph"] == "M" and e["name"] == "process_name"
+    }
+    assert named_pids[1] == "rpcs"
+    for event in events:
+        assert event["pid"] in named_pids
+        if event["ph"] == "X":
+            assert event["ts"] >= 0 and event["dur"] >= 0
+            assert "tid" in event and "name" in event
+        if event["ph"] == "i":
+            assert event["s"] == "t"
+
+    # Every record kind made it into the stream.
+    cats = {e.get("cat") for e in events if e["ph"] != "M"}
+    assert {"rpc", "queue", "tx", "admission"} <= cats
+    counters = [e for e in events if e["ph"] == "C"]
+    assert len(counters) == len(context.tracer.admission_events)
+    for counter in counters:
+        assert 0.0 <= counter["args"]["p_admit"] <= 1.0
+
+
+def test_export_writers_round_trip(tmp_path, traced_run):
+    context, _metrics = traced_run
+    tracer = context.tracer
+
+    trace_path = write_chrome_trace(tmp_path / "t" / "run.trace.json", tracer)
+    with open(trace_path) as fh:
+        doc = json.load(fh)
+    assert doc["traceEvents"]
+
+    jsonl_path = write_jsonl(tmp_path / "run.spans.jsonl", tracer)
+    records = [json.loads(line) for line in jsonl_path.read_text().splitlines()]
+    by_type = {}
+    for record in records:
+        by_type[record["type"]] = by_type.get(record["type"], 0) + 1
+    assert by_type["rpc"] == len(tracer.rpc_spans)
+    assert by_type["queue"] == len(tracer.queue_spans)
+    assert by_type["tx"] == len(tracer.tx_spans)
+    assert by_type["admission"] == len(tracer.admission_events)
+
+    context.registry.series.append((0, context.registry.snapshot()))
+    series_path = write_metrics_series(tmp_path / "run.metrics.jsonl", context.registry)
+    lines = series_path.read_text().splitlines()
+    assert lines
+    first = json.loads(lines[0])
+    assert first["t_ns"] == 0 and isinstance(first["metrics"], dict)
+    context.registry.series.pop()
+
+
+def test_text_reports_name_top_contributors(traced_run):
+    context, metrics = traced_run
+    tracer = context.tracer
+
+    residency = queue_residency_report(tracer, top_k=2)
+    assert "queue residency by QoS" in residency
+    assert "QoS 0" in residency
+    # The report names concrete queues with their share of residency.
+    assert any(node in residency for node in {s.node for s in tracer.queue_spans})
+
+    rpcs = rpc_report(tracer)
+    assert f"{metrics.issued_count} issued" in rpcs
+    assert "downgraded" in rpcs and "p_admit adjustments" in rpcs
+
+    full = trace_report(tracer, context.profiler, top_k=3)
+    assert residency.splitlines()[0] in full
+    assert "profile:" in full
+
+    assert queue_residency_report(Tracer()) == (
+        "queue residency: no queue spans recorded"
+    )
+    assert rpc_report(Tracer()) == "rpcs: no spans recorded"
+
+
+# ----------------------------------------------------------------------
+# Runtime opt-in
+# ----------------------------------------------------------------------
+def test_env_var_activates_tracing_lazily(monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE", "1")
+    assert trace_enabled_by_env()
+    ctx = active()
+    assert ctx is not None and isinstance(active_tracer(), Tracer)
+    deactivate()
+
+    for falsey in ("", "0", "false", "no", "off", " OFF "):
+        monkeypatch.setenv("REPRO_TRACE", falsey)
+        assert not trace_enabled_by_env()
+        assert active() is None and active_tracer() is None
+
+    monkeypatch.delenv("REPRO_TRACE")
+    assert active() is None
+
+
+def test_activate_binds_components_at_construction(monkeypatch):
+    monkeypatch.delenv("REPRO_TRACE", raising=False)
+    explicit = ObsContext(tracer=Tracer())  # tracer only, no profiler
+    assert activate(explicit) is explicit
+    assert active_tracer() is explicit.tracer
+    assert active().profiler is None
+    sim = Simulator()
+    assert sim.profiler is None  # engine picked the plain run loop
+    deactivate()
+    assert active() is None

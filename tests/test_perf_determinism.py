@@ -100,4 +100,25 @@ def test_streaming_collector_rejects_windowed_queries():
     with pytest.raises(RuntimeError):
         lean.absolute_rnl_ns(0)
     with pytest.raises(RuntimeError):
-        lean.goodput_fraction()
+        lean.goodput_fraction(since_ns=10)
+    with pytest.raises(RuntimeError):
+        lean.slo_met_fraction(0, None, until_ns=10)
+
+
+def test_streaming_collector_whole_run_summaries_match_batch():
+    """The streaming collector exposes the same whole-run summary
+    interface as batch mode: goodput, percentiles within histogram
+    resolution, and a full rnl_summary key set."""
+    full = MetricsCollector()
+    lean = MetricsCollector(streaming=True)
+    _feed(full)
+    _feed(lean)
+    assert lean.goodput_fraction() == full.goodput_fraction() == 1.0
+    for qos in range(3):
+        exact = full.rnl_percentile(qos, 99.0)
+        approx = lean.rnl_percentile(qos, 99.0)
+        # Fixed-bucket interpolation is accurate to one bucket's
+        # relative width (~33% at 8 buckets per decade).
+        assert approx == pytest.approx(exact, rel=0.35)
+        assert set(lean.rnl_summary(qos)) == set(full.rnl_summary(qos))
+        assert lean.rnl_summary(qos)["count"] == full.rnl_summary(qos)["count"]
