@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Sequence, Set, Tuple
 
 _EPS = 1e-12
 
@@ -54,7 +54,7 @@ def _gps_rates(
     active = [
         i for i in range(n) if backlogs[i] > _EPS or arrival_rates[i] > _EPS
     ]
-    capped = set()
+    capped: Set[int] = set()
     while active and remaining > _EPS:
         pool = [i for i in active if i not in capped]
         if not pool:

@@ -1,0 +1,536 @@
+"""Run reports and cross-run behavioral regression diffs.
+
+``python -m repro report <run_id>`` renders a stored sweep document
+(``results/<fig>/<run_id>.json``) as a self-contained HTML page plus a
+terminal summary: a convergence panel per QoS (settled ``p_admit``,
+convergence time, oscillation band — from the embedded series of a
+traced run), an SLO-compliance panel (whole-run miss rate and rolling
+tail RNL against the per-QoS SLO line), and the top queue-residency
+contributors.
+
+``--diff`` compares two runs *behaviorally*: point-by-point relative
+row deltas plus steady-state ``p_admit``, SLO-miss-rate, and
+convergence-time deltas, each against a configurable threshold — the
+CI gate that catches regressions digest identity cannot (a digest
+changes on any code change; behavior should not).
+
+Everything here consumes plain JSON documents, so summaries can be
+committed as goldens and diffed against fresh runs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from html import escape
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.analysis.convergence import per_qos_convergence
+
+#: Version of the summary schema (bump on breaking change).
+SUMMARY_SCHEMA = 1
+
+#: One time series as stored in JSON: [[time_ns, value], ...].
+JsonTrack = Sequence[Sequence[float]]
+
+
+# ----------------------------------------------------------------------
+# Summaries
+# ----------------------------------------------------------------------
+def summarize(doc: Mapping[str, Any]) -> Dict[str, Any]:
+    """Reduce a run document to the compact, diffable summary.
+
+    Works for both plain and traced runs: the per-QoS behavioral block
+    is only present when the document embeds a series.
+    """
+    points = [
+        {"params": entry.get("params", {}), "row": entry.get("row", {})}
+        for entry in doc.get("points", [])
+    ]
+    summary: Dict[str, Any] = {
+        "schema": SUMMARY_SCHEMA,
+        "experiment": doc.get("experiment"),
+        "run_id": doc.get("run_id"),
+        "profile": doc.get("profile"),
+        "run_digest_hex": doc.get("run_digest_hex"),
+        "checks_passed": bool(doc.get("checks", {}).get("passed", True)),
+        "points": points,
+        "qos": {},
+    }
+    series = doc.get("series")
+    if isinstance(series, Mapping):
+        summary["qos"] = _qos_summary(series)
+    return summary
+
+
+def _qos_summary(series: Mapping[str, Any]) -> Dict[str, Dict[str, Any]]:
+    """The per-QoS behavioral block: convergence + SLO + goodput."""
+    tracks = {
+        name: [(int(t), float(v)) for t, v in track]
+        for name, track in series.get("p_admit", {}).items()
+    }
+    rollup = per_qos_convergence(tracks)
+    miss_rates = series.get("slo_miss_rate", {})
+    goodput = series.get("goodput_gbps", {})
+    qos_keys = (
+        {str(q) for q in rollup}
+        | set(miss_rates)
+        | set(goodput)
+    )
+    out: Dict[str, Dict[str, Any]] = {}
+    for key in sorted(qos_keys, key=_qos_sort_key):
+        block: Dict[str, Any] = {}
+        conv = rollup.get(int(key)) if key.isdigit() else None
+        if conv is not None:
+            block.update(
+                converged=conv.converged,
+                convergence_time_ns=conv.convergence_time_ns,
+                settled_p_admit=conv.settled_value,
+                oscillation_band=conv.oscillation_band,
+                channels=conv.channels,
+                converged_channels=conv.converged_channels,
+            )
+        if key in miss_rates:
+            block["slo_miss_rate"] = float(miss_rates[key])
+        track = goodput.get(key)
+        if track:
+            values = [float(v) for _t, v in track]
+            block["goodput_gbps_mean"] = sum(values) / len(values)
+        out[key] = block
+    return out
+
+
+def _qos_sort_key(key: str) -> Tuple[int, str]:
+    return (int(key), "") if key.isdigit() else (1 << 30, key)
+
+
+def load_summary(path: Union[str, Path]) -> Dict[str, Any]:
+    """Load a summary JSON written by ``--emit-summary``."""
+    with open(path) as fh:
+        data: Dict[str, Any] = json.load(fh)
+    if data.get("schema") != SUMMARY_SCHEMA:
+        raise ValueError(
+            f"{path}: unsupported summary schema {data.get('schema')!r} "
+            f"(expected {SUMMARY_SCHEMA})"
+        )
+    return data
+
+
+def write_summary(path: Union[str, Path], summary: Mapping[str, Any]) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(summary, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+# ----------------------------------------------------------------------
+# Text report
+# ----------------------------------------------------------------------
+def _fmt_ms(ns: Optional[float]) -> str:
+    return f"{ns / 1e6:.2f} ms" if ns is not None else "never"
+
+
+def render_text(doc: Mapping[str, Any], top_k: int = 5) -> str:
+    """The terminal report: header, convergence, SLO, residency panels."""
+    summary = summarize(doc)
+    lines: List[str] = []
+    checks = "ok" if summary["checks_passed"] else "FAILED"
+    digest = str(summary.get("run_digest_hex") or "")[:16]
+    lines.append(
+        f"run {summary['run_id']} — {summary['experiment']} "
+        f"[{summary['profile']}]: {len(summary['points'])} points, "
+        f"checks {checks}, digest {digest}"
+    )
+    series = doc.get("series")
+    if not isinstance(series, Mapping):
+        lines.append(
+            "no embedded series (plain sweep) — rerun with --trace for "
+            "convergence and SLO panels"
+        )
+        return "\n".join(lines)
+
+    lines.append("")
+    lines.append("p_admit convergence (per QoS, all channels):")
+    for key, block in summary["qos"].items():
+        if "channels" not in block:
+            continue
+        status = (
+            f"converged at {_fmt_ms(block['convergence_time_ns'])}"
+            if block["converged"]
+            else f"NOT converged ({block['converged_channels']}/{block['channels']} channels settled)"
+        )
+        lines.append(
+            f"  QoS {key}: settled p_admit {block['settled_p_admit']:.3f} "
+            f"± {block['oscillation_band']:.3f}, {status} "
+            f"over {block['channels']} channel(s)"
+        )
+    if not any("channels" in b for b in summary["qos"].values()):
+        lines.append("  no AIMD adjustments recorded (all channels stayed at 1.0)")
+
+    lines.append("")
+    lines.append("SLO compliance:")
+    slo_ns = series.get("slo_ns", {})
+    rnl = series.get("rnl", {})
+    for key in sorted(set(slo_ns) | set(rnl), key=_qos_sort_key):
+        parts = [f"  QoS {key}:"]
+        if key in slo_ns:
+            parts.append(f"SLO {float(slo_ns[key]) / 1e3:.1f} us/MTU,")
+        block = summary["qos"].get(key, {})
+        if "slo_miss_rate" in block:
+            parts.append(f"miss rate {block['slo_miss_rate'] * 100:.2f}%,")
+        track = rnl.get(key, {}).get("p99") or []
+        if track:
+            final = float(track[-1][1])
+            parts.append(f"final rolling p99 {final / 1e3:.1f} us/MTU")
+        lines.append(" ".join(parts).rstrip(","))
+    for key, block in summary["qos"].items():
+        if "goodput_gbps_mean" in block:
+            lines.append(
+                f"  QoS {key} goodput: {block['goodput_gbps_mean']:.1f} Gbps mean"
+            )
+
+    residency = series.get("queue_residency", {})
+    if residency:
+        lines.append("")
+        lines.append(f"top queue-residency contributors (of {len(residency)}):")
+        ranked = sorted(
+            residency.items(), key=lambda kv: -float(kv[1][1])
+        )[:top_k]
+        for name, (pkts, total, peak) in ranked:
+            lines.append(
+                f"  {name:<22} {float(total) / 1e3:10.1f} us over "
+                f"{int(pkts)} pkts (max {float(peak) / 1e3:.2f} us)"
+            )
+    flows = series.get("flows", {})
+    if flows:
+        retx = flows.get("retransmits", {})
+        lines.append("")
+        lines.append(
+            f"transport: {flows.get('flows', 0)} flows, "
+            f"{flows.get('cwnd_samples', 0)} cwnd samples, "
+            f"{sum(retx.values()) if retx else 0} retransmits"
+        )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# HTML report
+# ----------------------------------------------------------------------
+_PALETTE = (
+    "#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd",
+    "#8c564b", "#e377c2", "#7f7f7f", "#bcbd22", "#17becf",
+)
+
+
+def _svg_chart(
+    tracks: Mapping[str, JsonTrack],
+    title: str,
+    width: int = 640,
+    height: int = 220,
+    hline: Optional[float] = None,
+    hline_label: str = "",
+) -> str:
+    """One inline SVG line chart: named tracks plus an optional
+    horizontal reference line (the SLO)."""
+    pad = 42
+    points = [
+        (float(t), float(v)) for track in tracks.values() for t, v in track
+    ]
+    if not points:
+        return f"<figure><figcaption>{escape(title)}</figcaption><p>no data</p></figure>"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    if hline is not None:
+        ys.append(hline)
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(0.0, min(ys)), max(ys)
+    if x_hi <= x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi <= y_lo:
+        y_hi = y_lo + 1.0
+
+    def sx(x: float) -> float:
+        return pad + (x - x_lo) / (x_hi - x_lo) * (width - 2 * pad)
+
+    parts = [
+        f'<svg viewBox="0 0 {width} {height}" width="{width}" height="{height}" '
+        'xmlns="http://www.w3.org/2000/svg" style="background:#fff">',
+        f'<rect x="{pad}" y="{pad // 2}" width="{width - 2 * pad}" '
+        f'height="{height - pad - pad // 2}" fill="none" stroke="#ccc"/>',
+    ]
+    # The y scale maps y_hi to the top of the plot box.
+    def sy2(y: float) -> float:
+        top, bottom = pad // 2, height - pad
+        return bottom - (y - y_lo) / (y_hi - y_lo) * (bottom - top)
+
+    if hline is not None:
+        y = sy2(hline)
+        parts.append(
+            f'<line x1="{pad}" y1="{y:.1f}" x2="{width - pad}" y2="{y:.1f}" '
+            'stroke="#d62728" stroke-dasharray="6 3"/>'
+        )
+        if hline_label:
+            parts.append(
+                f'<text x="{width - pad}" y="{y - 4:.1f}" text-anchor="end" '
+                f'font-size="11" fill="#d62728">{escape(hline_label)}</text>'
+            )
+    for i, (name, track) in enumerate(sorted(tracks.items())):
+        if not track:
+            continue
+        color = _PALETTE[i % len(_PALETTE)]
+        coords = " ".join(
+            f"{sx(float(t)):.1f},{sy2(float(v)):.1f}" for t, v in track
+        )
+        parts.append(
+            f'<polyline points="{coords}" fill="none" stroke="{color}" '
+            f'stroke-width="1.2"><title>{escape(name)}</title></polyline>'
+        )
+    parts.append(
+        f'<text x="{pad}" y="{height - 8}" font-size="11" fill="#555">'
+        f"t = {x_lo / 1e6:.2f} .. {x_hi / 1e6:.2f} ms</text>"
+    )
+    parts.append(
+        f'<text x="4" y="{pad // 2 + 10}" font-size="11" fill="#555">'
+        f"{y_hi:.3g}</text>"
+    )
+    parts.append(
+        f'<text x="4" y="{height - pad}" font-size="11" fill="#555">'
+        f"{y_lo:.3g}</text>"
+    )
+    parts.append("</svg>")
+    return (
+        f"<figure><figcaption>{escape(title)}</figcaption>"
+        + "".join(parts)
+        + "</figure>"
+    )
+
+
+def _tracks_for_qos(
+    p_admit: Mapping[str, JsonTrack], qos_key: str
+) -> Dict[str, JsonTrack]:
+    suffix = f"/qos{qos_key}"
+    return {k: v for k, v in p_admit.items() if k.endswith(suffix)}
+
+
+def render_html(doc: Mapping[str, Any]) -> str:
+    """A self-contained (no external assets) HTML run report."""
+    summary = summarize(doc)
+    series = doc.get("series")
+    title = f"{summary['experiment']} run {summary['run_id']}"
+    body: List[str] = [
+        f"<h1>{escape(str(title))}</h1>",
+        f"<pre>{escape(render_text(doc))}</pre>",
+    ]
+    if isinstance(series, Mapping):
+        p_admit = series.get("p_admit", {})
+        qos_keys = sorted(
+            {k.rpartition("/qos")[2] for k in p_admit}, key=_qos_sort_key
+        )
+        body.append("<h2>p_admit convergence</h2>")
+        for key in qos_keys:
+            body.append(
+                _svg_chart(
+                    _tracks_for_qos(p_admit, key),
+                    f"QoS {key}: p_admit per channel",
+                )
+            )
+        body.append("<h2>Rolling RNL vs SLO</h2>")
+        slo_ns = series.get("slo_ns", {})
+        for key, tracks in sorted(
+            series.get("rnl", {}).items(), key=lambda kv: _qos_sort_key(kv[0])
+        ):
+            slo = slo_ns.get(key)
+            body.append(
+                _svg_chart(
+                    {name: track for name, track in tracks.items()},
+                    f"QoS {key}: rolling normalized RNL (ns/MTU)",
+                    hline=float(slo) if slo is not None else None,
+                    hline_label="SLO" if slo is not None else "",
+                )
+            )
+        body.append("<h2>Goodput</h2>")
+        body.append(
+            _svg_chart(
+                {
+                    f"QoS {key}": track
+                    for key, track in series.get("goodput_gbps", {}).items()
+                },
+                "per-QoS goodput (Gbps)",
+            )
+        )
+    html = (
+        "<!doctype html><html><head><meta charset='utf-8'>"
+        f"<title>{escape(str(title))}</title>"
+        "<style>body{font-family:system-ui,sans-serif;margin:2em;"
+        "max-width:72em}figure{margin:1em 0}figcaption{font-weight:600;"
+        "margin-bottom:.3em}pre{background:#f6f8fa;padding:1em;"
+        "overflow-x:auto}</style></head><body>"
+        + "".join(body)
+        + "</body></html>"
+    )
+    return html
+
+
+# ----------------------------------------------------------------------
+# Cross-run diff
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DiffThresholds:
+    """Breach thresholds for the behavioral diff (CI gate knobs)."""
+
+    #: Max relative delta of any numeric row field, point-by-point.
+    max_row_rel_delta: float = 0.05
+    #: Max absolute delta of the per-QoS settled admit probability.
+    max_p_admit_delta: float = 0.05
+    #: Max absolute delta of the per-QoS whole-run SLO miss rate.
+    max_slo_miss_delta: float = 0.02
+    #: Max convergence-time delta in milliseconds.
+    max_convergence_delta_ms: float = 2.0
+
+
+@dataclass
+class DiffResult:
+    """Outcome of comparing two run summaries."""
+
+    lines: List[str] = field(default_factory=list)
+    breaches: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.breaches
+
+    def report(self) -> str:
+        out = list(self.lines)
+        if self.breaches:
+            out.append(f"threshold breaches ({len(self.breaches)}):")
+            out.extend(f"  BREACH: {b}" for b in self.breaches)
+        else:
+            out.append("no threshold breaches")
+        return "\n".join(out)
+
+
+def _rel_delta(a: float, b: float) -> float:
+    denom = max(abs(a), abs(b))
+    return abs(a - b) / denom if denom else 0.0
+
+
+def _params_key(params: Mapping[str, Any]) -> str:
+    return json.dumps(params, sort_keys=True)
+
+
+def diff_summaries(
+    a: Mapping[str, Any],
+    b: Mapping[str, Any],
+    thresholds: DiffThresholds = DiffThresholds(),
+) -> DiffResult:
+    """Compare two run summaries point-by-point and QoS-by-QoS.
+
+    ``a`` is the baseline (e.g. a committed golden), ``b`` the fresh
+    run.  Every comparison that exceeds its threshold lands in
+    :attr:`DiffResult.breaches`; callers gate CI on :attr:`DiffResult.ok`.
+    """
+    result = DiffResult()
+    result.lines.append(
+        f"diff: baseline {a.get('run_id')} ({a.get('experiment')}) vs "
+        f"candidate {b.get('run_id')} ({b.get('experiment')})"
+    )
+    if a.get("experiment") != b.get("experiment"):
+        result.breaches.append(
+            f"different experiments: {a.get('experiment')} vs {b.get('experiment')}"
+        )
+        return result
+
+    # Point-by-point rows, matched on params.
+    a_points = {_params_key(p["params"]): p["row"] for p in a.get("points", [])}
+    b_points = {_params_key(p["params"]): p["row"] for p in b.get("points", [])}
+    missing = sorted(set(a_points) - set(b_points))
+    added = sorted(set(b_points) - set(a_points))
+    for key in missing:
+        result.breaches.append(f"point missing from candidate: {key}")
+    for key in added:
+        result.lines.append(f"  new point in candidate: {key}")
+    worst: Tuple[float, str] = (0.0, "")
+    compared = 0
+    for key in sorted(set(a_points) & set(b_points)):
+        row_a, row_b = a_points[key], b_points[key]
+        for fld in sorted(set(row_a) & set(row_b)):
+            va, vb = row_a[fld], row_b[fld]
+            if isinstance(va, bool) or isinstance(vb, bool):
+                continue
+            if not isinstance(va, (int, float)) or not isinstance(vb, (int, float)):
+                continue
+            compared += 1
+            delta = _rel_delta(float(va), float(vb))
+            if delta > worst[0]:
+                worst = (delta, f"{fld} at {key}")
+            if delta > thresholds.max_row_rel_delta:
+                result.breaches.append(
+                    f"row field {fld!r} at {key}: {va:.6g} -> {vb:.6g} "
+                    f"(rel delta {delta:.3f} > {thresholds.max_row_rel_delta})"
+                )
+    result.lines.append(
+        f"  rows: {compared} numeric fields compared, worst rel delta "
+        f"{worst[0]:.4f}" + (f" ({worst[1]})" if worst[1] else "")
+    )
+
+    # Behavioral (series) block, per QoS.
+    a_qos = a.get("qos", {}) or {}
+    b_qos = b.get("qos", {}) or {}
+    for key in sorted(set(a_qos) & set(b_qos), key=_qos_sort_key):
+        blk_a, blk_b = a_qos[key], b_qos[key]
+        if "settled_p_admit" in blk_a and "settled_p_admit" in blk_b:
+            delta = abs(blk_a["settled_p_admit"] - blk_b["settled_p_admit"])
+            result.lines.append(
+                f"  QoS {key}: settled p_admit {blk_a['settled_p_admit']:.3f} "
+                f"-> {blk_b['settled_p_admit']:.3f} (delta {delta:.3f})"
+            )
+            if delta > thresholds.max_p_admit_delta:
+                result.breaches.append(
+                    f"QoS {key} settled p_admit moved {delta:.3f} "
+                    f"(> {thresholds.max_p_admit_delta})"
+                )
+        if blk_a.get("converged") and not blk_b.get("converged"):
+            result.breaches.append(
+                f"QoS {key} no longer converges (baseline did)"
+            )
+        ta, tb = blk_a.get("convergence_time_ns"), blk_b.get("convergence_time_ns")
+        if ta is not None and tb is not None:
+            delta_ms = abs(ta - tb) / 1e6
+            result.lines.append(
+                f"  QoS {key}: convergence {ta / 1e6:.2f} ms -> "
+                f"{tb / 1e6:.2f} ms (delta {delta_ms:.2f} ms)"
+            )
+            if delta_ms > thresholds.max_convergence_delta_ms:
+                result.breaches.append(
+                    f"QoS {key} convergence time moved {delta_ms:.2f} ms "
+                    f"(> {thresholds.max_convergence_delta_ms} ms)"
+                )
+        if "slo_miss_rate" in blk_a and "slo_miss_rate" in blk_b:
+            delta = abs(blk_a["slo_miss_rate"] - blk_b["slo_miss_rate"])
+            result.lines.append(
+                f"  QoS {key}: SLO miss rate {blk_a['slo_miss_rate'] * 100:.2f}% "
+                f"-> {blk_b['slo_miss_rate'] * 100:.2f}% "
+                f"(delta {delta * 100:.2f}pp)"
+            )
+            if delta > thresholds.max_slo_miss_delta:
+                result.breaches.append(
+                    f"QoS {key} SLO miss rate moved {delta * 100:.2f}pp "
+                    f"(> {thresholds.max_slo_miss_delta * 100:.2f}pp)"
+                )
+    return result
+
+
+__all__ = [
+    "SUMMARY_SCHEMA",
+    "DiffResult",
+    "DiffThresholds",
+    "diff_summaries",
+    "load_summary",
+    "render_html",
+    "render_text",
+    "summarize",
+    "write_summary",
+]

@@ -12,6 +12,8 @@ Usage::
     python -m repro run fig11 --trace    # per-point Chrome traces
 
     python -m repro trace fig08          # traced companion run + report
+    python -m repro report RUN_ID        # HTML + text report of a run
+    python -m repro report --diff A B    # behavioral cross-run diff
     python -m repro lint src tests    # simlint static determinism checks
 
 The ``run`` subcommand goes through :mod:`repro.runner`: sweep points
@@ -29,7 +31,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Callable, Dict, Tuple
+from typing import Any, Callable, Dict, Optional, Sequence, Tuple
 
 from repro.runner import (
     UnknownExperimentError,
@@ -58,8 +60,9 @@ from repro.experiments import (
     nqos,
 )
 
-#: name -> (description, full-run thunk, quick-run thunk)
-_EXPERIMENTS: Dict[str, Tuple[str, Callable, Callable]] = {
+#: name -> (description, full-run thunk, quick-run thunk); every thunk
+#: returns a result object with a ``table()`` method.
+_EXPERIMENTS: Dict[str, Tuple[str, Callable[[], Any], Callable[[], Any]]] = {
     "fig08": (
         "theoretical 2-QoS worst-case delay",
         lambda: fig08.run(),
@@ -169,11 +172,11 @@ class _TablePair:
         return self._text
 
 
-def _both_tables(pair) -> _TablePair:
+def _both_tables(pair: Tuple[fig09.Fig9Result, fig09.Fig9Result]) -> _TablePair:
     return _TablePair(pair[0].table() + "\n\n" + pair[1].table())
 
 
-def _run_main(argv) -> int:
+def _run_main(argv: Sequence[str]) -> int:
     """The ``run`` subcommand: sweep a figure through repro.runner."""
     parser = argparse.ArgumentParser(
         prog="repro run",
@@ -260,7 +263,7 @@ def _run_main(argv) -> int:
     return 0 if report.ok else 1
 
 
-def _trace_main(argv) -> int:
+def _trace_main(argv: Sequence[str]) -> int:
     """The ``trace`` subcommand: one traced companion run of a figure."""
     parser = argparse.ArgumentParser(
         prog="repro trace",
@@ -285,9 +288,17 @@ def _trace_main(argv) -> int:
         help="override the traced run's seed",
     )
     parser.add_argument(
+        "--results-dir",
+        default="results",
+        help="root directory for run artifacts, shared with 'run' "
+        "(default: results/); traces land under <results-dir>/traces/"
+        "<figure>/",
+    )
+    parser.add_argument(
         "--out",
-        default="results/traces",
-        help="output directory root (default: results/traces)",
+        default=None,
+        help="explicit output directory root (overrides --results-dir; "
+        "artifacts land under <out>/<figure>/)",
     )
     parser.add_argument(
         "--top",
@@ -315,23 +326,183 @@ def _trace_main(argv) -> int:
         print(str(exc), file=sys.stderr)
         return 2
 
-    outdir = Path(args.out) / args.experiment
+    # Same layout convention as 'run': everything roots at --results-dir
+    # unless an explicit --out is given.  See docs/observability.md
+    # ("Where artifacts land").
+    root = Path(args.out) if args.out else Path(args.results_dir) / "traces"
+    outdir = root / args.experiment
     outdir.mkdir(parents=True, exist_ok=True)
     stem = f"{args.experiment}-{args.profile}"
     chrome_path = outdir / f"{stem}.trace.json"
     write_chrome_trace(chrome_path, traced.tracer, traced.registry)
     write_jsonl(outdir / f"{stem}.spans.jsonl", traced.tracer)
     write_metrics_series(outdir / f"{stem}.metrics.jsonl", traced.registry)
+    series_path = outdir / f"{stem}.series.json"
+    import json as _json
+
+    with open(series_path, "w") as fh:
+        _json.dump(traced.series(), fh, indent=2, sort_keys=True)
+        fh.write("\n")
 
     print(f"== trace {args.experiment} ({args.profile}, seed {traced.cfg.seed}) ==")
     print(trace_report(traced.tracer, traced.profiler, top_k=args.top))
     print(f"chrome trace: {chrome_path} (load at https://ui.perfetto.dev)")
     print(f"span log:     {outdir / (stem + '.spans.jsonl')}")
     print(f"metric series: {outdir / (stem + '.metrics.jsonl')}")
+    print(f"analysis series: {series_path}")
     return 0
 
 
-def main(argv=None) -> int:
+def _report_main(argv: Sequence[str]) -> int:
+    """The ``report`` subcommand: render or diff stored run documents."""
+    parser = argparse.ArgumentParser(
+        prog="repro report",
+        description="Render a stored sweep run as a self-contained HTML + "
+        "text report (convergence, SLO compliance, queue residency), or "
+        "diff two runs behaviorally with thresholds for CI gating.",
+    )
+    parser.add_argument(
+        "run",
+        nargs="*",
+        help="run id to report on (searched across <results-dir>/*/), or "
+        "with --diff: two runs — each a run id or a path to a summary "
+        "JSON written by --emit-summary",
+    )
+    parser.add_argument(
+        "--diff",
+        action="store_true",
+        help="compare two runs point-by-point and QoS-by-QoS; exits 1 "
+        "when any threshold is breached",
+    )
+    parser.add_argument(
+        "--results-dir",
+        default="results",
+        help="root directory of stored run documents (default: results/)",
+    )
+    parser.add_argument(
+        "--html",
+        metavar="PATH",
+        default=None,
+        help="write the HTML report here (default: <results-dir>/"
+        "<experiment>/<run_id>.report.html)",
+    )
+    parser.add_argument(
+        "--no-html",
+        action="store_true",
+        help="skip the HTML report (text only)",
+    )
+    parser.add_argument(
+        "--emit-summary",
+        metavar="PATH",
+        default=None,
+        help="also write the compact machine-readable summary JSON "
+        "(commit one as the golden for CI report-diff)",
+    )
+    parser.add_argument(
+        "--top",
+        type=int,
+        default=5,
+        help="top-K queue-residency contributors in the text report",
+    )
+    parser.add_argument(
+        "--max-row-delta",
+        type=float,
+        default=0.05,
+        help="diff: max relative delta of any numeric row field (default: 0.05)",
+    )
+    parser.add_argument(
+        "--max-p-admit-delta",
+        type=float,
+        default=0.05,
+        help="diff: max absolute settled-p_admit delta per QoS (default: 0.05)",
+    )
+    parser.add_argument(
+        "--max-slo-miss-delta",
+        type=float,
+        default=0.02,
+        help="diff: max absolute SLO-miss-rate delta per QoS (default: 0.02)",
+    )
+    parser.add_argument(
+        "--max-convergence-delta-ms",
+        type=float,
+        default=2.0,
+        help="diff: max convergence-time delta in ms per QoS (default: 2.0)",
+    )
+    args = parser.parse_args(argv)
+
+    from pathlib import Path
+
+    from repro.analysis.report import (
+        DiffThresholds,
+        diff_summaries,
+        load_summary,
+        render_html,
+        render_text,
+        summarize,
+        write_summary,
+    )
+    from repro.runner.store import ResultStore
+
+    store = ResultStore(args.results_dir)
+
+    def _summary_of(ref: str) -> Dict[str, Any]:
+        """A run id or a path to an --emit-summary JSON."""
+        if ref.endswith(".json") and Path(ref).is_file():
+            return load_summary(ref)
+        return summarize(store.find(ref))
+
+    if args.diff:
+        if len(args.run) != 2:
+            print("--diff needs exactly two runs (baseline, candidate)",
+                  file=sys.stderr)
+            return 2
+        try:
+            baseline = _summary_of(args.run[0])
+            candidate = _summary_of(args.run[1])
+        except (FileNotFoundError, ValueError) as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        result = diff_summaries(
+            baseline,
+            candidate,
+            DiffThresholds(
+                max_row_rel_delta=args.max_row_delta,
+                max_p_admit_delta=args.max_p_admit_delta,
+                max_slo_miss_delta=args.max_slo_miss_delta,
+                max_convergence_delta_ms=args.max_convergence_delta_ms,
+            ),
+        )
+        print(result.report())
+        return 0 if result.ok else 1
+
+    if len(args.run) != 1:
+        print("need exactly one run id (or --diff with two)", file=sys.stderr)
+        return 2
+    try:
+        doc = store.find(args.run[0])
+    except FileNotFoundError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    print(render_text(doc, top_k=args.top))
+    if not args.no_html:
+        html_path = (
+            Path(args.html)
+            if args.html
+            else store.path(doc["experiment"], doc["run_id"]).with_suffix(
+                ".report.html"
+            )
+        )
+        html_path.parent.mkdir(parents=True, exist_ok=True)
+        html_path.write_text(render_html(doc))
+        print(f"\nhtml report: {html_path}")
+    if args.emit_summary:
+        path = write_summary(args.emit_summary, summarize(doc))
+        print(f"summary json: {path}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     if argv is None:
         argv = sys.argv[1:]
@@ -339,6 +510,8 @@ def main(argv=None) -> int:
         return _run_main(argv[1:])
     if argv and argv[0] == "trace":
         return _trace_main(argv[1:])
+    if argv and argv[0] == "report":
+        return _report_main(argv[1:])
     if argv and argv[0] == "lint":
         from repro.lint.runner import main as lint_main
 
@@ -351,8 +524,9 @@ def main(argv=None) -> int:
     parser.add_argument(
         "experiment",
         help="experiment name (see 'list'), 'all', 'list', or the 'run' / "
-        "'trace' / 'lint' subcommands ('python -m repro run <figure> --help', "
-        "'python -m repro trace <figure> --help', 'python -m repro lint --help')",
+        "'trace' / 'report' / 'lint' subcommands ('python -m repro run "
+        "<figure> --help', 'python -m repro trace <figure> --help', "
+        "'python -m repro report --help', 'python -m repro lint --help')",
     )
     parser.add_argument(
         "--quick",

@@ -219,4 +219,5 @@ class AdmissionController:
                 provenance={"qos": qos_run, "rnl_ns": rnl_ns, "size_mtus": size_mtus},
             )
         if self._trace is not None:
-            self._trace.append((now, qos_run, state.p_admit))
+            # Opt-in debug trace (off by default), bounded by run length.
+            self._trace.append((now, qos_run, state.p_admit))  # simlint: ignore[SIM010]

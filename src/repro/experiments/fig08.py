@@ -9,7 +9,7 @@ at x = phi / (phi + 1) = 0.8 beyond which QoS_h delay exceeds QoS_l's.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.delay_bounds import (
     TrafficModel,
@@ -81,9 +81,30 @@ def run_point(point: Point, seed: int) -> Dict:
     }
 
 
-def check(rows: Sequence[Dict], profile: str) -> List[str]:
-    """Shape assertions: delay-free region, then priority inversion."""
+def check(
+    rows: Sequence[Dict], profile: str, series: Optional[Dict] = None
+) -> List[str]:
+    """Shape assertions: delay-free region, then priority inversion.
+
+    Traced sweeps also validate the companion scenario's analysis
+    series: in the inversion regime admission must actually throttle
+    QoS_h (settled p_admit < 1) yet still converge, and the SLO-carrying
+    levels must stay inside their miss budget.
+    """
     failures: List[str] = []
+    if series is not None:
+        from repro.experiments.series_checks import _as_tracks, series_failures
+
+        failures.extend(series_failures(series, "fig08", converge_qos=(0, 1)))
+        if not failures:
+            from repro.analysis.convergence import per_qos_convergence
+
+            rollup = per_qos_convergence(_as_tracks(series["p_admit"]))
+            if rollup[0].settled_value >= 1.0 - 1e-9:
+                failures.append(
+                    "fig08: traced inversion regime never throttled QoS_h "
+                    "(settled p_admit = 1.0)"
+                )
     if any(r["delay_h"] < 0 or r["delay_l"] < 0 for r in rows):
         failures.append("fig08: negative worst-case delay")
     low = [r for r in rows if r["share"] <= 0.25]

@@ -13,7 +13,7 @@ mu = 0.8, rho = 1.4, for two weight settings: 8:4:1 (panel a) and
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.fluid import sweep_three_qos
 from repro.runner.point import Point
@@ -101,10 +101,36 @@ def _panel_inversion(rows: Sequence[Dict]) -> float:
     return 1.0
 
 
-def check(rows: Sequence[Dict], profile: str) -> List[str]:
+def check(
+    rows: Sequence[Dict], profile: str, series: Optional[Dict] = None
+) -> List[str]:
     """Lemma-1 shape: raising the QoS_h weight moves the admissible
-    region's right edge outward at the cost of QoS_m delay."""
+    region's right edge outward at the cost of QoS_m delay.
+
+    Traced sweeps also validate the companion scenario's series: under
+    the heavy 50:4:1 weighting the admissible region is wide enough
+    that every channel settles fully admitted (contrast with fig08's
+    inversion regime, which must throttle).
+    """
     failures: List[str] = []
+    if series is not None:
+        from repro.experiments.series_checks import _as_tracks, series_failures
+
+        failures.extend(series_failures(series, "fig09", converge_qos=(0, 1)))
+        if not failures:
+            from repro.analysis.convergence import per_qos_convergence
+
+            rollup = per_qos_convergence(_as_tracks(series["p_admit"]))
+            low = {
+                q: v.settled_value
+                for q, v in rollup.items()
+                if v.settled_value < 0.95
+            }
+            if low:
+                failures.append(
+                    "fig09: 50:4:1 weighting should keep channels fully "
+                    f"admitted, but settled p_admit dipped: {low}"
+                )
     panels = {
         tuple(weights): [r for r in rows if r["weights"] == weights]
         for weights in _PANELS

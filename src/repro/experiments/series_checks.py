@@ -1,0 +1,87 @@
+"""Series-aware shape checks shared by figure drivers.
+
+A plain sweep's ``check(rows, profile)`` validates the curve; when the
+sweep ran with ``--trace`` the runner also hands the driver the traced
+companion scenario's analysis series (see :mod:`repro.obs.series`), and
+these helpers validate *that* — the control loop actually settled, the
+SLO-carrying QoS levels stayed inside their miss budget, and the series
+document has the shape downstream report tooling expects.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+from repro.analysis.convergence import per_qos_convergence
+from repro.obs.series import SERIES_SCHEMA
+
+
+def _as_tracks(
+    raw: Mapping[str, Sequence[Sequence[float]]],
+) -> Dict[str, List[Tuple[int, float]]]:
+    """Coerce stored tracks (lists after a JSON round-trip, tuples when
+    fresh) into the ``(int ns, float)`` pairs the detector expects."""
+    return {
+        name: [(int(t), float(v)) for t, v in points]
+        for name, points in raw.items()
+    }
+
+
+def series_failures(
+    series: Mapping[str, object],
+    figure: str,
+    converge_qos: Iterable[int] = (),
+    max_slo_miss: float = 0.10,
+) -> List[str]:
+    """Structural and convergence assertions on a traced run's series.
+
+    ``converge_qos`` lists the QoS levels whose per-channel ``p_admit``
+    trajectories must reach steady state within the traced horizon;
+    ``max_slo_miss`` bounds the acceptable SLO miss rate for every QoS
+    that carries an SLO.
+    """
+    failures: List[str] = []
+    schema = series.get("schema")
+    if schema != SERIES_SCHEMA:
+        return [f"{figure}: series schema {schema!r} != {SERIES_SCHEMA}"]
+    snapshots = series.get("snapshots")
+    if not isinstance(snapshots, int) or snapshots < 2:
+        failures.append(
+            f"{figure}: traced run captured {snapshots!r} registry "
+            "snapshots, need >= 2 for windowed percentiles"
+        )
+    rnl = series.get("rnl")
+    if not isinstance(rnl, Mapping) or not rnl:
+        failures.append(f"{figure}: no rolling RNL percentile tracks in series")
+    p_admit = series.get("p_admit")
+    if not isinstance(p_admit, Mapping) or not p_admit:
+        failures.append(f"{figure}: traced run produced no p_admit trajectories")
+        return failures
+    rollup = per_qos_convergence(_as_tracks(p_admit))
+    for qos in converge_qos:
+        verdict = rollup.get(qos)
+        if verdict is None:
+            failures.append(
+                f"{figure}: no p_admit channels observed for qos {qos}"
+            )
+            continue
+        if not verdict.converged:
+            failures.append(
+                f"{figure}: p_admit for qos {qos} never reached steady state "
+                f"({verdict.converged_channels}/{verdict.channels} channels "
+                "converged)"
+            )
+        if not 0.0 < verdict.settled_value <= 1.0:
+            failures.append(
+                f"{figure}: qos {qos} settled p_admit "
+                f"{verdict.settled_value:.3f} outside (0, 1]"
+            )
+    miss_rates = series.get("slo_miss_rate")
+    if isinstance(miss_rates, Mapping):
+        for qos_label, miss in miss_rates.items():
+            if not 0.0 <= float(miss) <= max_slo_miss:
+                failures.append(
+                    f"{figure}: qos {qos_label} SLO miss rate "
+                    f"{float(miss):.2%} outside [0, {max_slo_miss:.0%}]"
+                )
+    return failures

@@ -28,6 +28,11 @@ SIM008    ``run_point`` signature without a ``seed`` parameter — every
 SIM009    ``print()`` inside simulator-domain code — hot-path I/O skews
           profiles and bypasses the observability layer; emit through
           ``repro.obs`` instruments (or return data) instead
+SIM010    per-event ``self.<list>.append/extend`` inside a sim-domain
+          event handler (``on_*``/``record_*``/``receive``/...) —
+          unbounded per-event retention belongs in the registry /
+          reservoir abstractions; deliberate, gated retention sites
+          carry an explicit suppression
 ========  ============================================================
 """
 
@@ -48,16 +53,20 @@ RULES: Dict[str, str] = {
     "SIM007": "event scheduled after stop() in the same function",
     "SIM008": "run_point signature does not thread a seed",
     "SIM009": "print() in simulator-domain code (use repro.obs instruments)",
+    "SIM010": (
+        "unbounded per-event list accumulation in a sim-domain event "
+        "handler (use registry/reservoir abstractions)"
+    ),
 }
 
 #: Rules that only apply to simulator-domain files (suppressed for
 #: host-side orchestration code via the runner's allowlist).
-SIM_DOMAIN_ONLY: Set[str] = {"SIM001", "SIM009"}
+SIM_DOMAIN_ONLY: Set[str] = {"SIM001", "SIM009", "SIM010"}
 
 #: Rules that the host-side allowlist exempts entirely (wall-clock,
 #: process-global randomness, and stdout are legitimate in the CLI /
 #: worker pool).
-HOST_EXEMPT: Set[str] = {"SIM001", "SIM002", "SIM006", "SIM009"}
+HOST_EXEMPT: Set[str] = {"SIM001", "SIM002", "SIM006", "SIM009", "SIM010"}
 
 _WALL_CLOCK_CALLS = frozenset(
     {
@@ -136,6 +145,16 @@ _RNG_CONSTRUCTORS = frozenset(
 
 _SCHEDULING_METHODS = frozenset({"schedule", "schedule_at", "post"})
 
+#: Method-name shapes that mark a per-event hot path for SIM010.  The
+#: leading-underscore-stripped name either starts with one of the
+#: prefixes or equals one of the exact names.
+#: ``enqueue``/``dequeue`` are deliberately absent: appending to the
+#: queue being managed is those methods' job, and queues drain.
+_PER_EVENT_PREFIXES: Tuple[str, ...] = ("on_", "record_", "handle_")
+_PER_EVENT_NAMES = frozenset({"receive"})
+
+_ACCUMULATOR_METHODS = frozenset({"append", "extend"})
+
 _MUTABLE_DEFAULT_CALLS = frozenset(
     {"list", "dict", "set", "collections.defaultdict", "defaultdict", "deque"}
 )
@@ -197,6 +216,8 @@ class RuleVisitor(ast.NodeVisitor):
         self._function_depth = 0
         #: per-function line of the first ``.stop()`` call seen (SIM007).
         self._stop_lines: List[Optional[int]] = []
+        #: enclosing function-name stack (SIM010 hot-path detection).
+        self._function_names: List[str] = []
 
     # ------------------------------------------------------------------
     # plumbing
@@ -269,6 +290,7 @@ class RuleVisitor(ast.NodeVisitor):
                 "RNG — use a seeded stream from `repro.sim.rng` "
                 "(make_rng/substream) instead",
             )
+        self._check_per_event_accumulation(node)
         if isinstance(node.func, ast.Attribute):
             attr = node.func.attr
             if attr == "stop" and self._stop_lines and self._stop_lines[-1] is None:
@@ -287,6 +309,45 @@ class RuleVisitor(ast.NodeVisitor):
                     "run will never observe deterministically",
                 )
         self.generic_visit(node)
+
+    # ------------------------------------------------------------------
+    # SIM010 (per-event list accumulation in event handlers)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _is_per_event_handler(name: str) -> bool:
+        bare = name.lstrip("_")
+        return bare.startswith(_PER_EVENT_PREFIXES) or bare in _PER_EVENT_NAMES
+
+    def _check_per_event_accumulation(self, node: ast.Call) -> None:
+        """``self.<attr>.append/extend(...)`` inside an event handler.
+
+        Per-event Python lists grow with the event count, not the
+        configuration, so a long simulation's memory and GC cost scale
+        with simulated traffic.  Bounded retention belongs in the
+        registry / reservoir abstractions; a deliberately gated
+        batch-mode list carries a ``# simlint: ignore[SIM010]``.
+        """
+        if not (self._function_names
+                and self._is_per_event_handler(self._function_names[-1])):
+            return
+        func = node.func
+        if not (isinstance(func, ast.Attribute)
+                and func.attr in _ACCUMULATOR_METHODS):
+            return
+        target = func.value
+        if (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            self._emit(
+                "SIM010",
+                node,
+                f"`self.{target.attr}.{func.attr}()` in per-event handler "
+                f"`{self._function_names[-1]}` accumulates one entry per "
+                "event — use a registry counter/histogram or a reservoir, "
+                "or gate and suppress deliberately",
+            )
 
     # ------------------------------------------------------------------
     # SIM003 (float equality on tag values)
@@ -386,7 +447,9 @@ class RuleVisitor(ast.NodeVisitor):
         self._check_run_point(node)
         self._function_depth += 1
         self._stop_lines.append(None)
+        self._function_names.append(node.name)
         self.generic_visit(node)
+        self._function_names.pop()
         self._stop_lines.pop()
         self._function_depth -= 1
 

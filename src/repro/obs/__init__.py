@@ -8,7 +8,8 @@ noise of un-instrumented throughput.  See ``docs/observability.md``.
 
 This package init deliberately re-exports only the dependency-light
 core (:mod:`runtime`, :mod:`trace`, :mod:`metrics`, :mod:`profile`);
-the exporters and CLI scenarios (:mod:`repro.obs.export`,
+the exporters, series builders, and CLI scenarios
+(:mod:`repro.obs.export`, :mod:`repro.obs.series`,
 :mod:`repro.obs.scenarios`) are imported by their consumers directly —
 ``scenarios`` pulls in the whole experiment harness, and the engine
 imports :mod:`repro.obs.runtime`, so keeping the init light avoids an
@@ -30,6 +31,8 @@ from repro.obs.runtime import (
 from repro.obs.trace import (
     AdmissionEvent,
     DropEvent,
+    FlowCwndSample,
+    FlowRetransmit,
     QueueSpan,
     RpcSpan,
     Tracer,
@@ -40,6 +43,8 @@ __all__ = [
     "AdmissionEvent",
     "Counter",
     "DropEvent",
+    "FlowCwndSample",
+    "FlowRetransmit",
     "Gauge",
     "Histogram",
     "MetricsRegistry",

@@ -158,6 +158,53 @@ def chrome_trace(
             }
         )
 
+    # Per-flow transport spans: Swift cwnd and RTT as counter tracks,
+    # retransmits as instants, under one "transport" process.
+    if tracer.flow_cwnd_samples or tracer.flow_retransmits:
+        transport_pid = rpc_pid + 1 + len(pids)
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": transport_pid,
+                "args": {"name": "transport"},
+            }
+        )
+        for sample in tracer.flow_cwnd_samples:
+            events.append(
+                {
+                    "name": f"cwnd {sample.flow}",
+                    "cat": "transport",
+                    "ph": "C",
+                    "pid": transport_pid,
+                    "ts": _us(sample.time_ns),
+                    "args": {"cwnd": sample.cwnd},
+                }
+            )
+            events.append(
+                {
+                    "name": f"rtt_us {sample.flow}",
+                    "cat": "transport",
+                    "ph": "C",
+                    "pid": transport_pid,
+                    "ts": _us(sample.time_ns),
+                    "args": {"rtt_us": _us(sample.rtt_ns)},
+                }
+            )
+        for retx in tracer.flow_retransmits:
+            events.append(
+                {
+                    "name": f"retransmit {retx.flow}",
+                    "cat": "transport",
+                    "ph": "i",
+                    "s": "t",
+                    "pid": transport_pid,
+                    "tid": 0,
+                    "ts": _us(retx.time_ns),
+                    "args": {"seq": retx.seq},
+                }
+            )
+
     doc: Dict[str, object] = {
         "traceEvents": events,
         "displayTimeUnit": "ns",
@@ -195,6 +242,10 @@ def write_jsonl(path: Union[str, Path], tracer: Tracer) -> Path:
             fh.write(json.dumps({"type": "drop", **asdict(drop)}) + "\n")
         for adm in tracer.admission_events:
             fh.write(json.dumps({"type": "admission", **asdict(adm)}) + "\n")
+        for sample in tracer.flow_cwnd_samples:
+            fh.write(json.dumps({"type": "flow", **asdict(sample)}) + "\n")
+        for retx in tracer.flow_retransmits:
+            fh.write(json.dumps({"type": "flow_retransmit", **asdict(retx)}) + "\n")
     return path
 
 

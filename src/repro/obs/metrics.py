@@ -164,6 +164,15 @@ class Histogram:
             "p999": self.percentile(99.9),
         }
 
+    def bucket_counts(self) -> List[int]:
+        """A copy of the cumulative bucket counts (overflow bucket last).
+
+        Two snapshots' counts can be subtracted bucket-wise to get the
+        histogram of observations *between* the snapshots — the basis of
+        the rolling-percentile series in :mod:`repro.obs.series`.
+        """
+        return list(self.counts)
+
 
 def _label(key: MetricKey) -> str:
     name, qos, node = key
@@ -216,22 +225,40 @@ class MetricsRegistry:
             inst = self._histograms[key] = Histogram(_label(key), bounds)
         return inst
 
-    def snapshot(self) -> Dict[str, object]:
-        """Flat label -> value view of every instrument, for export."""
+    def snapshot(self, include_buckets: bool = False) -> Dict[str, object]:
+        """Flat label -> value view of every instrument, for export.
+
+        With ``include_buckets`` each histogram entry additionally
+        carries a ``"buckets"`` list of cumulative bucket counts, so
+        consecutive snapshots can be differenced into *windowed*
+        histograms (rolling percentiles between sampler ticks).
+        """
         out: Dict[str, object] = {}
         for counter in self._counters.values():
             out[counter.name] = counter.value
         for gauge in self._gauges.values():
             out[gauge.name] = gauge.value
         for hist in self._histograms.values():
-            out[hist.name] = hist.summary()
+            entry: Dict[str, object] = dict(hist.summary())
+            if include_buckets:
+                entry["buckets"] = hist.bucket_counts()
+            out[hist.name] = entry
         return out
+
+    def histogram_bounds(self, name: str) -> Optional[Tuple[float, ...]]:
+        """Bucket bounds of the first histogram whose label starts with
+        ``name`` (all instruments of one metric share bounds)."""
+        for hist in self._histograms.values():
+            if hist.name == name or hist.name.startswith(name + "{"):
+                return hist.bounds
+        return None
 
     def install_sampler(
         self,
         sim: "Simulator",
         cadence_ns: int,
         until_ns: Optional[int] = None,
+        include_buckets: bool = False,
     ) -> None:
         """Append a snapshot to :attr:`series` every ``cadence_ns`` of
         sim time, until ``until_ns`` (or forever — the run loop's own
@@ -242,7 +269,7 @@ class MetricsRegistry:
             raise ValueError("cadence must be positive")
 
         def _tick() -> None:
-            self.series.append((sim.now, self.snapshot()))
+            self.series.append((sim.now, self.snapshot(include_buckets)))
             if until_ns is None or sim.now + cadence_ns <= until_ns:
                 sim.post(cadence_ns, _tick)
 

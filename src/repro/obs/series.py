@@ -1,0 +1,296 @@
+"""First-class time series derived from a traced run.
+
+The PR-4 observability stack leaves a traced run as raw material: the
+:class:`~repro.obs.trace.Tracer` holds per-event records (AIMD
+``p_admit`` adjustments, per-flow cwnd/RTT samples) and the
+:class:`~repro.obs.metrics.MetricsRegistry` holds sim-time snapshots of
+every instrument.  This module turns that material into the *analysis*
+views the paper's dynamic claims are about:
+
+* **p_admit trajectories** per ``(src->dst, QoS)`` channel — the input
+  to the steady-state detector in :mod:`repro.analysis.convergence`
+  (Algorithm 1 convergence, Section 6.6);
+* **rolling RNL percentiles** per QoS — windowed between consecutive
+  registry snapshots by differencing cumulative histogram bucket
+  counts, plotted against the per-QoS SLO line (Section 5.1);
+* **goodput tracks** per QoS — windowed completion-byte rates in Gbps;
+* a compact **flow summary** (retransmits per flow, sample counts) —
+  the full cwnd/RTT tracks live in the Chrome trace, not the store.
+
+Everything returned here is JSON-safe (nested dicts / lists / numbers)
+so the runner can embed it verbatim in the result-store document.  The
+series are *derived after the run ends* from read-only records, so they
+can never perturb simulation results — the digest-parity guarantee is
+untouched.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.slo import SLOMap
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+#: Version of the embedded series schema (bump on breaking change).
+SERIES_SCHEMA = 1
+
+#: One time series: (sim_time_ns, value) points in time order.
+Track = List[Tuple[int, float]]
+
+#: Percentiles materialized for the rolling RNL tracks.
+RNL_PERCENTILES: Tuple[float, ...] = (50.0, 99.0)
+
+
+def _parse_qos(label: str, metric: str) -> Optional[int]:
+    """QoS of an instrument label like ``rnl_norm_ns{qos=1}`` (or None)."""
+    prefix = metric + "{qos="
+    if not label.startswith(prefix) or not label.endswith("}"):
+        return None
+    body = label[len(prefix) : -1]
+    # Reject multi-tag labels (e.g. "...,node=sw0"); series are per-QoS.
+    if not body.isdigit():
+        return None
+    return int(body)
+
+
+def p_admit_events(tracer: Tracer) -> Dict[str, Track]:
+    """Raw admit-probability adjustments per ``src->dst/qosN`` channel.
+
+    One point per AIMD adjustment (Algorithm 1 increase/decrease), in
+    event order.
+    """
+    tracks: Dict[str, Track] = {}
+    for event in tracer.admission_events:
+        key = f"{event.channel}/qos{event.qos}"
+        tracks.setdefault(key, []).append((event.time_ns, event.p_admit))
+    return tracks
+
+
+def p_admit_tracks(
+    tracer: Tracer, grid: Optional[Sequence[int]] = None
+) -> Dict[str, Track]:
+    """Uniform-cadence admit-probability trajectory per channel.
+
+    ``p_admit`` is a step function: it starts at 1.0 and changes only
+    at AIMD adjustments, so forward-filling the adjustment events onto
+    ``grid`` (normally the registry's snapshot timestamps) yields the
+    *time-weighted* trajectory the steady-state detector needs — a
+    channel that stopped adjusting reads as settled, not as silent.
+    Without a grid the raw event tracks are returned.
+    """
+    events = p_admit_events(tracer)
+    if grid is None or not grid:
+        return events
+    out: Dict[str, Track] = {}
+    for key, track in events.items():
+        filled: Track = []
+        value = 1.0  # every channel starts fully admitting
+        i = 0
+        for t in grid:
+            while i < len(track) and track[i][0] <= t:
+                value = track[i][1]
+                i += 1
+            filled.append((t, value))
+        out[key] = filled
+    return out
+
+
+def _counts_quantile(
+    counts: Sequence[int], bounds: Sequence[float], q: float
+) -> float:
+    """Interpolated quantile over one windowed bucket-count array.
+
+    Mirrors :meth:`Histogram.quantile` but works on a plain counts
+    array (a delta between two snapshots), so min/max clamping is
+    unavailable — bucket edges bound the interpolation instead.
+    """
+    total = sum(counts)
+    if total == 0:
+        raise ValueError("empty window")
+    target = q * total
+    cumulative = 0
+    for i, bucket_count in enumerate(counts):
+        if bucket_count == 0:
+            continue
+        if cumulative + bucket_count >= target:
+            lower = bounds[i - 1] if i > 0 else 0.0
+            upper = bounds[i] if i < len(bounds) else bounds[-1]
+            if upper <= lower:
+                return lower
+            fraction = (target - cumulative) / bucket_count
+            return lower + fraction * (upper - lower)
+        cumulative += bucket_count
+    return float(bounds[-1])  # pragma: no cover - target <= total
+
+
+def _snapshot_buckets(
+    snapshot: Dict[str, object], label: str
+) -> Optional[List[int]]:
+    entry = snapshot.get(label)
+    if not isinstance(entry, dict):
+        return None
+    buckets = entry.get("buckets")
+    if not isinstance(buckets, list):
+        return None
+    return [int(b) for b in buckets]
+
+
+def rnl_percentile_tracks(
+    registry: MetricsRegistry,
+    percentiles: Sequence[float] = RNL_PERCENTILES,
+) -> Dict[str, Dict[str, Track]]:
+    """Rolling per-QoS normalized-RNL percentiles between snapshots.
+
+    Requires the sampler to have captured bucket counts
+    (``install_sampler(..., include_buckets=True)``).  Windows with no
+    completions contribute no point, so tracks may be sparse early in
+    a run.  Keys: ``str(qos) -> {"p50": track, "p99": track}``.
+    """
+    out: Dict[str, Dict[str, Track]] = {}
+    labels = {
+        label: qos
+        for _t, snap in registry.series
+        for label in snap
+        if (qos := _parse_qos(label, "rnl_norm_ns")) is not None
+    }
+    for label, qos in sorted(labels.items()):
+        bounds = registry.histogram_bounds(label)
+        if bounds is None:
+            continue
+        prev: Optional[List[int]] = None
+        tracks: Dict[str, Track] = {f"p{p:g}": [] for p in percentiles}
+        for t_ns, snap in registry.series:
+            buckets = _snapshot_buckets(snap, label)
+            if buckets is None:
+                continue
+            if prev is not None:
+                window = [b - a for a, b in zip(prev, buckets)]
+                if sum(window) > 0:
+                    for p in percentiles:
+                        value = _counts_quantile(window, bounds, p / 100.0)
+                        tracks[f"p{p:g}"].append((t_ns, value))
+            prev = buckets
+        out[str(qos)] = tracks
+    return out
+
+
+def goodput_tracks(registry: MetricsRegistry) -> Dict[str, Track]:
+    """Windowed per-QoS goodput in Gbps between snapshots.
+
+    Differenced from the cumulative ``rpc_completed_bytes`` counters;
+    bits-per-nanosecond is numerically equal to Gbps.
+    """
+    out: Dict[str, Track] = {}
+    labels = {
+        label: qos
+        for _t, snap in registry.series
+        for label in snap
+        if (qos := _parse_qos(label, "rpc_completed_bytes")) is not None
+    }
+    for label, qos in sorted(labels.items()):
+        prev_t: Optional[int] = None
+        prev_v: Optional[int] = None
+        track: Track = []
+        for t_ns, snap in registry.series:
+            value = snap.get(label)
+            if not isinstance(value, int):
+                continue
+            if prev_t is not None and prev_v is not None and t_ns > prev_t:
+                gbps = (value - prev_v) * 8.0 / (t_ns - prev_t)
+                track.append((t_ns, gbps))
+            prev_t, prev_v = t_ns, value
+        out[str(qos)] = track
+    return out
+
+
+def slo_miss_rates(
+    registry: MetricsRegistry, slo_map: SLOMap
+) -> Dict[str, float]:
+    """Whole-run fraction of completions above the per-QoS SLO line.
+
+    Computed from the final cumulative ``rnl_norm_ns`` histograms: the
+    count above the normalized target, interpolated within the bucket
+    the target falls into.  Keys are ``str(qos)`` for SLO-carrying
+    levels that saw completions.
+    """
+    if not registry.series:
+        return {}
+    _t, final = registry.series[-1]
+    out: Dict[str, float] = {}
+    for label in final:
+        qos = _parse_qos(label, "rnl_norm_ns")
+        if qos is None or not slo_map.has_slo(qos):
+            continue
+        bounds = registry.histogram_bounds(label)
+        buckets = _snapshot_buckets(final, label)
+        if bounds is None or buckets is None:
+            continue
+        total = sum(buckets)
+        if total == 0:
+            continue
+        target = float(slo_map.get(qos).latency_target_ns)
+        above = 0.0
+        for i, count in enumerate(buckets):
+            lower = bounds[i - 1] if i > 0 else 0.0
+            upper = bounds[i] if i < len(bounds) else float("inf")
+            if lower >= target:
+                above += count
+            elif upper > target and count:
+                # Target splits this bucket: apportion linearly.
+                if upper == float("inf"):
+                    above += count
+                else:
+                    above += count * (upper - target) / (upper - lower)
+        out[str(qos)] = above / total
+    return out
+
+
+def queue_residency(tracer: Tracer) -> Dict[str, List[float]]:
+    """Aggregate queue residency per ``node/qosN``:
+    ``[packets, total_ns, max_ns]`` — the top-contributors panel input.
+    """
+    out: Dict[str, List[float]] = {}
+    for (node, qos), (count, total, peak) in tracer.queue_residency_by_node().items():
+        out[f"{node}/qos{qos}"] = [float(count), float(total), float(peak)]
+    return out
+
+
+def flow_summary(tracer: Tracer) -> Dict[str, object]:
+    """Compact per-flow transport digest for the stored series."""
+    retransmits: Dict[str, int] = {}
+    for event in tracer.flow_retransmits:
+        retransmits[event.flow] = retransmits.get(event.flow, 0) + 1
+    return {
+        "cwnd_samples": len(tracer.flow_cwnd_samples),
+        "flows": len({s.flow for s in tracer.flow_cwnd_samples}),
+        "retransmits": retransmits,
+    }
+
+
+def build_series(
+    tracer: Tracer,
+    registry: MetricsRegistry,
+    slo_map: Optional[SLOMap] = None,
+) -> Dict[str, object]:
+    """Assemble the full JSON-safe series document for one traced run."""
+    rnl = rnl_percentile_tracks(registry)
+    slo_ns: Dict[str, float] = {}
+    miss_rates: Dict[str, float] = {}
+    if slo_map is not None:
+        for level in slo_map.levels():
+            slo_ns[str(level)] = float(slo_map.get(level).latency_target_ns)
+        miss_rates = slo_miss_rates(registry, slo_map)
+    grid = [t for t, _snap in registry.series]
+    return {
+        "schema": SERIES_SCHEMA,
+        "p_admit": p_admit_tracks(tracer, grid),
+        "p_admit_events": p_admit_events(tracer),
+        "rnl": rnl,
+        "slo_ns": slo_ns,
+        "slo_miss_rate": miss_rates,
+        "goodput_gbps": goodput_tracks(registry),
+        "queue_residency": queue_residency(tracer),
+        "flows": flow_summary(tracer),
+        "snapshots": len(registry.series),
+    }

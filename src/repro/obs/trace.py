@@ -108,6 +108,25 @@ class AdmissionEvent:
     kind: str  # "increase" | "decrease"
 
 
+@dataclass(slots=True)
+class FlowCwndSample:
+    """Swift congestion-control state at one ACK, for one flow."""
+
+    time_ns: int
+    flow: str  # "src->dst/qosN"
+    cwnd: float
+    rtt_ns: int
+
+
+@dataclass(slots=True)
+class FlowRetransmit:
+    """One timeout-driven retransmission on a reliable flow."""
+
+    time_ns: int
+    flow: str
+    seq: int
+
+
 class Tracer:
     """Collects lifecycle spans from instrumented simulator components.
 
@@ -122,6 +141,8 @@ class Tracer:
         self.tx_spans: List[TxSpan] = []
         self.drops: List[DropEvent] = []
         self.admission_events: List[AdmissionEvent] = []
+        self.flow_cwnd_samples: List[FlowCwndSample] = []
+        self.flow_retransmits: List[FlowRetransmit] = []
 
     # ------------------------------------------------------------------
     # RPC lifecycle (called by repro.rpc.stack)
@@ -206,6 +227,20 @@ class Tracer:
             AdmissionEvent(
                 time_ns=now_ns, channel=channel, qos=qos, p_admit=p_admit, kind=kind
             )
+        )
+
+    # ------------------------------------------------------------------
+    # Per-flow transport spans (called by repro.transport.reliable)
+    # ------------------------------------------------------------------
+    def on_flow_ack(self, flow: str, cwnd: float, rtt_ns: int, now_ns: int) -> None:
+        """Record Swift cwnd/RTT state right after an ACK is absorbed."""
+        self.flow_cwnd_samples.append(
+            FlowCwndSample(time_ns=now_ns, flow=flow, cwnd=cwnd, rtt_ns=rtt_ns)
+        )
+
+    def on_flow_retransmit(self, flow: str, seq: int, now_ns: int) -> None:
+        self.flow_retransmits.append(
+            FlowRetransmit(time_ns=now_ns, flow=flow, seq=seq)
         )
 
     # ------------------------------------------------------------------

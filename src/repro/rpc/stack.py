@@ -125,7 +125,9 @@ class MetricsCollector:
     def record_issue(self, rpc: Rpc) -> None:
         self._issued_count += 1
         if not self.streaming:
-            self.issued.append(rpc)
+            # Batch (non-streaming) mode deliberately retains every RPC
+            # for exact end-of-run stats; streaming mode uses reservoirs.
+            self.issued.append(rpc)  # simlint: ignore[SIM010]
         req = rpc.qos_requested if rpc.qos_requested is not None else 0
         qos_run = rpc.qos_run if rpc.qos_run is not None else req
         self.issued_bytes_by_qos_requested[req] = (
@@ -169,10 +171,12 @@ class MetricsCollector:
                         self._slo_met_bytes_by_qos.get(req, 0) + rpc.payload_bytes
                     )
         else:
-            self.completed.append(rpc)
+            # Same deliberate batch-mode retention as record_issue.
+            self.completed.append(rpc)  # simlint: ignore[SIM010]
         reg = self.registry
         if reg is not None:
             reg.counter("rpc_completed", qos=qos).inc()
+            reg.counter("rpc_completed_bytes", qos=qos).inc(rpc.payload_bytes)
             reg.histogram("rnl_norm_ns", qos=qos).observe(rnl_ns / rpc.size_mtus)
         if self.on_complete_hook is not None:
             self.on_complete_hook(rpc)

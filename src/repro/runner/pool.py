@@ -14,6 +14,7 @@ The orchestration contract that makes parallelism safe:
 
 from __future__ import annotations
 
+import inspect
 import multiprocessing
 import time
 import traceback
@@ -254,9 +255,35 @@ def run_experiment(
         }
     )
 
+    # Traced sweeps additionally run the figure's traced companion
+    # scenario (a representative packet-level simulation in the figure's
+    # regime) in the parent process and embed its analysis series —
+    # p_admit trajectories, rolling RNL percentiles vs. SLO, goodput
+    # tracks — in the run document.  The series lives OUTSIDE the rows,
+    # and the run digest covers only row digests, so traced and plain
+    # sweeps stay digest-bit-identical.
+    series_doc: Optional[Dict[str, Any]] = None
+    if trace and trace_dir is not None:
+        from repro.obs.export import write_chrome_trace
+        from repro.obs.scenarios import run_traced_figure
+
+        emit(f"  running traced companion scenario for {name}")
+        traced_run = run_traced_figure(name, profile=profile)
+        series_doc = traced_run.series()
+        write_chrome_trace(
+            Path(trace_dir) / "companion.trace.json",
+            traced_run.tracer,
+            traced_run.registry,
+        )
+
     failures: List[str] = []
     if hasattr(driver, "check"):
-        failures = list(driver.check(rows, profile))
+        # Series-aware drivers take check(rows, profile, series=None);
+        # older two-argument drivers keep working unchanged.
+        if "series" in inspect.signature(driver.check).parameters:
+            failures = list(driver.check(rows, profile, series=series_doc))
+        else:
+            failures = list(driver.check(rows, profile))
 
     wall_s = time.perf_counter() - start
     doc = {
@@ -277,6 +304,7 @@ def run_experiment(
         },
         "points": entries,
         "run_digest_hex": run_digest,
+        "series": series_doc,
         "checks": {"passed": not failures, "failures": failures},
     }
     path = store.write(doc)

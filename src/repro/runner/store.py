@@ -59,6 +59,30 @@ class ResultStore:
                 f"{', '.join(self.list_runs(experiment)) or 'none'}"
             ) from exc
 
+    def find(self, run_id: str) -> Dict[str, Any]:
+        """Load a run by id alone, scanning every experiment directory.
+
+        The report CLI takes a bare run id; ids are timestamped so
+        collisions across experiments are vanishingly rare — if one
+        happens anyway, the match is ambiguous and raised as such.
+        """
+        matches = [
+            exp_dir.name
+            for exp_dir in sorted(self.root.iterdir())
+            if exp_dir.is_dir() and (exp_dir / f"{run_id}.json").is_file()
+        ] if self.root.is_dir() else []
+        if not matches:
+            raise FileNotFoundError(
+                f"no stored run {run_id!r} under {self.root}; "
+                "pass --results-dir if the run lives elsewhere"
+            )
+        if len(matches) > 1:
+            raise FileNotFoundError(
+                f"run id {run_id!r} is ambiguous: found under "
+                f"{', '.join(matches)}"
+            )
+        return self.load(matches[0], run_id)
+
     def list_runs(self, experiment: str) -> List[str]:
         exp_dir = self.root / experiment
         if not exp_dir.is_dir():

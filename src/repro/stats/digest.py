@@ -15,10 +15,10 @@ from __future__ import annotations
 
 import hashlib
 import json
-from typing import Dict
+from typing import Any, Dict, Mapping
 
 
-def completed_rpc_digest(metrics) -> Dict:
+def completed_rpc_digest(metrics: Any) -> Dict[str, Any]:
     """Summarize one run's completed-RPC outcome.
 
     Returns a JSON-serializable dict with:
@@ -50,7 +50,7 @@ def completed_rpc_digest(metrics) -> Dict:
     }
 
 
-def digest_hex(digest: Dict) -> str:
+def digest_hex(digest: Mapping[str, Any]) -> str:
     """Stable hex fingerprint of a digest dict (sorted-key JSON, sha256)."""
     blob = json.dumps(digest, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode()).hexdigest()

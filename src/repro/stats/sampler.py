@@ -82,7 +82,7 @@ class RateMeter:
         return delta * 8.0 / self.interval_ns  # bytes per ns*8 == Gbps
 
     @property
-    def samples(self):
+    def samples(self) -> List[Tuple[int, float]]:
         return self.sampler.samples
 
     def values_gbps(self) -> List[float]:

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -37,7 +37,7 @@ def mean(samples: Sequence[float]) -> float:
     return float(np.mean(np.asarray(samples, dtype=float)))
 
 
-def summarize(samples: Sequence[float]) -> dict:
+def summarize(samples: Sequence[float]) -> Dict[str, float]:
     """Mean / p50 / p99 / p999 / max in one dict (NaN when empty)."""
     if len(samples) == 0:
         nan = float("nan")

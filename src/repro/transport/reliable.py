@@ -29,6 +29,7 @@ from typing import Callable, Deque, Dict, Tuple
 
 from repro.net.node import Host
 from repro.net.packet import CONTROL_BYTES, Packet, PacketKind, data_packet
+from repro.obs.runtime import active_tracer
 from repro.sim.engine import Simulator
 from repro.transport.base import CongestionControl, Message
 from repro.transport.swift import SwiftCC
@@ -107,6 +108,11 @@ class Flow:
         self.config = config
         self.flow_id = next(Flow._flow_ids)
         self.cc: CongestionControl = config.cc_factory()
+        # Resolved once at construction (zero-overhead-off): every hook
+        # site below is a single ``is not None`` test when tracing is
+        # off, and all hooks are read-only w.r.t. simulation state.
+        self._tracer = active_tracer()
+        self._flow_label = f"{self.src}->{dst}/qos{qos}"
         self._pending: Deque[Tuple[Message, int]] = deque()  # (msg, next seq)
         self._messages: Dict[int, _MsgState] = {}
         self._outstanding: Dict[Tuple[int, int], _Outstanding] = {}
@@ -207,6 +213,8 @@ class Flow:
             entry.sent_ns = self.sim.now
             entry.retransmits += 1
             self.retransmitted_packets += 1
+            if self._tracer is not None:
+                self._tracer.on_flow_retransmit(self._flow_label, seq, self.sim.now)
         self.sent_packets += 1
         self.endpoint.host.send(pkt)
         self._arm_timer()
@@ -232,6 +240,8 @@ class Flow:
         now = self.sim.now
         rtt = now - entry.sent_ns
         self.cc.on_ack(rtt, now)
+        if self._tracer is not None:
+            self._tracer.on_flow_ack(self._flow_label, self.cc.cwnd, rtt, now)
         self.acked_payload_bytes += entry.payload
         self.endpoint.record_acked_payload(self.qos, entry.payload)
         state = self._messages.get(msg_id)

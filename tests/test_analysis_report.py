@@ -1,0 +1,222 @@
+"""Run-report rendering and cross-run behavioral diffs.
+
+Documents here are synthetic but shaped exactly like the runner's
+stored JSON (points + embedded series), so every panel and every diff
+threshold can be exercised with known inputs: a settled-value shift
+must breach the p_admit threshold, a late step must breach the
+convergence-time threshold, and a clean rerun must diff clean.
+"""
+
+import pytest
+
+from repro.analysis.report import (
+    SUMMARY_SCHEMA,
+    DiffThresholds,
+    diff_summaries,
+    load_summary,
+    render_html,
+    render_text,
+    summarize,
+    write_summary,
+)
+
+STEP_NS = 100_000
+
+
+def _track(values):
+    return [[i * STEP_NS, v] for i, v in enumerate(values)]
+
+
+def settled_track(settled, n=80, step_at=20):
+    """1.0 transient, step to ``settled`` at ``step_at``, then sawtooth."""
+    values = [1.0] * step_at + [
+        settled + (0.01 if i % 2 == 0 else -0.01) for i in range(n - step_at)
+    ]
+    return _track(values)
+
+
+def ramp_track(n=80):
+    return _track([i / n for i in range(n)])
+
+
+def make_doc(
+    run_id="r1",
+    experiment="figX",
+    settled0=0.6,
+    step_at=20,
+    miss0=0.01,
+    row_y=2.0,
+    points=None,
+    series="default",
+):
+    if series == "default":
+        series = {
+            "schema": 1,
+            "p_admit": {
+                "h0->h1/qos0": settled_track(settled0, step_at=step_at),
+                "h0->h2/qos0": settled_track(settled0, step_at=step_at),
+                "h0->h1/qos1": _track([1.0] * 80),
+            },
+            "p_admit_events": {},
+            "rnl": {
+                "0": {"p50": _track([8_000.0, 9_000.0]),
+                      "p99": _track([12_000.0, 11_900.0])},
+            },
+            "slo_ns": {"0": 15_000.0, "1": 25_000.0},
+            "slo_miss_rate": {"0": miss0, "1": 0.0},
+            "goodput_gbps": {"0": _track([10.0, 12.0]), "1": _track([5.0, 5.0])},
+            "queue_residency": {
+                "sw0/qos0": [100, 50_000.0, 900.0],
+                "nic0/qos1": [10, 2_000.0, 300.0],
+            },
+            "flows": {"cwnd_samples": 12, "flows": 2,
+                      "retransmits": {"h0->h1/qos0": 1}},
+            "snapshots": 80,
+        }
+    if points is None:
+        points = [
+            {"params": {"x": 1}, "seed": 7, "row": {"y": row_y, "name": "a", "ok": True}},
+            {"params": {"x": 2}, "seed": 8, "row": {"y": 2 * row_y}},
+        ]
+    doc = {
+        "experiment": experiment,
+        "run_id": run_id,
+        "profile": "fast",
+        "run_digest_hex": "0123456789abcdef",
+        "checks": {"passed": True},
+        "points": points,
+    }
+    if series is not None:
+        doc["series"] = series
+    return doc
+
+
+# ----------------------------------------------------------------------
+# Summaries
+# ----------------------------------------------------------------------
+def test_summarize_behavioral_block():
+    summary = summarize(make_doc())
+    assert summary["schema"] == SUMMARY_SCHEMA
+    assert summary["experiment"] == "figX"
+    assert len(summary["points"]) == 2
+    qos0 = summary["qos"]["0"]
+    assert qos0["converged"] and qos0["channels"] == 2
+    assert qos0["settled_p_admit"] == pytest.approx(0.6, abs=0.005)
+    assert qos0["slo_miss_rate"] == pytest.approx(0.01)
+    assert qos0["goodput_gbps_mean"] == pytest.approx(11.0)
+    assert summary["qos"]["1"]["settled_p_admit"] == pytest.approx(1.0)
+
+
+def test_summarize_plain_doc_has_no_qos_block():
+    summary = summarize(make_doc(series=None))
+    assert summary["qos"] == {}
+    assert summary["checks_passed"] is True
+
+
+def test_summary_roundtrip(tmp_path):
+    summary = summarize(make_doc())
+    path = write_summary(tmp_path / "sub" / "s.json", summary)
+    assert load_summary(path) == summary
+
+
+def test_load_summary_rejects_wrong_schema(tmp_path):
+    bad = dict(summarize(make_doc()), schema=999)
+    path = write_summary(tmp_path / "bad.json", bad)
+    with pytest.raises(ValueError, match="schema"):
+        load_summary(path)
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def test_render_text_panels():
+    text = render_text(make_doc())
+    assert "run r1 — figX [fast]: 2 points, checks ok" in text
+    assert "p_admit convergence" in text
+    assert "QoS 0: settled p_admit 0.600" in text
+    assert "converged at" in text
+    assert "SLO compliance:" in text
+    assert "miss rate 1.00%" in text
+    assert "top queue-residency contributors" in text
+    assert "sw0/qos0" in text
+    assert "2 flows" in text
+
+
+def test_render_text_plain_doc_points_at_trace():
+    text = render_text(make_doc(series=None))
+    assert "no embedded series" in text
+    assert "--trace" in text
+
+
+def test_render_html_is_self_contained():
+    html = render_html(make_doc())
+    assert html.startswith("<!doctype html>")
+    assert "<svg" in html  # inline charts, not image references
+    assert "src=" not in html and "href=" not in html
+    assert "p_admit convergence" in html
+
+
+# ----------------------------------------------------------------------
+# Cross-run diff
+# ----------------------------------------------------------------------
+def _diff(a_doc, b_doc, **thresholds):
+    return diff_summaries(
+        summarize(a_doc), summarize(b_doc), DiffThresholds(**thresholds)
+    )
+
+
+def test_identical_runs_diff_clean():
+    result = _diff(make_doc(), make_doc(run_id="r2"))
+    assert result.ok
+    assert "no threshold breaches" in result.report()
+
+
+def test_row_regression_breaches():
+    result = _diff(make_doc(row_y=2.0), make_doc(row_y=3.0))
+    assert not result.ok
+    assert any("row field 'y'" in b for b in result.breaches)
+
+
+def test_settled_p_admit_shift_breaches():
+    result = _diff(make_doc(settled0=0.6), make_doc(settled0=0.3))
+    assert any("settled p_admit moved" in b for b in result.breaches)
+
+
+def test_slo_miss_rate_shift_breaches():
+    result = _diff(make_doc(miss0=0.01), make_doc(miss0=0.12))
+    assert any("SLO miss rate moved" in b for b in result.breaches)
+
+
+def test_convergence_time_shift_breaches():
+    # Step moves 20 -> 60 samples: convergence shifts by 4 ms > 2 ms.
+    result = _diff(make_doc(step_at=20), make_doc(step_at=60))
+    assert any("convergence time moved" in b for b in result.breaches)
+
+
+def test_lost_convergence_breaches():
+    broken = make_doc()
+    broken["series"]["p_admit"]["h0->h1/qos0"] = ramp_track()
+    result = _diff(make_doc(), broken)
+    assert any("no longer converges" in b for b in result.breaches)
+
+
+def test_missing_point_breaches():
+    candidate = make_doc(points=[
+        {"params": {"x": 1}, "seed": 7, "row": {"y": 2.0}},
+    ])
+    result = _diff(make_doc(), candidate)
+    assert any("point missing from candidate" in b for b in result.breaches)
+
+
+def test_experiment_mismatch_is_terminal():
+    result = _diff(make_doc(experiment="figX"), make_doc(experiment="figY"))
+    assert not result.ok
+    assert any("different experiments" in b for b in result.breaches)
+
+
+def test_thresholds_are_tunable():
+    # The same miss-rate shift passes once the gate is widened.
+    assert not _diff(make_doc(miss0=0.01), make_doc(miss0=0.12)).ok
+    assert _diff(
+        make_doc(miss0=0.01), make_doc(miss0=0.12), max_slo_miss_delta=0.5
+    ).ok

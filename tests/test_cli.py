@@ -40,3 +40,85 @@ def test_registry_covers_every_figure_module():
                                         17, 18, 19, 20, 21, 22, 23, 24)}
     expected |= {"fig28", "nqos"}
     assert set(_EXPERIMENTS) == expected
+
+
+# ----------------------------------------------------------------------
+# The report subcommand
+# ----------------------------------------------------------------------
+def _stored_run(tmp_path, **doc_kwargs):
+    from repro.runner.store import ResultStore
+
+    from tests.test_analysis_report import make_doc
+
+    doc = make_doc(**doc_kwargs)
+    root = tmp_path / "results"
+    ResultStore(root).write(doc)
+    return root, doc
+
+
+def test_report_renders_text_html_and_summary(tmp_path, capsys):
+    root, doc = _stored_run(tmp_path)
+    summary_path = tmp_path / "summary.json"
+    assert main([
+        "report", doc["run_id"],
+        "--results-dir", str(root),
+        "--emit-summary", str(summary_path),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "run r1" in out and "p_admit convergence" in out
+
+    html_path = root / doc["experiment"] / f"{doc['run_id']}.report.html"
+    assert html_path.is_file()
+    assert "<svg" in html_path.read_text()
+
+    from repro.analysis.report import load_summary
+
+    assert load_summary(summary_path)["run_id"] == doc["run_id"]
+
+
+def test_report_no_html_skips_the_page(tmp_path, capsys):
+    root, doc = _stored_run(tmp_path)
+    assert main([
+        "report", doc["run_id"], "--results-dir", str(root), "--no-html",
+    ]) == 0
+    capsys.readouterr()
+    assert not (root / doc["experiment"] / f"{doc['run_id']}.report.html").exists()
+
+
+def test_report_unknown_run_errors(tmp_path, capsys):
+    assert main(["report", "nope", "--results-dir", str(tmp_path)]) == 2
+    assert "no stored run" in capsys.readouterr().err
+
+
+def _summary_file(tmp_path, name, **doc_kwargs):
+    from repro.analysis.report import summarize, write_summary
+
+    from tests.test_analysis_report import make_doc
+
+    return str(write_summary(tmp_path / name, summarize(make_doc(**doc_kwargs))))
+
+
+def test_report_diff_exit_codes(tmp_path, capsys):
+    golden = _summary_file(tmp_path, "golden.json")
+    same = _summary_file(tmp_path, "same.json", run_id="r2")
+    assert main(["report", "--diff", golden, same]) == 0
+    assert "no threshold breaches" in capsys.readouterr().out
+
+    # An injected SLO-miss regression must fail the gate.
+    regressed = _summary_file(tmp_path, "regressed.json", miss0=0.12)
+    assert main(["report", "--diff", golden, regressed]) == 1
+    assert "BREACH" in capsys.readouterr().out
+
+    # ...unless the threshold is explicitly widened.
+    assert main([
+        "report", "--diff", golden, regressed, "--max-slo-miss-delta", "0.5",
+    ]) == 0
+    capsys.readouterr()
+
+
+def test_report_diff_needs_two_runs(tmp_path, capsys):
+    golden = _summary_file(tmp_path, "golden.json")
+    assert main(["report", "--diff", golden]) == 2
+    assert "exactly two" in capsys.readouterr().err
+    assert main(["report"]) == 2
+    assert "exactly one" in capsys.readouterr().err

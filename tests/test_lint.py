@@ -54,6 +54,11 @@ BAD_FIXTURES = {
         "def on_deliver(pkt):\n"
         "    print('delivered', pkt.serial)\n"
     ),
+    "SIM010": (
+        "class Port:\n"
+        "    def on_deliver(self, pkt):\n"
+        "        self.delivered.append(pkt)\n"
+    ),
 }
 
 GOOD_FIXTURES = {
@@ -93,6 +98,12 @@ GOOD_FIXTURES = {
     "SIM009": (
         "def on_deliver(pkt, tracer):\n"
         "    tracer.on_enqueue('nic0', pkt, 0)\n"
+    ),
+    # enqueue/dequeue are exempt: appending to the managed queue is the job.
+    "SIM010": (
+        "class Port:\n"
+        "    def enqueue(self, pkt):\n"
+        "        self._queue.append(pkt)\n"
     ),
 }
 
@@ -167,6 +178,36 @@ def test_sim009_only_flags_the_builtin_in_sim_domain():
     # Sim-domain only: general and host code may print freely.
     assert rules_in(BAD_FIXTURES["SIM009"], GENERAL_PATH) == []
     assert "SIM009" in rules_in(BAD_FIXTURES["SIM009"], NET_PATH)
+
+
+def test_sim010_scoping_and_shapes():
+    bad = BAD_FIXTURES["SIM010"]
+    # Sim-domain only: the observability layer and tests retain on purpose.
+    assert rules_in(bad, GENERAL_PATH) == []
+    assert rules_in(bad, HOST_PATH) == []
+    assert "SIM010" in rules_in(bad, NET_PATH)
+    # extend() is accumulation too, and record_* counts as per-event.
+    ext = (
+        "class S:\n"
+        "    def record_sample(self, xs):\n"
+        "        self._samples.extend(xs)\n"
+    )
+    assert rules_in(ext) == ["SIM010"]
+    # Local lists and non-handler methods are fine.
+    local = (
+        "class S:\n"
+        "    def on_ack(self, x):\n"
+        "        out = []\n"
+        "        out.append(x)\n"
+        "        return out\n"
+    )
+    assert rules_in(local) == []
+    rebuild = (
+        "class S:\n"
+        "    def rebuild(self, x):\n"
+        "        self._items.append(x)\n"
+    )
+    assert rules_in(rebuild) == []
 
 
 # ----------------------------------------------------------------------

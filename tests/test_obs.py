@@ -366,10 +366,21 @@ def test_chrome_trace_schema(traced_run):
     # Every record kind made it into the stream.
     cats = {e.get("cat") for e in events if e["ph"] != "M"}
     assert {"rpc", "queue", "tx", "admission"} <= cats
-    counters = [e for e in events if e["ph"] == "C"]
-    assert len(counters) == len(context.tracer.admission_events)
-    for counter in counters:
+    admission_counters = [
+        e for e in events if e["ph"] == "C" and e["cat"] == "admission"
+    ]
+    assert len(admission_counters) == len(context.tracer.admission_events)
+    for counter in admission_counters:
         assert 0.0 <= counter["args"]["p_admit"] <= 1.0
+    # Per-flow transport spans: one cwnd and one rtt counter per ACK
+    # sample, under their own "transport" process.
+    if context.tracer.flow_cwnd_samples:
+        transport = [e for e in events if e.get("cat") == "transport"]
+        cwnd = [e for e in transport if e["ph"] == "C" and "cwnd" in e["args"]]
+        rtt = [e for e in transport if e["ph"] == "C" and "rtt_us" in e["args"]]
+        assert len(cwnd) == len(context.tracer.flow_cwnd_samples)
+        assert len(rtt) == len(context.tracer.flow_cwnd_samples)
+        assert "transport" in named_pids.values()
 
 
 def test_export_writers_round_trip(tmp_path, traced_run):

@@ -1,0 +1,183 @@
+"""Unit tests for the analysis series derived from a traced run.
+
+These exercise :mod:`repro.obs.series` on hand-built tracer and
+registry state, so every expected value is computable by hand: the
+forward-fill semantics of ``p_admit`` tracks, windowed bucket-count
+quantiles, goodput differencing, and the SLO-miss interpolation.
+"""
+
+import pytest
+
+from repro.core.slo import SLOMap
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.series import (
+    SERIES_SCHEMA,
+    _counts_quantile,
+    build_series,
+    flow_summary,
+    goodput_tracks,
+    p_admit_events,
+    p_admit_tracks,
+    rnl_percentile_tracks,
+    slo_miss_rates,
+)
+from repro.obs.trace import Tracer
+
+
+def _tracer_with_adjustments():
+    tracer = Tracer()
+    tracer.on_admission("h0->h1", 0, 0.9, "decrease", 5)
+    tracer.on_admission("h0->h1", 0, 0.8, "decrease", 15)
+    tracer.on_admission("h0->h2", 1, 0.95, "decrease", 25)
+    return tracer
+
+
+# ----------------------------------------------------------------------
+# p_admit tracks
+# ----------------------------------------------------------------------
+def test_p_admit_events_are_raw_adjustments():
+    tracks = p_admit_events(_tracer_with_adjustments())
+    assert tracks["h0->h1/qos0"] == [(5, 0.9), (15, 0.8)]
+    assert tracks["h0->h2/qos1"] == [(25, 0.95)]
+
+
+def test_p_admit_tracks_forward_fill_from_one():
+    tracks = p_admit_tracks(_tracer_with_adjustments(), grid=[0, 10, 20, 30])
+    # Starts at 1.0 before the first adjustment, then holds the last
+    # adjusted value — a channel that stops adjusting reads as settled.
+    assert tracks["h0->h1/qos0"] == [(0, 1.0), (10, 0.9), (20, 0.8), (30, 0.8)]
+    assert tracks["h0->h2/qos1"] == [(0, 1.0), (10, 1.0), (20, 1.0), (30, 0.95)]
+
+
+def test_p_admit_tracks_without_grid_returns_events():
+    tracer = _tracer_with_adjustments()
+    assert p_admit_tracks(tracer, grid=None) == p_admit_events(tracer)
+    assert p_admit_tracks(tracer, grid=[]) == p_admit_events(tracer)
+
+
+# ----------------------------------------------------------------------
+# Windowed bucket-count quantiles
+# ----------------------------------------------------------------------
+def test_counts_quantile_interpolates_within_bucket():
+    bounds = (100.0, 200.0, 400.0)
+    assert _counts_quantile([0, 4, 0, 0], bounds, 0.5) == pytest.approx(150.0)
+    assert _counts_quantile([0, 4, 0, 0], bounds, 1.0) == pytest.approx(200.0)
+    assert _counts_quantile([0, 0, 4, 0], bounds, 0.5) == pytest.approx(300.0)
+
+
+def test_counts_quantile_rejects_empty_window():
+    with pytest.raises(ValueError):
+        _counts_quantile([0, 0, 0], (1.0, 2.0), 0.5)
+
+
+# ----------------------------------------------------------------------
+# Registry-derived tracks
+# ----------------------------------------------------------------------
+def _snap(registry, t_ns):
+    registry.series.append((t_ns, registry.snapshot(include_buckets=True)))
+
+
+def test_rnl_percentile_tracks_difference_snapshots():
+    registry = MetricsRegistry()
+    hist = registry.histogram("rnl_norm_ns", qos=0, bounds=[100.0, 200.0, 400.0])
+    _snap(registry, 0)
+    for _ in range(4):
+        hist.observe(150.0)  # bucket (100, 200]
+    _snap(registry, 1_000)
+    for _ in range(4):
+        hist.observe(300.0)  # bucket (200, 400]
+    _snap(registry, 2_000)
+
+    tracks = rnl_percentile_tracks(registry)
+    # Each window sees only the observations since the last snapshot:
+    # the second window's p50 is 300, not the cumulative ~200.
+    assert tracks["0"]["p50"] == [(1_000, pytest.approx(150.0)),
+                                  (2_000, pytest.approx(300.0))]
+    assert tracks["0"]["p99"][1][1] == pytest.approx(396.0, rel=0.01)
+
+
+def test_rnl_tracks_skip_empty_windows():
+    registry = MetricsRegistry()
+    hist = registry.histogram("rnl_norm_ns", qos=1, bounds=[100.0, 200.0])
+    _snap(registry, 0)
+    _snap(registry, 1_000)  # no observations: contributes no point
+    hist.observe(150.0)
+    _snap(registry, 2_000)
+    tracks = rnl_percentile_tracks(registry)
+    assert [t for t, _v in tracks["1"]["p50"]] == [2_000]
+
+
+def test_goodput_tracks_are_windowed_rates():
+    registry = MetricsRegistry()
+    counter = registry.counter("rpc_completed_bytes", qos=0)
+    _snap(registry, 0)
+    counter.inc(1_250)  # 1250 B over 1000 ns = 10 Gbps
+    _snap(registry, 1_000)
+    counter.inc(2_500)  # 2500 B over 1000 ns = 20 Gbps
+    _snap(registry, 2_000)
+    tracks = goodput_tracks(registry)
+    assert tracks["0"] == [(1_000, pytest.approx(10.0)),
+                           (2_000, pytest.approx(20.0))]
+
+
+def test_slo_miss_rates_interpolate_the_target_bucket():
+    registry = MetricsRegistry()
+    hist = registry.histogram("rnl_norm_ns", qos=0, bounds=[100.0, 200.0, 400.0])
+    for _ in range(4):
+        hist.observe(150.0)
+    for _ in range(4):
+        hist.observe(300.0)
+    _snap(registry, 1_000)
+    slo_map = SLOMap.for_three_levels(200, 1_000)
+    rates = slo_miss_rates(registry, slo_map)
+    # Target 200 ns sits exactly on a bucket edge: the 4 observations
+    # above it miss, the 4 below meet it.
+    assert rates["0"] == pytest.approx(0.5)
+    # The scavenger class carries no SLO and reports no rate.
+    assert "2" not in rates
+
+
+def test_slo_miss_rates_empty_registry():
+    assert slo_miss_rates(MetricsRegistry(), SLOMap.for_three_levels(200, 400)) == {}
+
+
+# ----------------------------------------------------------------------
+# Flow summary + the assembled document
+# ----------------------------------------------------------------------
+def test_flow_summary_counts_flows_and_retransmits():
+    tracer = Tracer()
+    tracer.on_flow_ack("h0->h1/qos0", 12.0, 5_000, 10)
+    tracer.on_flow_ack("h0->h1/qos0", 13.0, 5_100, 20)
+    tracer.on_flow_ack("h0->h2/qos1", 8.0, 6_000, 30)
+    tracer.on_flow_retransmit("h0->h1/qos0", 4, 40)
+    tracer.on_flow_retransmit("h0->h1/qos0", 5, 50)
+    summary = flow_summary(tracer)
+    assert summary["cwnd_samples"] == 3
+    assert summary["flows"] == 2
+    assert summary["retransmits"] == {"h0->h1/qos0": 2}
+
+
+def test_build_series_schema_and_grid():
+    tracer = _tracer_with_adjustments()
+    registry = MetricsRegistry()
+    registry.counter("rpc_completed_bytes", qos=0).inc(1_000)
+    _snap(registry, 10)
+    _snap(registry, 20)
+    series = build_series(tracer, registry, SLOMap.for_three_levels(200, 400))
+    assert series["schema"] == SERIES_SCHEMA
+    assert set(series) == {
+        "schema",
+        "p_admit",
+        "p_admit_events",
+        "rnl",
+        "slo_ns",
+        "slo_miss_rate",
+        "goodput_gbps",
+        "queue_residency",
+        "flows",
+        "snapshots",
+    }
+    assert series["snapshots"] == 2
+    # p_admit is forward-filled onto the registry's snapshot grid.
+    assert series["p_admit"]["h0->h1/qos0"] == [(10, 0.9), (20, 0.8)]
+    assert series["slo_ns"] == {"0": 200.0, "1": 400.0}
