@@ -20,20 +20,48 @@ Output schema (``BENCH_*.json``)::
           "digest": {...}, "digest_hex": "..."
         }
       },
+      "backends": {               # with --backend: per-kernel rows
+        "<backend>": {"scenarios": {...}}   # same row shape as above
+      },
+      "digest_parity": true,      # with --backend: cross-kernel check
       "baseline": {...},          # same shape, from --baseline FILE
       "speedup": {"<name>": float}
     }
+
+With ``--backend`` the top-level ``scenarios`` table holds the rows of
+the *first* requested backend, so baselines and speedups keep working
+unchanged; every further backend must reproduce the same digest hex or
+the run aborts.
 """
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import time
-from typing import Dict, Iterable, Optional
+from typing import Dict, Iterable, Iterator, List, Optional
 
 from benchmarks.perf.scenarios import SCENARIOS
+from repro.sim.backend import BACKEND_ENV_VAR, BACKENDS, backend_available
 from repro.stats.digest import digest_hex
+
+
+@contextlib.contextmanager
+def _backend_env(backend: Optional[str]) -> Iterator[None]:
+    """Pin ``REPRO_BACKEND`` for the duration (construction reads it)."""
+    if backend is None:
+        yield
+        return
+    previous = os.environ.get(BACKEND_ENV_VAR)
+    os.environ[BACKEND_ENV_VAR] = backend
+    try:
+        yield
+    finally:
+        if previous is None:
+            del os.environ[BACKEND_ENV_VAR]
+        else:
+            os.environ[BACKEND_ENV_VAR] = previous
 
 
 def run_scenario(
@@ -42,6 +70,7 @@ def run_scenario(
     seed: int = 42,
     repeats: int = 3,
     instrumented: bool = False,
+    backend: Optional[str] = None,
 ) -> Dict:
     """Time one scenario; returns the result row for the JSON report.
 
@@ -50,6 +79,9 @@ def run_scenario(
     the traced-vs-plain overhead and the digest-parity guarantee are
     measured.  The context must be active during *construction* — hooks
     bind then, not at run time.
+
+    ``backend`` pins ``REPRO_BACKEND`` around scenario construction so
+    the run uses that kernel; ``None`` inherits the environment.
     """
     try:
         build = SCENARIOS[name]
@@ -66,7 +98,8 @@ def run_scenario(
 
             activate(ObsContext.full())
             try:
-                built = build(budget, seed)
+                with _backend_env(backend):
+                    built = build(budget, seed)
                 sim = built.sim
                 t0 = time.perf_counter()
                 sim.run(**built.run_kwargs)
@@ -75,7 +108,8 @@ def run_scenario(
             finally:
                 deactivate()
         else:
-            built = build(budget, seed)
+            with _backend_env(backend):
+                built = build(budget, seed)
             sim = built.sim
             t0 = time.perf_counter()
             sim.run(**built.run_kwargs)
@@ -109,6 +143,7 @@ def run_suite(
     scenarios: Optional[Iterable[str]] = None,
     baseline: Optional[Dict] = None,
     instrumented: bool = False,
+    backends: Optional[Iterable[str]] = None,
     log=print,
 ) -> Dict:
     """Run every scenario; optionally fold in a baseline for speedups.
@@ -117,23 +152,49 @@ def run_suite(
     observability context and records the traced-vs-plain overhead plus
     whether the digest stayed bit-identical (the zero-overhead-off
     contract's measurable half).
+
+    ``backends`` times every scenario once per kernel backend and
+    enforces cross-backend digest parity; the first backend's rows fill
+    the top-level ``scenarios`` table (what baselines compare against).
     """
     names = list(scenarios) if scenarios else list(SCENARIOS)
+    backend_list: List[Optional[str]] = (
+        list(backends) if backends else [None]
+    )
     report: Dict = {
         "budget_events": budget,
         "seed": seed,
         "repeats": repeats,
         "scenarios": {},
     }
+    if backends:
+        report["backends"] = {b: {"scenarios": {}} for b in backend_list}
     if instrumented:
         report["instrumented"] = {}
     for name in names:
-        row = run_scenario(name, budget, seed=seed, repeats=repeats)
-        report["scenarios"][name] = row
-        log(
-            f"{name:24s} {row['events']:>9d} events  "
-            f"{row['wall_s']:>7.3f}s  {row['events_per_sec']:>12,.0f} ev/s"
-        )
+        primary: Optional[Dict] = None
+        for backend in backend_list:
+            row = run_scenario(
+                name, budget, seed=seed, repeats=repeats, backend=backend
+            )
+            label = f"{name}[{backend}]" if backend else name
+            log(
+                f"{label:24s} {row['events']:>9d} events  "
+                f"{row['wall_s']:>7.3f}s  {row['events_per_sec']:>12,.0f} ev/s"
+            )
+            if backend is not None:
+                report["backends"][backend]["scenarios"][name] = row
+            if primary is None:
+                primary = row
+                report["scenarios"][name] = row
+            elif row["digest_hex"] != primary["digest_hex"]:
+                raise RuntimeError(
+                    f"{name}: backend {backend!r} diverged from "
+                    f"{backend_list[0]!r} "
+                    f"({row['digest_hex']} != {primary['digest_hex']})"
+                )
+        assert primary is not None
+        row = primary
         if instrumented:
             traced = run_scenario(
                 name, budget, seed=seed, repeats=repeats, instrumented=True
@@ -156,6 +217,10 @@ def run_suite(
                     f"{name}: instrumented run diverged from plain run "
                     f"({traced['digest_hex']} != {row['digest_hex']})"
                 )
+    if backends:
+        # Reaching here means every backend reproduced the first
+        # backend's digest on every scenario.
+        report["digest_parity"] = True
     if baseline is not None:
         report["baseline"] = baseline
         report["speedup"] = {}
@@ -193,9 +258,28 @@ def main(argv=None) -> int:
     parser.add_argument("--instrumented", action="store_true",
                         help="also run each scenario under full observability "
                              "and report the overhead + digest parity")
+    parser.add_argument("--backend", action="append", dest="backends",
+                        choices=sorted(BACKENDS) + ["all"], default=None,
+                        help="time each scenario under this kernel backend "
+                             "(repeatable; 'all' = every backend available "
+                             "on this host) and enforce digest parity")
+    parser.add_argument("--note", action="append", dest="notes", default=None,
+                        help="free-form annotation recorded in the report "
+                             "(repeatable)")
     parser.add_argument("--output", type=str, default=None,
                         help="write the JSON report here (e.g. BENCH_PR1.json)")
     args = parser.parse_args(argv)
+
+    backends = args.backends
+    if backends and "all" in backends:
+        backends = list(BACKENDS)
+    if backends:
+        for name in list(backends):
+            if not backend_available(name):
+                print(f"backend {name!r} unavailable on this host; skipping")
+                backends.remove(name)
+        if not backends:
+            parser.error("no requested backend is available on this host")
 
     baseline = None
     if args.baseline:
@@ -212,11 +296,14 @@ def main(argv=None) -> int:
             scenarios=args.scenarios,
             baseline=baseline,
             instrumented=args.instrumented,
+            backends=backends,
         )
     except ValueError as exc:
         # Unknown scenario names surface as a clean CLI error (argparse
         # guards --scenario, but run_suite is also called from code).
         parser.error(str(exc))
+    if args.notes:
+        report["notes"] = args.notes
     if args.output:
         out_dir = os.path.dirname(args.output)
         if out_dir:

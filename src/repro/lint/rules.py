@@ -33,6 +33,11 @@ SIM010    per-event ``self.<list>.append/extend`` inside a sim-domain
           unbounded per-event retention belongs in the registry /
           reservoir abstractions; deliberate, gated retention sites
           carry an explicit suppression
+SIM011    ``self.<cache>[key] = value`` store into a cache/memo dict in
+          sim-domain code with no eviction in the same function (no
+          ``clear``/``pop``/``del``/``len`` bound) — memo tables keyed
+          by per-packet or per-event values grow with traffic, not
+          configuration
 ========  ============================================================
 """
 
@@ -57,16 +62,20 @@ RULES: Dict[str, str] = {
         "unbounded per-event list accumulation in a sim-domain event "
         "handler (use registry/reservoir abstractions)"
     ),
+    "SIM011": (
+        "unbounded cache/memo dict store in sim-domain code (no "
+        "clear/pop/del/len bound in the same function)"
+    ),
 }
 
 #: Rules that only apply to simulator-domain files (suppressed for
 #: host-side orchestration code via the runner's allowlist).
-SIM_DOMAIN_ONLY: Set[str] = {"SIM001", "SIM009", "SIM010"}
+SIM_DOMAIN_ONLY: Set[str] = {"SIM001", "SIM009", "SIM010", "SIM011"}
 
 #: Rules that the host-side allowlist exempts entirely (wall-clock,
 #: process-global randomness, and stdout are legitimate in the CLI /
 #: worker pool).
-HOST_EXEMPT: Set[str] = {"SIM001", "SIM002", "SIM006", "SIM009", "SIM010"}
+HOST_EXEMPT: Set[str] = {"SIM001", "SIM002", "SIM006", "SIM009", "SIM010", "SIM011"}
 
 _WALL_CLOCK_CALLS = frozenset(
     {
@@ -155,6 +164,11 @@ _PER_EVENT_NAMES = frozenset({"receive"})
 
 _ACCUMULATOR_METHODS = frozenset({"append", "extend"})
 
+#: Method calls on a cache attribute that count as eviction evidence
+#: for SIM011 (plus ``del self.<cache>[...]`` and a ``len(self.<cache>)``
+#: bound check, handled structurally).
+_EVICTION_METHODS = frozenset({"clear", "pop", "popitem"})
+
 _MUTABLE_DEFAULT_CALLS = frozenset(
     {"list", "dict", "set", "collections.defaultdict", "defaultdict", "deque"}
 )
@@ -189,6 +203,23 @@ def _terminal_identifier(node: ast.expr) -> Optional[str]:
     return None
 
 
+def _is_cache_identifier(name: str) -> bool:
+    """Whether an attribute name marks a cache/memo table (SIM011)."""
+    bare = name.lstrip("_")
+    return "cache" in bare or "memo" in bare
+
+
+def _self_attr(node: ast.expr) -> Optional[str]:
+    """``X`` when ``node`` is exactly ``self.X``, else ``None``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
 def _is_tag_identifier(name: Optional[str]) -> bool:
     if name is None:
         return False
@@ -218,6 +249,14 @@ class RuleVisitor(ast.NodeVisitor):
         self._stop_lines: List[Optional[int]] = []
         #: enclosing function-name stack (SIM010 hot-path detection).
         self._function_names: List[str] = []
+        #: per-function cache-store sites: attr -> first store node
+        #: (SIM011); paired with the eviction-evidence sets below.
+        self._cache_stores: List[Dict[str, ast.AST]] = []
+        #: per-function attrs with eviction/bound evidence (SIM011).
+        self._cache_evictions: List[Set[str]] = []
+        #: per-function local-name -> self-attribute aliases, so
+        #: ``cache = self._tx_cache; cache[k] = v`` resolves (SIM011).
+        self._cache_aliases: List[Dict[str, str]] = []
 
     # ------------------------------------------------------------------
     # plumbing
@@ -291,6 +330,24 @@ class RuleVisitor(ast.NodeVisitor):
                 "(make_rng/substream) instead",
             )
         self._check_per_event_accumulation(node)
+        if self._cache_evictions:
+            # SIM011 eviction evidence: `<cache>.clear()/pop()/popitem()`
+            # and a `len(<cache>)` bound check, where `<cache>` is
+            # `self.X` or a local alias of it.
+            if isinstance(node.func, ast.Attribute) and (
+                node.func.attr in _EVICTION_METHODS
+            ):
+                owner = self._cache_owner(node.func.value)
+                if owner is not None:
+                    self._cache_evictions[-1].add(owner)
+            elif (
+                isinstance(node.func, ast.Name)
+                and node.func.id == "len"
+                and len(node.args) == 1
+            ):
+                owner = self._cache_owner(node.args[0])
+                if owner is not None:
+                    self._cache_evictions[-1].add(owner)
         if isinstance(node.func, ast.Attribute):
             attr = node.func.attr
             if attr == "stop" and self._stop_lines and self._stop_lines[-1] is None:
@@ -347,6 +404,63 @@ class RuleVisitor(ast.NodeVisitor):
                 f"`{self._function_names[-1]}` accumulates one entry per "
                 "event — use a registry counter/histogram or a reservoir, "
                 "or gate and suppress deliberately",
+            )
+
+    # ------------------------------------------------------------------
+    # SIM011 (unbounded cache/memo dict stores)
+    # ------------------------------------------------------------------
+    def _cache_owner(self, node: ast.expr) -> Optional[str]:
+        """Self-attribute name behind ``self.X`` or a local alias of it."""
+        attr = _self_attr(node)
+        if attr is not None:
+            return attr
+        if isinstance(node, ast.Name) and self._cache_aliases:
+            return self._cache_aliases[-1].get(node.id)
+        return None
+
+    def _check_cache_store(self, node: ast.Assign) -> None:
+        """Track ``<cache>[key] = value`` stores and alias bindings.
+
+        A store into a ``*cache*``/``*memo*`` attribute is held until
+        the enclosing function finishes; it is emitted as SIM011 only
+        when no eviction evidence for the same attribute appeared
+        anywhere in that function (``clear``/``pop``/``popitem``,
+        ``del``, a ``len()`` bound check, or reassigning the attribute).
+        """
+        if not self._cache_stores:
+            return
+        value_attr = _self_attr(node.value)
+        for target in node.targets:
+            if isinstance(target, ast.Name) and value_attr is not None:
+                # `cache = self._tx_cache` binds a local alias.
+                self._cache_aliases[-1][target.id] = value_attr
+                continue
+            owner_attr = _self_attr(target)
+            if owner_attr is not None:
+                # `self.X = ...` rebuilds the table: a bound by itself.
+                self._cache_evictions[-1].add(owner_attr)
+                continue
+            if isinstance(target, ast.Subscript):
+                owner = self._cache_owner(target.value)
+                if owner is not None and _is_cache_identifier(owner):
+                    self._cache_stores[-1].setdefault(owner, target)
+
+    def _flush_cache_stores(self) -> None:
+        """Emit SIM011 for stores whose function showed no bound."""
+        stores = self._cache_stores.pop()
+        evictions = self._cache_evictions.pop()
+        self._cache_aliases.pop()
+        for attr, node in stores.items():
+            if attr in evictions:
+                continue
+            self._emit(
+                "SIM011",
+                node,
+                f"store into cache `self.{attr}` with no eviction in "
+                f"`{self._function_names[-1]}` — a memo keyed by "
+                "per-event values grows with traffic; bound it "
+                "(clear/pop/del or a len() check) or suppress a "
+                "deliberately unbounded table",
             )
 
     # ------------------------------------------------------------------
@@ -448,7 +562,11 @@ class RuleVisitor(ast.NodeVisitor):
         self._function_depth += 1
         self._stop_lines.append(None)
         self._function_names.append(node.name)
+        self._cache_stores.append({})
+        self._cache_evictions.append(set())
+        self._cache_aliases.append({})
         self.generic_visit(node)
+        self._flush_cache_stores()
         self._function_names.pop()
         self._stop_lines.pop()
         self._function_depth -= 1
@@ -480,6 +598,17 @@ class RuleVisitor(ast.NodeVisitor):
 
     def visit_Assign(self, node: ast.Assign) -> None:
         self._check_module_rng(node.value, node)
+        self._check_cache_store(node)
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        # `del self.X[...]` / `del cache[...]` is eviction evidence.
+        if self._cache_evictions:
+            for target in node.targets:
+                if isinstance(target, ast.Subscript):
+                    owner = self._cache_owner(target.value)
+                    if owner is not None:
+                        self._cache_evictions[-1].add(owner)
         self.generic_visit(node)
 
     def visit_AnnAssign(self, node: ast.AnnAssign) -> None:

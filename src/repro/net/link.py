@@ -27,6 +27,11 @@ DEFAULT_LINE_RATE_BPS = 100e9
 #: Default one-way propagation delay per hop.
 DEFAULT_PROP_DELAY_NS = 500
 
+#: Cap on memoized serialization times per port.  Real workloads use a
+#: handful of distinct packet sizes; a pathological size-per-packet
+#: workload would otherwise grow the cache without bound.
+_SER_CACHE_MAX = 256
+
 
 class Port:
     """An egress port: scheduler + serializer + wire.
@@ -61,7 +66,8 @@ class Port:
         # Serialization times repeat across the handful of packet sizes a
         # workload uses; memoizing them keeps float math (and rounding)
         # off the per-packet path.  Values come from serialization_ns()
-        # itself, so cached and uncached results are bit-identical.
+        # itself, so cached and uncached results are bit-identical —
+        # including across the clear-on-full eviction below.
         self._ser_cache: Dict[int, int] = {}
         # Bound-callable caches: these run once per packet; resolving
         # them through self.sim / self.scheduler / self.peer every time
@@ -111,7 +117,13 @@ class Port:
         cache = self._ser_cache
         tx_ns = cache.get(size)
         if tx_ns is None:
-            tx_ns = cache[size] = self.serialization_ns(size)
+            tx_ns = self.serialization_ns(size)
+            if len(cache) >= _SER_CACHE_MAX:
+                # Clear-on-full keeps the bound O(1) with no recency
+                # bookkeeping; entries are pure functions of size, so
+                # recomputation cannot change any result.
+                cache.clear()
+            cache[size] = tx_ns
         if self.on_transmit:
             now = self.sim.now
             for hook in self.on_transmit:

@@ -13,6 +13,21 @@ All schedulers share one buffer-accounting scheme: a byte-capacity cap,
 shared across classes (mirroring "buffer space is shared across the
 ports based on usage" at a per-port granularity).  ``enqueue`` returns
 False on a drop so the caller (the port) can count it.
+
+Storage layout
+--------------
+
+The per-class FIFOs are preallocated power-of-two **ring buffers** over
+parallel arrays (struct-of-arrays), not linked containers: class ``c``'s
+backlog lives in ``_bufs[c][(head + i) & mask]`` for ``i`` in
+``range(_counts[c])``.  WFQ's SCFQ tags ride in flat arrays sharing the
+exact same ring geometry (``_tag_finish[c]`` / ``_tag_serial[c]`` are
+indexed by the same head), so enqueue/dequeue touch a handful of list
+slots and integer counters — no tuple or node allocation per packet.
+Rings grow by doubling on demand and never shrink, so a warmed-up run
+allocates nothing on the packet path.  Service decisions are
+bit-identical to the historical deque-of-tuples layout: only the storage
+changed, never the order.
 """
 
 from __future__ import annotations
@@ -30,6 +45,10 @@ from repro.sim.sanitize import SanitizerError, sanitize_enabled
 if TYPE_CHECKING:  # pragma: no cover
     from repro.obs.trace import Tracer
     from repro.sim.engine import Simulator
+
+#: Initial per-class ring capacity (a power of two; rings double on
+#: demand, so this only sets the warm-up allocation granularity).
+_RING_INIT = 16
 
 
 class SchedulerStats:
@@ -135,13 +154,20 @@ class Scheduler:
 
 
 class FifoScheduler(Scheduler):
-    """Single shared FIFO; QoS is ignored (the no-QoS baseline)."""
+    """Single shared FIFO; QoS is ignored (the no-QoS baseline).
+
+    The FIFO is one preallocated ring buffer (see the module docstring's
+    storage-layout notes).
+    """
 
     def __init__(
         self, buffer_bytes: int, num_classes: int = 1, sanitize: Optional[bool] = None
     ):
         super().__init__(num_classes, buffer_bytes, sanitize)
-        self._queue: Deque[Packet] = deque()
+        self._buf: List[Optional[Packet]] = [None] * _RING_INIT
+        self._head = 0
+        self._count = 0
+        self._mask = _RING_INIT - 1
         # Per-class byte occupancy: the shared FIFO still attributes
         # bytes to the (clamped) QoS class so ``max_bytes_per_class``
         # means the same thing it does for classed schedulers.
@@ -151,12 +177,30 @@ class FifoScheduler(Scheduler):
         """Bytes currently queued that belong to one class."""
         return self._class_bytes[qos]
 
+    def _grow(self) -> None:
+        buf = self._buf
+        head = self._head
+        mask = self._mask
+        count = self._count
+        cap = len(buf) * 2
+        unrolled: List[Optional[Packet]] = [
+            buf[(head + i) & mask] for i in range(count)
+        ]
+        unrolled.extend([None] * (cap - count))
+        self._buf = unrolled
+        self._head = 0
+        self._mask = cap - 1
+
     def enqueue(self, pkt: Packet) -> bool:
         qos = min(pkt.qos, self.num_classes - 1)
         if self.bytes_queued + pkt.size_bytes > self.buffer_bytes:
             self.stats.dropped[qos] += 1
             return False
-        self._queue.append(pkt)
+        count = self._count
+        if count > self._mask:
+            self._grow()
+        self._buf[(self._head + count) & self._mask] = pkt
+        self._count = count + 1
         self.bytes_queued += pkt.size_bytes
         self._class_bytes[qos] += pkt.size_bytes
         self.packets_queued += 1
@@ -166,9 +210,15 @@ class FifoScheduler(Scheduler):
         return True
 
     def dequeue(self) -> Optional[Packet]:
-        if not self._queue:
+        if not self._count:
             return None
-        pkt = self._queue.popleft()
+        head = self._head
+        buf = self._buf
+        pkt = buf[head]
+        assert pkt is not None
+        buf[head] = None
+        self._head = (head + 1) & self._mask
+        self._count -= 1
         qos = min(pkt.qos, self.num_classes - 1)
         self.bytes_queued -= pkt.size_bytes
         self._class_bytes[qos] -= pkt.size_bytes
@@ -180,10 +230,10 @@ class FifoScheduler(Scheduler):
 
     def _sanitize_check(self, pkt: Optional[Packet]) -> None:
         super()._sanitize_check(pkt)
-        if self.packets_queued != len(self._queue):
+        if self.packets_queued != self._count:
             raise self._conservation_error(
                 f"packets_queued={self.packets_queued} != "
-                f"queue length {len(self._queue)}",
+                f"ring occupancy {self._count}",
                 pkt,
             )
         if sum(self._class_bytes) != self.bytes_queued:
@@ -195,25 +245,80 @@ class FifoScheduler(Scheduler):
 
 
 class _ClassedScheduler(Scheduler):
-    """Shared plumbing for schedulers with one FIFO per QoS class."""
+    """Shared plumbing for schedulers with one FIFO per QoS class.
+
+    Each class FIFO is a preallocated power-of-two ring: ``_bufs[c]``
+    holds the packets, ``_heads[c]``/``_counts[c]``/``_masks[c]`` the
+    ring geometry.  Subclasses that keep per-packet side data in
+    parallel arrays (WFQ's tag rings) override :meth:`_grow_ring` to
+    resize them in lockstep.
+    """
 
     def __init__(
         self, num_classes: int, buffer_bytes: int, sanitize: Optional[bool] = None
     ):
         super().__init__(num_classes, buffer_bytes, sanitize)
-        self._queues: List[Deque[Packet]] = [deque() for _ in range(num_classes)]
+        self._bufs: List[List[Optional[Packet]]] = [
+            [None] * _RING_INIT for _ in range(num_classes)
+        ]
+        self._heads = [0] * num_classes
+        self._counts = [0] * num_classes
+        self._masks = [_RING_INIT - 1] * num_classes
         self._class_bytes = [0] * num_classes
 
     def class_backlog_bytes(self, qos: int) -> int:
         """Bytes currently queued in one class (used by tests/metrics)."""
         return self._class_bytes[qos]
 
+    # ------------------------------------------------------------------
+    # ring primitives
+    # ------------------------------------------------------------------
+    def _grow_ring(self, qos: int) -> None:
+        """Double class ``qos``'s ring, unrolling it to start at 0."""
+        buf = self._bufs[qos]
+        head = self._heads[qos]
+        mask = self._masks[qos]
+        count = self._counts[qos]
+        cap = len(buf) * 2
+        unrolled: List[Optional[Packet]] = [
+            buf[(head + i) & mask] for i in range(count)
+        ]
+        unrolled.extend([None] * (cap - count))
+        self._bufs[qos] = unrolled
+        self._heads[qos] = 0
+        self._masks[qos] = cap - 1
+
+    def _ring_push(self, qos: int, pkt: Packet) -> None:
+        count = self._counts[qos]
+        if count > self._masks[qos]:
+            self._grow_ring(qos)
+        self._bufs[qos][(self._heads[qos] + count) & self._masks[qos]] = pkt
+        self._counts[qos] = count + 1
+
+    def _ring_pop(self, qos: int) -> Packet:
+        head = self._heads[qos]
+        buf = self._bufs[qos]
+        pkt = buf[head]
+        assert pkt is not None
+        buf[head] = None
+        self._heads[qos] = (head + 1) & self._masks[qos]
+        self._counts[qos] -= 1
+        return pkt
+
+    def _ring_peek(self, qos: int) -> Packet:
+        pkt = self._bufs[qos][self._heads[qos]]
+        assert pkt is not None
+        return pkt
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
     def _admit(self, pkt: Packet) -> bool:
         self._check_class(pkt.qos)
         if self.bytes_queued + pkt.size_bytes > self.buffer_bytes:
             self.stats.dropped[pkt.qos] += 1
             return False
-        self._queues[pkt.qos].append(pkt)
+        self._ring_push(pkt.qos, pkt)
         self.bytes_queued += pkt.size_bytes
         self._class_bytes[pkt.qos] += pkt.size_bytes
         self.packets_queued += 1
@@ -223,7 +328,7 @@ class _ClassedScheduler(Scheduler):
         return True
 
     def _remove(self, qos: int) -> Packet:
-        pkt = self._queues[qos].popleft()
+        pkt = self._ring_pop(qos)
         self.bytes_queued -= pkt.size_bytes
         self._class_bytes[qos] -= pkt.size_bytes
         self.packets_queued -= 1
@@ -233,11 +338,11 @@ class _ClassedScheduler(Scheduler):
         return pkt
 
     def _sanitize_check(self, pkt: Optional[Packet]) -> None:
-        """Per-class conservation: enq[c] == deq[c] + len(queue[c])."""
+        """Per-class conservation: enq[c] == deq[c] + ring occupancy."""
         enq = self.stats.enqueued
         deq = self.stats.dequeued
         for qos in range(self.num_classes):
-            backlog = len(self._queues[qos])
+            backlog = self._counts[qos]
             if enq[qos] != deq[qos] + backlog:
                 raise self._conservation_error(
                     f"class {qos} conservation broken: enqueued={enq[qos]} != "
@@ -255,7 +360,7 @@ class _ClassedScheduler(Scheduler):
                 f"bytes_queued={self.bytes_queued}",
                 pkt,
             )
-        if self.packets_queued != sum(len(q) for q in self._queues):
+        if self.packets_queued != sum(self._counts):
             raise self._conservation_error(
                 f"packets_queued={self.packets_queued} != sum of class backlogs",
                 pkt,
@@ -268,6 +373,11 @@ class WfqScheduler(_ClassedScheduler):
     ``weights[i]`` is the WFQ weight phi_i of QoS class i (index 0 is
     the highest class by convention, but SCFQ itself only cares about
     the weight values).
+
+    Tags are struct-of-arrays: ``_tag_finish[c]`` / ``_tag_serial[c]``
+    are flat arrays sharing class ``c``'s packet-ring geometry, so the
+    head packet's tag is ``_tag_finish[c][_heads[c]]`` — the enqueue
+    path writes three parallel slots instead of allocating a tuple.
     """
 
     def __init__(
@@ -289,7 +399,12 @@ class WfqScheduler(_ClassedScheduler):
         # coincidentally reproduce a stale entry's tag).  Ordering is
         # unchanged — ties still resolve on (tag, qos).
         self._head_tags: List[Tuple[float, int, int]] = []
-        self._tags: List[Deque[Tuple[float, int]]] = [deque() for _ in weights]
+        # Per-class tag rings, parallel to the packet rings (same head/
+        # count/mask).  The -1 serial filler never matches a live serial.
+        self._tag_finish: List[List[float]] = [
+            [0.0] * _RING_INIT for _ in weights
+        ]
+        self._tag_serial: List[List[int]] = [[-1] * _RING_INIT for _ in weights]
         self._next_serial = 0
         # Stats counter lists are stable objects; bind them once so the
         # per-packet path skips the stats attribute walk.
@@ -297,6 +412,23 @@ class WfqScheduler(_ClassedScheduler):
         self._stats_dequeued = self.stats.dequeued
         self._stats_dropped = self.stats.dropped
         self._stats_max_bytes = self.stats.max_bytes_per_class
+
+    def _grow_ring(self, qos: int) -> None:
+        # Unroll the tag rings with the *old* geometry before the base
+        # class rewrites head/mask.
+        head = self._heads[qos]
+        mask = self._masks[qos]
+        count = self._counts[qos]
+        finish = self._tag_finish[qos]
+        serial = self._tag_serial[qos]
+        cap = (mask + 1) * 2
+        self._tag_finish[qos] = [
+            finish[(head + i) & mask] for i in range(count)
+        ] + [0.0] * (cap - count)
+        self._tag_serial[qos] = [
+            serial[(head + i) & mask] for i in range(count)
+        ] + [-1] * (cap - count)
+        super()._grow_ring(qos)
 
     def enqueue(self, pkt: Packet) -> bool:
         # _admit() and the stats update are inlined: this method runs
@@ -309,8 +441,13 @@ class WfqScheduler(_ClassedScheduler):
         if self.bytes_queued + size > self.buffer_bytes:
             self._stats_dropped[qos] += 1
             return False
-        queue = self._queues[qos]
-        queue.append(pkt)
+        count = self._counts[qos]
+        if count > self._masks[qos]:
+            self._grow_ring(qos)
+        mask = self._masks[qos]
+        idx = (self._heads[qos] + count) & mask
+        self._bufs[qos][idx] = pkt
+        self._counts[qos] = count + 1
         self.bytes_queued += size
         class_bytes = self._class_bytes[qos] + size
         self._class_bytes[qos] = class_bytes
@@ -326,8 +463,9 @@ class WfqScheduler(_ClassedScheduler):
         self._last_finish[qos] = finish
         serial = self._next_serial
         self._next_serial = serial + 1
-        self._tags[qos].append((finish, serial))
-        if len(queue) == 1:
+        self._tag_finish[qos][idx] = finish
+        self._tag_serial[qos][idx] = serial
+        if count == 0:
             _heappush(self._head_tags, (finish, qos, serial))
         if self._sanitize:
             self._sanitize_check(pkt)
@@ -335,16 +473,25 @@ class WfqScheduler(_ClassedScheduler):
 
     def dequeue(self) -> Optional[Packet]:
         heads = self._head_tags
-        tags = self._tags
+        tag_finish = self._tag_finish
+        tag_serial = self._tag_serial
+        ring_heads = self._heads
+        counts = self._counts
         while heads:
             tag, qos, serial = _heappop(heads)
-            tag_queue = tags[qos]
-            if not tag_queue or tag_queue[0][1] != serial:
+            count = counts[qos]
+            head = ring_heads[qos]
+            if not count or tag_serial[qos][head] != serial:
                 # Stale heap entry (head already served); skip it.
                 continue
-            tag_queue.popleft()
-            # Inlined _remove().
-            pkt = self._queues[qos].popleft()
+            # Inlined _ring_pop() + _remove().
+            buf = self._bufs[qos]
+            pkt = buf[head]
+            assert pkt is not None
+            buf[head] = None
+            head = (head + 1) & self._masks[qos]
+            ring_heads[qos] = head
+            counts[qos] = count - 1
             size = pkt.size_bytes
             self.bytes_queued -= size
             self._class_bytes[qos] -= size
@@ -368,9 +515,10 @@ class WfqScheduler(_ClassedScheduler):
                 )
             if tag > self._virtual_time:
                 self._virtual_time = tag
-            if tag_queue:
-                next_finish, next_serial = tag_queue[0]
-                _heappush(heads, (next_finish, qos, next_serial))
+            if counts[qos]:
+                _heappush(
+                    heads, (tag_finish[qos][head], qos, tag_serial[qos][head])
+                )
             elif self.packets_queued == 0:
                 # System empties: reset virtual time so tags don't grow
                 # without bound over long runs.  Serials keep counting —
@@ -381,6 +529,18 @@ class WfqScheduler(_ClassedScheduler):
             if self._sanitize:
                 self._sanitize_check(pkt)
             return pkt
+        if self._sanitize and self.packets_queued:
+            # Work conservation: the head-tag heap ran dry while packets
+            # sit in class rings — a lost head-tag bug would otherwise
+            # wedge the port silently with backlog.
+            raise SanitizerError(
+                "wfq-work-conservation",
+                "head-tag heap empty with packets queued",
+                {
+                    "packets_queued": self.packets_queued,
+                    "class_backlogs": list(self._counts),
+                },
+            )
         return None
 
 
@@ -396,8 +556,9 @@ class StrictPriorityScheduler(_ClassedScheduler):
         return self._admit(pkt)
 
     def dequeue(self) -> Optional[Packet]:
+        counts = self._counts
         for qos in range(self.num_classes):
-            if self._queues[qos]:
+            if counts[qos]:
                 return self._remove(qos)
         return None
 
@@ -444,20 +605,19 @@ class DwrrScheduler(_ClassedScheduler):
         active = self._active
         deficits = self._deficit
         quanta = self._quanta
-        queues = self._queues
+        counts = self._counts
         idle_visits = 0
         while active:
             qos = active[0]
-            queue = queues[qos]
-            if not queue:
+            if not counts[qos]:
                 active.popleft()
                 self._in_active[qos] = False
                 continue
-            head_size = queue[0].size_bytes
+            head_size = self._ring_peek(qos).size_bytes
             if deficits[qos] >= head_size:
                 deficits[qos] -= head_size
                 pkt = self._remove(qos)
-                if not queue:
+                if not counts[qos]:
                     active.popleft()
                     self._in_active[qos] = False
                     deficits[qos] = 0.0
@@ -473,7 +633,14 @@ class DwrrScheduler(_ClassedScheduler):
                 # this keeps tiny quanta (weights like 0.5/0.3/0.2, or
                 # smaller) from turning dequeue into a long spin.
                 rounds = min(
-                    max(0, math.ceil((queues[q][0].size_bytes - deficits[q]) / quanta[q]) - 1)
+                    max(
+                        0,
+                        math.ceil(
+                            (self._ring_peek(q).size_bytes - deficits[q])
+                            / quanta[q]
+                        )
+                        - 1,
+                    )
                     for q in active
                 )
                 if rounds > 0:

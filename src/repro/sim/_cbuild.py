@@ -1,0 +1,150 @@
+"""On-demand build/load of the C event-core extension.
+
+The compiled kernel backend ships as C source (``_ckernel.c``) rather
+than a prebuilt wheel: the repo has no binary artifacts and no build-
+time dependency beyond a system C compiler.  :func:`load_ckernel`
+compiles the source into a per-user cache directory keyed by a hash of
+the source text and the interpreter ABI, so rebuilds happen exactly
+when either changes, and loads the resulting shared object with
+:mod:`importlib` machinery.
+
+Hosts without a C toolchain (or where the compile fails) raise
+:class:`repro.sim.backend.BackendUnavailable` with the reason — the
+compiled backend is optional by design and everything falls back to the
+pure-Python kernels.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib.util
+import os
+import shlex
+import shutil
+import subprocess
+import sys
+import sysconfig
+from pathlib import Path
+from types import ModuleType
+from typing import List, Optional
+
+from repro.sim.backend import BackendUnavailable
+
+#: Importable name of the extension module (must match PyInit_*).
+MODULE_NAME = "_repro_ckernel"
+
+#: Override for the build cache directory (useful for CI and tests).
+CACHE_ENV_VAR = "REPRO_CKERNEL_CACHE"
+
+_loaded: Optional[ModuleType] = None
+_load_error: Optional[str] = None
+
+
+def source_path() -> Path:
+    """Path of the C source next to this module."""
+    return Path(__file__).with_name("_ckernel.c")
+
+
+def cache_dir() -> Path:
+    """Directory holding built extension objects."""
+    override = os.environ.get(CACHE_ENV_VAR)
+    if override:
+        return Path(override)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro" / "ckernel"
+
+
+def _build_tag(source: bytes) -> str:
+    """Cache key: source text + interpreter ABI + platform."""
+    digest = hashlib.sha256()
+    digest.update(source)
+    digest.update(sys.implementation.cache_tag.encode())
+    digest.update(sys.platform.encode())
+    return digest.hexdigest()[:20]
+
+
+def _compiler_command() -> List[str]:
+    """The C compiler argv prefix, or raise :class:`BackendUnavailable`."""
+    configured = sysconfig.get_config_var("CC")
+    candidates = ([shlex.split(configured)] if configured else []) + [
+        ["cc"],
+        ["gcc"],
+        ["clang"],
+    ]
+    for argv in candidates:
+        if argv and shutil.which(argv[0]):
+            return argv
+    raise BackendUnavailable(
+        "compiled kernel backend needs a C compiler (cc/gcc/clang) on "
+        "PATH; none found — use REPRO_BACKEND=array instead"
+    )
+
+
+def _compile(src: Path, out: Path) -> None:
+    """Compile ``src`` into the shared object ``out`` (atomically)."""
+    include = sysconfig.get_path("include")
+    platinclude = sysconfig.get_path("platinclude")
+    argv = _compiler_command() + ["-O2", "-fPIC", "-shared", "-I", include]
+    if platinclude and platinclude != include:
+        argv += ["-I", platinclude]
+    tmp = out.with_name(out.name + f".tmp{os.getpid()}")
+    argv += [str(src), "-o", str(tmp)]
+    proc = subprocess.run(argv, capture_output=True, text=True)
+    if proc.returncode != 0:
+        tmp.unlink(missing_ok=True)
+        tail = (proc.stderr or proc.stdout or "").strip().splitlines()[-8:]
+        raise BackendUnavailable(
+            "compiled kernel backend failed to build "
+            f"({' '.join(argv[:1])} exited {proc.returncode}):\n"
+            + "\n".join(tail)
+        )
+    # Atomic publish so concurrent builders (e.g. pytest-xdist) race
+    # benignly: last writer wins with an identical artifact.
+    os.replace(tmp, out)
+
+
+def build_extension() -> Path:
+    """Ensure the extension is built; return the shared-object path."""
+    src = source_path()
+    try:
+        source = src.read_bytes()
+    except OSError as exc:
+        raise BackendUnavailable(
+            f"compiled kernel backend source missing: {exc}"
+        ) from exc
+    suffix = sysconfig.get_config_var("EXT_SUFFIX") or ".so"
+    out = cache_dir() / f"{MODULE_NAME}-{_build_tag(source)}{suffix}"
+    if out.exists():
+        return out
+    out.parent.mkdir(parents=True, exist_ok=True)
+    _compile(src, out)
+    return out
+
+
+def load_ckernel() -> ModuleType:
+    """Build (if needed) and import the C event-core module.
+
+    The loaded module and any failure are cached for the process: a host
+    that cannot build it fails fast on every subsequent call instead of
+    re-running the compiler.
+    """
+    global _loaded, _load_error
+    if _loaded is not None:
+        return _loaded
+    if _load_error is not None:
+        raise BackendUnavailable(_load_error)
+    try:
+        so_path = build_extension()
+        spec = importlib.util.spec_from_file_location(MODULE_NAME, so_path)
+        if spec is None or spec.loader is None:
+            raise BackendUnavailable(
+                f"compiled kernel backend: cannot load {so_path}"
+            )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+    except BackendUnavailable as exc:
+        _load_error = str(exc)
+        raise
+    _loaded = module
+    return module

@@ -1,0 +1,688 @@
+/* C event core for the compiled simulator kernel backend.
+ *
+ * This is the struct-of-arrays layout of repro.sim.kernel implemented
+ * natively: the pending-event heap is a flat C array of
+ * {time, seq, slot} records ordered by (time, seq), and callbacks/args
+ * live in a preallocated slot pool (PyObject* tables + an int free
+ * list).  The run loop executes in C, so the per-event cost is one
+ * heap pop plus one vectorcall — no tuple allocation, no interpreter
+ * dispatch between events.
+ *
+ * Semantics are pinned by the kernel contract in repro/sim/engine.py
+ * and the characterization + cross-backend equivalence tests; every
+ * branch below mirrors the pure kernel's run loop exactly (ordering,
+ * lazy cancellation, horizon/budget/stop exits, counter folding on
+ * exception).
+ *
+ * Built on demand by repro/sim/_cbuild.py with the system C compiler;
+ * see repro/sim/compiled.py for the gating story.
+ */
+
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+#include <stdint.h>
+#include <string.h>
+
+#define MAX_INLINE_ARGS 4
+#define HORIZON_FOREVER ((int64_t)1 << 62)
+
+typedef struct {
+    int64_t time;
+    int64_t seq;
+    Py_ssize_t slot;
+} entry_t;
+
+typedef struct {
+    /* Post entries hold fn + up to MAX_INLINE_ARGS inline args (or an
+     * args tuple when longer); schedule entries hold the Event handle
+     * and fn == NULL — mirroring the pure kernel's two entry shapes. */
+    PyObject *fn;
+    PyObject *event;
+    PyObject *args[MAX_INLINE_ARGS];
+    PyObject *args_tuple;
+    int nargs; /* -1: args_tuple holds the arguments */
+} slot_t;
+
+typedef struct {
+    PyObject_HEAD
+    entry_t *heap;
+    Py_ssize_t heap_len;
+    Py_ssize_t heap_cap;
+    slot_t *pool;
+    Py_ssize_t pool_cap;
+    Py_ssize_t *free_slots;
+    Py_ssize_t free_len;
+    int64_t now;
+    int64_t seq;
+    int64_t events_processed;
+    int stopped;
+} EventCore;
+
+/* ------------------------------------------------------------------ */
+/* heap of (time, seq) — classic binary heap over the entry array     */
+/* ------------------------------------------------------------------ */
+
+static inline int
+entry_lt(const entry_t *a, const entry_t *b)
+{
+    if (a->time != b->time)
+        return a->time < b->time;
+    return a->seq < b->seq;
+}
+
+static int
+heap_reserve(EventCore *self, Py_ssize_t need)
+{
+    if (need <= self->heap_cap)
+        return 0;
+    Py_ssize_t cap = self->heap_cap ? self->heap_cap : 256;
+    while (cap < need)
+        cap *= 2;
+    entry_t *grown = PyMem_Realloc(self->heap, (size_t)cap * sizeof(entry_t));
+    if (grown == NULL) {
+        PyErr_NoMemory();
+        return -1;
+    }
+    self->heap = grown;
+    self->heap_cap = cap;
+    return 0;
+}
+
+static int
+heap_push(EventCore *self, int64_t time, int64_t seq, Py_ssize_t slot)
+{
+    if (heap_reserve(self, self->heap_len + 1) < 0)
+        return -1;
+    entry_t *heap = self->heap;
+    Py_ssize_t pos = self->heap_len++;
+    entry_t item = {time, seq, slot};
+    while (pos > 0) {
+        Py_ssize_t parent = (pos - 1) >> 1;
+        if (!entry_lt(&item, &heap[parent]))
+            break;
+        heap[pos] = heap[parent];
+        pos = parent;
+    }
+    heap[pos] = item;
+    return 0;
+}
+
+static entry_t
+heap_pop(EventCore *self)
+{
+    entry_t *heap = self->heap;
+    entry_t top = heap[0];
+    Py_ssize_t len = --self->heap_len;
+    if (len > 0) {
+        entry_t last = heap[len];
+        Py_ssize_t pos = 0;
+        Py_ssize_t child;
+        while ((child = 2 * pos + 1) < len) {
+            if (child + 1 < len && entry_lt(&heap[child + 1], &heap[child]))
+                child += 1;
+            if (!entry_lt(&heap[child], &last))
+                break;
+            heap[pos] = heap[child];
+            pos = child;
+        }
+        heap[pos] = last;
+    }
+    return top;
+}
+
+/* ------------------------------------------------------------------ */
+/* slot pool                                                           */
+/* ------------------------------------------------------------------ */
+
+static Py_ssize_t
+slot_alloc(EventCore *self)
+{
+    if (self->free_len > 0)
+        return self->free_slots[--self->free_len];
+    Py_ssize_t cap = self->pool_cap ? self->pool_cap * 2 : 256;
+    slot_t *pool = PyMem_Realloc(self->pool, (size_t)cap * sizeof(slot_t));
+    if (pool == NULL) {
+        PyErr_NoMemory();
+        return -1;
+    }
+    memset(pool + self->pool_cap, 0,
+           (size_t)(cap - self->pool_cap) * sizeof(slot_t));
+    Py_ssize_t *free_slots =
+        PyMem_Realloc(self->free_slots, (size_t)cap * sizeof(Py_ssize_t));
+    if (free_slots == NULL) {
+        self->pool = pool; /* keep the grown pool; only free list failed */
+        self->pool_cap = cap;
+        PyErr_NoMemory();
+        return -1;
+    }
+    self->pool = pool;
+    self->free_slots = free_slots;
+    /* Hand out the first new slot; stack the rest as free. */
+    for (Py_ssize_t s = cap - 1; s > self->pool_cap; s--)
+        self->free_slots[self->free_len++] = s;
+    Py_ssize_t slot = self->pool_cap;
+    self->pool_cap = cap;
+    return slot;
+}
+
+/* Move a post slot's contents into locals and recycle the slot.  The
+ * caller owns the returned references. */
+static inline void
+slot_take_post(EventCore *self, Py_ssize_t slot, PyObject **fn,
+               PyObject *argv[MAX_INLINE_ARGS], PyObject **args_tuple,
+               int *nargs)
+{
+    slot_t *s = &self->pool[slot];
+    *fn = s->fn;
+    s->fn = NULL;
+    *args_tuple = s->args_tuple;
+    s->args_tuple = NULL;
+    *nargs = s->nargs;
+    if (*nargs > 0) {
+        memcpy(argv, s->args, (size_t)*nargs * sizeof(PyObject *));
+        memset(s->args, 0, sizeof(s->args));
+    }
+    s->nargs = 0;
+    self->free_slots[self->free_len++] = slot;
+}
+
+static inline PyObject *
+slot_take_event(EventCore *self, Py_ssize_t slot)
+{
+    slot_t *s = &self->pool[slot];
+    PyObject *event = s->event;
+    s->event = NULL;
+    self->free_slots[self->free_len++] = slot;
+    return event;
+}
+
+/* ------------------------------------------------------------------ */
+/* interned attribute names                                            */
+/* ------------------------------------------------------------------ */
+
+static PyObject *str_cancelled;
+static PyObject *str_fn;
+static PyObject *str_args;
+
+/* Returns -1 on error, else the truthiness of event.cancelled. */
+static int
+event_cancelled(PyObject *event)
+{
+    PyObject *flag = PyObject_GetAttr(event, str_cancelled);
+    if (flag == NULL)
+        return -1;
+    int truth = PyObject_IsTrue(flag);
+    Py_DECREF(flag);
+    return truth;
+}
+
+/* ------------------------------------------------------------------ */
+/* EventCore methods                                                   */
+/* ------------------------------------------------------------------ */
+
+static PyObject *
+core_post_at(EventCore *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    /* post_at(time_ns, fn, *cb_args) — absolute time; the Python facade
+     * validates the delay sign and computes now + delay. */
+    if (nargs < 2) {
+        PyErr_SetString(PyExc_TypeError,
+                        "post_at expects (time_ns, fn, *args)");
+        return NULL;
+    }
+    int64_t time = PyLong_AsLongLong(args[0]);
+    if (time == -1 && PyErr_Occurred())
+        return NULL;
+    PyObject *fn = args[1];
+    Py_ssize_t cb_nargs = nargs - 2;
+    Py_ssize_t slot = slot_alloc(self);
+    if (slot < 0)
+        return NULL;
+    slot_t *s = &self->pool[slot];
+    Py_INCREF(fn);
+    s->fn = fn;
+    if (cb_nargs <= MAX_INLINE_ARGS) {
+        for (Py_ssize_t i = 0; i < cb_nargs; i++) {
+            Py_INCREF(args[2 + i]);
+            s->args[i] = args[2 + i];
+        }
+        s->nargs = (int)cb_nargs;
+    }
+    else {
+        PyObject *tuple = PyTuple_New(cb_nargs);
+        if (tuple == NULL)
+            goto fail;
+        for (Py_ssize_t i = 0; i < cb_nargs; i++) {
+            Py_INCREF(args[2 + i]);
+            PyTuple_SET_ITEM(tuple, i, args[2 + i]);
+        }
+        s->args_tuple = tuple;
+        s->nargs = -1;
+    }
+    if (heap_push(self, time, self->seq, slot) < 0)
+        goto fail;
+    self->seq += 1;
+    Py_RETURN_NONE;
+
+fail:
+    /* Roll the slot back so the pool stays consistent. */
+    Py_CLEAR(s->fn);
+    Py_CLEAR(s->args_tuple);
+    for (int i = 0; i < MAX_INLINE_ARGS; i++)
+        Py_CLEAR(s->args[i]);
+    s->nargs = 0;
+    self->free_slots[self->free_len++] = slot;
+    return NULL;
+}
+
+static PyObject *
+core_push_handle(EventCore *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    /* push_handle(time_ns, seq, event) — the schedule() path.  The seq
+     * must come from alloc_seq() so post/schedule share one counter. */
+    if (nargs != 3) {
+        PyErr_SetString(PyExc_TypeError,
+                        "push_handle expects (time_ns, seq, event)");
+        return NULL;
+    }
+    int64_t time = PyLong_AsLongLong(args[0]);
+    if (time == -1 && PyErr_Occurred())
+        return NULL;
+    int64_t seq = PyLong_AsLongLong(args[1]);
+    if (seq == -1 && PyErr_Occurred())
+        return NULL;
+    PyObject *event = args[2];
+    Py_ssize_t slot = slot_alloc(self);
+    if (slot < 0)
+        return NULL;
+    slot_t *s = &self->pool[slot];
+    Py_INCREF(event);
+    s->event = event;
+    if (heap_push(self, time, seq, slot) < 0) {
+        Py_CLEAR(s->event);
+        self->free_slots[self->free_len++] = slot;
+        return NULL;
+    }
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+core_alloc_seq(EventCore *self, PyObject *Py_UNUSED(ignored))
+{
+    int64_t seq = self->seq;
+    self->seq += 1;
+    return PyLong_FromLongLong(seq);
+}
+
+static PyObject *
+core_stop(EventCore *self, PyObject *Py_UNUSED(ignored))
+{
+    self->stopped = 1;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+core_peek_time(EventCore *self, PyObject *Py_UNUSED(ignored))
+{
+    while (self->heap_len > 0) {
+        entry_t top = self->heap[0];
+        slot_t *s = &self->pool[top.slot];
+        if (s->fn == NULL && s->event != NULL) {
+            int cancelled = event_cancelled(s->event);
+            if (cancelled < 0)
+                return NULL;
+            if (cancelled) {
+                heap_pop(self);
+                PyObject *event = slot_take_event(self, top.slot);
+                Py_DECREF(event);
+                continue;
+            }
+        }
+        return PyLong_FromLongLong(top.time);
+    }
+    Py_RETURN_NONE;
+}
+
+/* Shared per-event dispatch used by run() and step().  Pops the top
+ * entry (the caller already checked heap_len and the horizon), resolves
+ * cancellation, optionally sanitize-checks, advances the clock, and
+ * invokes the callback (through `timed` when profiling).
+ *
+ * Returns 1 when an event fired, 0 when the entry was a discarded
+ * cancellation, -1 on error.  `count_before_call` mirrors step()'s
+ * pre-call counting (run() folds `fired` afterwards instead). */
+static int
+fire_next(EventCore *self, PyObject *timed, PyObject *sanitize_cb,
+          int count_before_call)
+{
+    entry_t top = heap_pop(self);
+    slot_t *s = &self->pool[top.slot];
+    PyObject *fn = NULL;
+    PyObject *argv[MAX_INLINE_ARGS];
+    PyObject *args_tuple = NULL;
+    int nargs = 0;
+
+    if (s->fn == NULL) {
+        PyObject *event = slot_take_event(self, top.slot);
+        int cancelled = event_cancelled(event);
+        if (cancelled < 0) {
+            Py_DECREF(event);
+            return -1;
+        }
+        if (cancelled) {
+            Py_DECREF(event);
+            return 0;
+        }
+        fn = PyObject_GetAttr(event, str_fn);
+        if (fn != NULL)
+            args_tuple = PyObject_GetAttr(event, str_args);
+        Py_DECREF(event);
+        if (fn == NULL || args_tuple == NULL) {
+            Py_XDECREF(fn);
+            return -1;
+        }
+        nargs = -1;
+    }
+    else {
+        slot_take_post(self, top.slot, &fn, argv, &args_tuple, &nargs);
+    }
+
+    if (sanitize_cb != NULL) {
+        PyObject *ok = PyObject_CallFunction(sanitize_cb, "LLO", top.time,
+                                             top.seq, fn);
+        if (ok == NULL)
+            goto fail;
+        Py_DECREF(ok);
+    }
+
+    self->now = top.time;
+    if (count_before_call)
+        self->events_processed += 1;
+
+    PyObject *result;
+    if (timed != NULL) {
+        /* The profiler takes (fn, args_tuple); materialize the tuple
+         * for inline-args entries. */
+        if (nargs >= 0) {
+            args_tuple = PyTuple_New(nargs);
+            if (args_tuple == NULL)
+                goto fail;
+            for (int i = 0; i < nargs; i++)
+                PyTuple_SET_ITEM(args_tuple, i, argv[i]); /* steals */
+            nargs = -1;
+        }
+        result = PyObject_CallFunctionObjArgs(timed, fn, args_tuple, NULL);
+    }
+    else if (nargs >= 0) {
+        result = PyObject_Vectorcall(fn, argv, (size_t)nargs, NULL);
+        for (int i = 0; i < nargs; i++)
+            Py_DECREF(argv[i]);
+        nargs = 0;
+    }
+    else {
+        result = PyObject_Call(fn, args_tuple, NULL);
+    }
+    Py_DECREF(fn);
+    Py_XDECREF(args_tuple);
+    if (result == NULL)
+        return -1;
+    Py_DECREF(result);
+    return 1;
+
+fail:
+    Py_DECREF(fn);
+    Py_XDECREF(args_tuple);
+    if (nargs > 0)
+        for (int i = 0; i < nargs; i++)
+            Py_DECREF(argv[i]);
+    return -1;
+}
+
+static PyObject *
+core_run(EventCore *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    /* run(until, max_events, timed, sanitize_cb) — None for "unset". */
+    if (nargs != 4) {
+        PyErr_SetString(PyExc_TypeError,
+                        "run expects (until, max_events, timed, sanitize_cb)");
+        return NULL;
+    }
+    int until_set = args[0] != Py_None;
+    int64_t horizon = HORIZON_FOREVER;
+    int64_t until = 0;
+    if (until_set) {
+        until = PyLong_AsLongLong(args[0]);
+        if (until == -1 && PyErr_Occurred())
+            return NULL;
+        horizon = until;
+    }
+    int64_t limit = -1;
+    if (args[1] != Py_None) {
+        limit = PyLong_AsLongLong(args[1]);
+        if (limit == -1 && PyErr_Occurred())
+            return NULL;
+    }
+    PyObject *timed = args[2] == Py_None ? NULL : args[2];
+    PyObject *sanitize_cb = args[3] == Py_None ? NULL : args[3];
+
+    self->stopped = 0;
+    int64_t fired = 0;
+
+    while (!self->stopped) {
+        if (self->heap_len == 0)
+            break;
+        if (fired == limit) {
+            self->events_processed += fired;
+            Py_RETURN_NONE;
+        }
+        if (self->heap[0].time > horizon) {
+            /* Strictly-later event: stays queued, horizon covered. */
+            self->now = horizon;
+            self->events_processed += fired;
+            Py_RETURN_NONE;
+        }
+        int status = fire_next(self, timed, sanitize_cb, 0);
+        if (status < 0) {
+            self->events_processed += fired;
+            return NULL;
+        }
+        fired += status;
+    }
+    if (!self->stopped && until_set && self->now < until)
+        self->now = until; /* drained below the horizon */
+    self->events_processed += fired;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+core_step(EventCore *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    /* step(sanitize_cb) -> bool */
+    if (nargs != 1) {
+        PyErr_SetString(PyExc_TypeError, "step expects (sanitize_cb,)");
+        return NULL;
+    }
+    PyObject *sanitize_cb = args[0] == Py_None ? NULL : args[0];
+    while (self->heap_len > 0) {
+        int status = fire_next(self, NULL, sanitize_cb, 1);
+        if (status < 0)
+            return NULL;
+        if (status == 1)
+            Py_RETURN_TRUE;
+    }
+    Py_RETURN_FALSE;
+}
+
+static PyObject *
+core_advance_clock(EventCore *self, PyObject *arg)
+{
+    /* advance_clock(time_ns) — used only by facade paths that must
+     * mirror pure-kernel clock writes (never goes backwards). */
+    int64_t time = PyLong_AsLongLong(arg);
+    if (time == -1 && PyErr_Occurred())
+        return NULL;
+    if (time > self->now)
+        self->now = time;
+    Py_RETURN_NONE;
+}
+
+/* ------------------------------------------------------------------ */
+/* type plumbing                                                       */
+/* ------------------------------------------------------------------ */
+
+static PyObject *
+core_new(PyTypeObject *type, PyObject *args, PyObject *kwds)
+{
+    EventCore *self = (EventCore *)type->tp_alloc(type, 0);
+    if (self == NULL)
+        return NULL;
+    self->heap = NULL;
+    self->heap_len = self->heap_cap = 0;
+    self->pool = NULL;
+    self->pool_cap = 0;
+    self->free_slots = NULL;
+    self->free_len = 0;
+    self->now = 0;
+    self->seq = 0;
+    self->events_processed = 0;
+    self->stopped = 0;
+    return (PyObject *)self;
+}
+
+static int
+core_traverse(EventCore *self, visitproc visit, void *arg)
+{
+    for (Py_ssize_t i = 0; i < self->pool_cap; i++) {
+        slot_t *s = &self->pool[i];
+        Py_VISIT(s->fn);
+        Py_VISIT(s->event);
+        Py_VISIT(s->args_tuple);
+        for (int j = 0; j < MAX_INLINE_ARGS; j++)
+            Py_VISIT(s->args[j]);
+    }
+    return 0;
+}
+
+static int
+core_clear(EventCore *self)
+{
+    for (Py_ssize_t i = 0; i < self->pool_cap; i++) {
+        slot_t *s = &self->pool[i];
+        Py_CLEAR(s->fn);
+        Py_CLEAR(s->event);
+        Py_CLEAR(s->args_tuple);
+        for (int j = 0; j < MAX_INLINE_ARGS; j++)
+            Py_CLEAR(s->args[j]);
+        s->nargs = 0;
+    }
+    self->heap_len = 0;
+    self->free_len = 0;
+    return 0;
+}
+
+static void
+core_dealloc(EventCore *self)
+{
+    PyObject_GC_UnTrack(self);
+    core_clear(self);
+    PyMem_Free(self->heap);
+    PyMem_Free(self->pool);
+    PyMem_Free(self->free_slots);
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+static PyObject *
+core_get_now(EventCore *self, void *Py_UNUSED(closure))
+{
+    return PyLong_FromLongLong(self->now);
+}
+
+static PyObject *
+core_get_events_processed(EventCore *self, void *Py_UNUSED(closure))
+{
+    return PyLong_FromLongLong(self->events_processed);
+}
+
+static PyObject *
+core_get_seq(EventCore *self, void *Py_UNUSED(closure))
+{
+    return PyLong_FromLongLong(self->seq);
+}
+
+static PyObject *
+core_get_pending(EventCore *self, void *Py_UNUSED(closure))
+{
+    return PyLong_FromSsize_t(self->heap_len);
+}
+
+static PyGetSetDef core_getset[] = {
+    {"now", (getter)core_get_now, NULL, "current simulation time (ns)", NULL},
+    {"events_processed", (getter)core_get_events_processed, NULL,
+     "events fired so far", NULL},
+    {"seq", (getter)core_get_seq, NULL, "next sequence number", NULL},
+    {"pending", (getter)core_get_pending, NULL, "heap entries", NULL},
+    {NULL, NULL, NULL, NULL, NULL},
+};
+
+static PyMethodDef core_methods[] = {
+    {"post_at", (PyCFunction)(void (*)(void))core_post_at, METH_FASTCALL,
+     "post_at(time_ns, fn, *args): queue a fire-and-forget event"},
+    {"push_handle", (PyCFunction)(void (*)(void))core_push_handle,
+     METH_FASTCALL, "push_handle(time_ns, seq, event): queue a handle"},
+    {"alloc_seq", (PyCFunction)core_alloc_seq, METH_NOARGS,
+     "claim the next sequence number"},
+    {"run", (PyCFunction)(void (*)(void))core_run, METH_FASTCALL,
+     "run(until, max_events, timed, sanitize_cb)"},
+    {"step", (PyCFunction)(void (*)(void))core_step, METH_FASTCALL,
+     "step(sanitize_cb) -> bool"},
+    {"peek_time", (PyCFunction)core_peek_time, METH_NOARGS,
+     "next pending live event time or None"},
+    {"stop", (PyCFunction)core_stop, METH_NOARGS, "stop the run loop"},
+    {"advance_clock", (PyCFunction)core_advance_clock, METH_O,
+     "advance the clock monotonically"},
+    {NULL, NULL, 0, NULL},
+};
+
+static PyTypeObject EventCoreType = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "_repro_ckernel.EventCore",
+    .tp_basicsize = sizeof(EventCore),
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC,
+    .tp_doc = "C event core: (time, seq) heap + callback slot pool",
+    .tp_new = core_new,
+    .tp_dealloc = (destructor)core_dealloc,
+    .tp_traverse = (traverseproc)core_traverse,
+    .tp_clear = (inquiry)core_clear,
+    .tp_methods = core_methods,
+    .tp_getset = core_getset,
+};
+
+static struct PyModuleDef ckernel_module = {
+    PyModuleDef_HEAD_INIT,
+    .m_name = "_repro_ckernel",
+    .m_doc = "compiled simulator kernel event core",
+    .m_size = -1,
+};
+
+PyMODINIT_FUNC
+PyInit__repro_ckernel(void)
+{
+    str_cancelled = PyUnicode_InternFromString("cancelled");
+    str_fn = PyUnicode_InternFromString("fn");
+    str_args = PyUnicode_InternFromString("args");
+    if (str_cancelled == NULL || str_fn == NULL || str_args == NULL)
+        return NULL;
+    if (PyType_Ready(&EventCoreType) < 0)
+        return NULL;
+    PyObject *module = PyModule_Create(&ckernel_module);
+    if (module == NULL)
+        return NULL;
+    Py_INCREF(&EventCoreType);
+    if (PyModule_AddObject(module, "EventCore",
+                           (PyObject *)&EventCoreType) < 0) {
+        Py_DECREF(&EventCoreType);
+        Py_DECREF(module);
+        return NULL;
+    }
+    return module;
+}

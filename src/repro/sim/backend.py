@@ -1,0 +1,102 @@
+"""Simulator kernel backend selection.
+
+Three interchangeable kernels implement the :class:`repro.sim.engine.
+Simulator` API and the kernel contract documented there:
+
+``pure``
+    The tuple-heap reference kernel (:class:`repro.sim.engine.
+    Simulator` itself).  Always available; the default.
+``array``
+    The struct-of-arrays kernel (:class:`repro.sim.kernel.
+    ArraySimulator`): parallel time/seq information packed into integer
+    heap keys plus a preallocated slot table for callbacks/args.
+    Always available; this is the layout the compiled kernel mirrors.
+``compiled``
+    The C-extension kernel (:mod:`repro.sim.compiled`): the array
+    layout implemented as native int64 arrays with the run loop in C.
+    Optional — it is built on demand with the system C compiler and
+    gated cleanly when no toolchain is present.
+
+Selection is by the ``REPRO_BACKEND`` environment variable, read at
+``Simulator(...)`` construction time (construction is never on the hot
+path).  Every backend is digest-bit-identical to ``pure`` — the
+equivalence suite in ``tests/test_kernel_equivalence.py`` and the CI
+backend matrix enforce it.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Tuple, Type
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+
+#: Environment variable naming the kernel backend.
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+#: Recognized backend names, in documentation order.
+BACKENDS: Tuple[str, ...] = ("pure", "array", "compiled")
+
+DEFAULT_BACKEND = "pure"
+
+
+class BackendUnavailable(RuntimeError):
+    """The requested kernel backend cannot be provided on this host.
+
+    Raised for ``compiled`` when the extension is missing and cannot be
+    built (no C compiler, build failure); the message names the reason
+    and the remedy.  ``pure`` and ``array`` are always available.
+    """
+
+
+def selected_backend() -> str:
+    """The backend name chosen by ``REPRO_BACKEND`` (default ``pure``)."""
+    raw = os.environ.get(BACKEND_ENV_VAR, "").strip().lower()
+    if not raw:
+        return DEFAULT_BACKEND
+    if raw not in BACKENDS:
+        raise ValueError(
+            f"unknown {BACKEND_ENV_VAR}={raw!r}; expected one of "
+            f"{', '.join(BACKENDS)}"
+        )
+    return raw
+
+
+def simulator_class(name: str) -> "Type[Simulator]":
+    """The concrete :class:`Simulator` subclass for one backend name.
+
+    Raises :class:`BackendUnavailable` when ``compiled`` is requested
+    but cannot be built/loaded, and :class:`ValueError` for unknown
+    names.
+    """
+    from repro.sim.engine import Simulator
+
+    if name == "pure":
+        return Simulator
+    if name == "array":
+        from repro.sim.kernel import ArraySimulator
+
+        return ArraySimulator
+    if name == "compiled":
+        from repro.sim.compiled import compiled_simulator_class
+
+        return compiled_simulator_class()
+    raise ValueError(
+        f"unknown simulator backend {name!r}; expected one of "
+        f"{', '.join(BACKENDS)}"
+    )
+
+
+def active_simulator_class() -> "Type[Simulator]":
+    """The class ``Simulator(...)`` will instantiate right now."""
+    return simulator_class(selected_backend())
+
+
+def backend_available(name: str) -> bool:
+    """Whether ``simulator_class(name)`` would succeed."""
+    try:
+        simulator_class(name)
+    except BackendUnavailable:
+        return False
+    return True

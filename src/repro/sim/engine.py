@@ -1,15 +1,56 @@
 """Discrete-event simulation kernel.
 
-The kernel is deliberately small: a binary-heap event queue keyed by an
-integer-nanosecond timestamp plus a monotonically increasing sequence
-number (so ties are FIFO and runs are deterministic), a clock, and a
-``run`` loop.  Everything else in the simulator — links, switches,
-transports, RPC stacks — is built by scheduling plain callables.
+The kernel is deliberately small: an event queue keyed by an integer-
+nanosecond timestamp plus a monotonically increasing sequence number (so
+ties are FIFO and runs are deterministic), a clock, and a ``run`` loop.
+Everything else in the simulator — links, switches, transports, RPC
+stacks — is built by scheduling plain callables.
 
 Time is kept in integer nanoseconds throughout the code base.  Floating
 point time is a classic source of nondeterminism in event simulators
 (two events that should tie end up ordered by rounding noise); integers
 make every run bit-reproducible for a given seed.
+
+Kernel contract
+---------------
+
+Three interchangeable kernels implement this class (selected with the
+``REPRO_BACKEND`` environment variable, see :mod:`repro.sim.backend`):
+the tuple-heap kernel below (``pure``), the struct-of-arrays kernel in
+:mod:`repro.sim.kernel` (``array``), and the C extension kernel behind
+:mod:`repro.sim.compiled` (``compiled``).  All three must satisfy one
+documented semantics — the characterization tests in
+``tests/test_sim_engine.py`` and the cross-backend equivalence suite in
+``tests/test_kernel_equivalence.py`` pin it down:
+
+1. **Ordering.**  Events fire in ascending ``(time, seq)`` order.
+   ``seq`` is one shared counter across :meth:`Simulator.schedule`,
+   :meth:`Simulator.post`, and :meth:`Simulator.schedule_at`, so
+   same-timestamp events fire in submission order regardless of which
+   API queued them.
+2. **Lazy cancellation.**  :meth:`Event.cancel` marks the handle; the
+   queue entry is physically discarded whenever any kernel path
+   (:meth:`Simulator.step`, :meth:`Simulator.run`, the profiled loop,
+   :meth:`Simulator.peek_time`) next encounters it at the queue head.
+   A cancelled event never fires, never advances the clock, and never
+   counts toward ``events_processed`` or a ``max_events`` budget.
+3. **Horizon.**  ``run(until=T)`` fires events with ``time <= T``.  The
+   clock advances to ``T`` exactly when the run covered the horizon —
+   by draining the queue or by meeting a strictly-later event (which
+   stays queued).  Exits via :meth:`Simulator.stop` or ``max_events``
+   leave the clock at the last *fired* event so callers observe when
+   the run was interrupted, not a silently jumped clock.
+4. **Budget.**  ``max_events=N`` fires at most ``N`` events; a run
+   interrupted by the budget leaves every unfired (and every cancelled-
+   but-unvisited) entry in the queue.
+5. **Scheduling into the past is an error.**  Relative delays must be
+   ``>= 0``; absolute timestamps must be ``>= now``.  The error message
+   reports what the caller passed (:meth:`Simulator.schedule_at` names
+   the absolute timestamp and the current clock, not the internal
+   relative delay).
+6. **Counters.**  ``events_processed`` counts fired events only, and is
+   folded in on every exit path — including an exception escaping a
+   callback — so interrupted runs stay accountable.
 """
 
 from __future__ import annotations
@@ -54,14 +95,16 @@ def us_from_ns(ns: int) -> float:
 class Event:
     """Handle for a scheduled callback.
 
-    Cancellation is lazy: :meth:`cancel` marks the event and the run loop
-    skips it when popped.  This keeps the heap operations O(log n) without
-    the bookkeeping of a priority queue that supports removal.
+    Cancellation is lazy: :meth:`cancel` marks the event and the kernel
+    drops the queue entry when it next reaches the head (see the kernel
+    contract in the module docstring).  This keeps queue operations
+    O(log n) without the bookkeeping of a priority queue that supports
+    removal.
 
-    Heap entries are ``(time, seq, event)`` tuples so ordering is decided
-    by C-level integer comparison (``seq`` is unique, so the Event itself
-    is never compared) — this matters: event ordering is the hottest
-    operation in the simulator.
+    In the pure kernel, heap entries are ``(time, seq, event)`` tuples
+    so ordering is decided by C-level integer comparison (``seq`` is
+    unique, so the Event itself is never compared) — this matters:
+    event ordering is the hottest operation in the simulator.
     """
 
     __slots__ = ("time", "seq", "fn", "args", "cancelled")
@@ -91,15 +134,33 @@ class Simulator:
         sim.schedule(100, callback, arg1, arg2)   # fire 100 ns from now
         sim.run(until=ns_from_ms(10))
 
+    Constructing ``Simulator()`` returns the kernel selected by the
+    ``REPRO_BACKEND`` environment variable (``pure`` — this class — by
+    default); every backend honors the same API and the kernel contract
+    in the module docstring, bit-identically.  Instantiating a concrete
+    subclass (e.g. :class:`repro.sim.kernel.ArraySimulator`) directly
+    bypasses the selection.
+
     ``sanitize`` switches on the SimSanitizer clock/heap invariant
     checks for this instance (``None`` defers to ``REPRO_SANITIZE``);
     see :mod:`repro.sim.sanitize`.
 
     ``profiler`` attributes wall-clock to event-handler types
     (``None`` defers to the active :mod:`repro.obs.runtime` context).
-    Profiling runs in a *separate* loop (:meth:`_run_profiled`) so the
-    plain hot loop carries no per-event branch for it.
     """
+
+    def __new__(
+        cls,
+        sanitize: Optional[bool] = None,
+        profiler: Optional["SimProfiler"] = None,
+    ) -> "Simulator":
+        if cls is Simulator:
+            from repro.sim.backend import active_simulator_class
+
+            impl = active_simulator_class()
+            if impl is not Simulator:
+                return object.__new__(impl)
+        return object.__new__(cls)
 
     def __init__(
         self,
@@ -178,7 +239,17 @@ class Simulator:
         _heappush(self._heap, (self._now + delay_ns, seq, fn, args))
 
     def schedule_at(self, time_ns: int, fn: Callable[..., None], *args: Any) -> Event:
-        """Schedule ``fn(*args)`` at absolute simulation time ``time_ns``."""
+        """Schedule ``fn(*args)`` at absolute simulation time ``time_ns``.
+
+        A past timestamp is rejected with a message that names what the
+        caller actually passed — the absolute time and the current
+        clock — rather than the internal relative delay.
+        """
+        if time_ns < self._now:
+            raise ValueError(
+                f"cannot schedule at absolute time {time_ns}ns: "
+                f"it is in the past (now={self._now}ns)"
+            )
         return self.schedule(time_ns - self._now, fn, *args)
 
     def stop(self) -> None:
@@ -186,14 +257,24 @@ class Simulator:
         self._stopped = True
 
     def peek_time(self) -> Optional[int]:
-        """Timestamp of the next pending event, or ``None`` if idle."""
+        """Timestamp of the next pending event, or ``None`` if idle.
+
+        Cancelled entries at the queue head are physically discarded
+        (kernel contract rule 2) — peeking never reports a time that
+        belongs to an event that will not fire.
+        """
         heap = self._heap
         while heap and len(heap[0]) == 3 and heap[0][2].cancelled:
             _heappop(heap)
         return heap[0][0] if heap else None
 
     def step(self) -> bool:
-        """Fire the next event.  Returns False when no events remain."""
+        """Fire the next event.  Returns False when no events remain.
+
+        Cancelled entries encountered on the way are discarded without
+        firing, without advancing the clock, and without counting
+        (kernel contract rule 2) — exactly as :meth:`run` treats them.
+        """
         heap = self._heap
         while heap:
             item = _heappop(heap)
@@ -223,10 +304,40 @@ class Simulator:
         reaching a strictly-later event.  Exits via :meth:`stop` or
         ``max_events`` leave the clock at the last fired event, so callers
         observe *when* the run was interrupted rather than a silently
-        jumped clock.
+        jumped clock.  (Kernel contract rules 3 and 4.)
         """
-        if self.profiler is not None:
-            return self._run_profiled(until, max_events)
+        timed = None if self.profiler is None else self.profiler.timed
+        self._run_core(until, max_events, timed)
+
+    def _run_profiled(
+        self, until: Optional[int] = None, max_events: Optional[int] = None
+    ) -> None:
+        """The :meth:`run` loop with per-event wall-clock attribution.
+
+        Kept as a named entry point for API compatibility; it shares
+        :meth:`_run_core` with the plain loop, so the two paths cannot
+        drift semantically — the profiler only *observes* each
+        callback's duration.
+        """
+        profiler = self.profiler
+        assert profiler is not None
+        self._run_core(until, max_events, profiler.timed)
+
+    def _run_core(
+        self,
+        until: Optional[int],
+        max_events: Optional[int],
+        timed: Optional[Callable[[Callable[..., None], Tuple[Any, ...]], None]],
+    ) -> None:
+        """One run loop for the plain and profiled paths.
+
+        Historically ``run`` and ``_run_profiled`` were separate inlined
+        copies whose cancellation/horizon handling could drift (and
+        subtly did); a single core is the contract's reference
+        implementation.  ``timed`` is ``None`` on the plain path — the
+        per-event branch is one identity test on a local, measured in
+        the noise next to the callback dispatch itself.
+        """
         self._stopped = False
         heap = self._heap
         pop = _heappop
@@ -259,59 +370,13 @@ class Simulator:
                 if sanitize:
                     self._sanitize_pop(time, item[1], fn)
                 self._now = time
-                fn(*args)
+                if timed is None:
+                    fn(*args)
+                else:
+                    timed(fn, args)
                 fired += 1
             if not self._stopped and until is not None and self._now < until:
                 # Drained below the horizon: cover the idle stretch.
-                self._now = until
-        finally:
-            self._events_processed += fired
-
-    def _run_profiled(
-        self, until: Optional[int] = None, max_events: Optional[int] = None
-    ) -> None:
-        """The :meth:`run` loop with per-event wall-clock attribution.
-
-        A separate copy (rather than a branch in ``run``) so the plain
-        loop pays nothing for the profiling feature.  Semantics are
-        identical: same event order, same clock behavior on every exit
-        path — the profiler only *observes* each callback's duration.
-        """
-        profiler = self.profiler
-        assert profiler is not None
-        timed = profiler.timed
-        self._stopped = False
-        heap = self._heap
-        pop = _heappop
-        fired = 0
-        limit = -1 if max_events is None else max_events
-        horizon = _FOREVER if until is None else until
-        sanitize = self.sanitize
-        try:
-            while not self._stopped:
-                if not heap:
-                    break
-                if fired == limit:
-                    return
-                item = pop(heap)
-                time = item[0]
-                if time > horizon:
-                    _heappush(heap, item)
-                    self._now = horizon
-                    return
-                if len(item) == 4:
-                    fn, args = item[2], item[3]
-                else:
-                    event = item[2]
-                    if event.cancelled:
-                        continue
-                    fn, args = event.fn, event.args
-                if sanitize:
-                    self._sanitize_pop(time, item[1], fn)
-                self._now = time
-                timed(fn, args)
-                fired += 1
-            if not self._stopped and until is not None and self._now < until:
                 self._now = until
         finally:
             self._events_processed += fired

@@ -1,0 +1,30 @@
+"""Shared helpers for exercising every available kernel backend.
+
+``ALWAYS_BACKENDS`` are the pure-Python kernels every environment has;
+``available_backends()`` additionally includes ``compiled`` when the C
+extension can be built/loaded on this host (it is skipped silently
+otherwise — the compiled kernel is optional by design).
+"""
+
+from __future__ import annotations
+
+from typing import List, Type
+
+from repro.sim.backend import BackendUnavailable, simulator_class
+from repro.sim.engine import Simulator
+
+ALWAYS_BACKENDS = ("pure", "array")
+
+
+def available_backends() -> List[str]:
+    names = list(ALWAYS_BACKENDS)
+    try:
+        simulator_class("compiled")
+    except BackendUnavailable:
+        return names
+    names.append("compiled")
+    return names
+
+
+def sim_class(backend: str) -> Type[Simulator]:
+    return simulator_class(backend)

@@ -1,0 +1,213 @@
+"""Cross-backend kernel equivalence: every backend, one behavior.
+
+The kernel contract (see :mod:`repro.sim.engine`) promises that the
+``pure``, ``array``, and ``compiled`` kernels are interchangeable
+bit-identically.  This suite enforces it three ways:
+
+* randomized programs — seeded schedule/post/cancel/stop/run/step/peek
+  sequences whose full observable trace (fire order, clock readings,
+  counters) must match across backends event for event;
+* perf-scenario digests — the benchmark harness's end-state digests
+  (bytes/packets/final clock) must be identical under every backend;
+* the fig08 fast-profile sweep — the run digest covering every sweep
+  point must be identical under every backend.
+
+``available_backends()`` includes ``compiled`` only where the C
+extension can be built, so the suite degrades gracefully on
+toolchain-less hosts while still proving pure == array everywhere.
+"""
+
+import os
+import random
+
+import pytest
+
+from tests.backend_helpers import available_backends, sim_class
+
+BACKENDS = available_backends()
+
+
+# ----------------------------------------------------------------------
+# randomized program traces
+# ----------------------------------------------------------------------
+def _run_program(backend, seed, n_driver_ops=80):
+    """One seeded kernel workout; returns the full observable trace.
+
+    The RNG is consumed both by the driver and inside callbacks, so any
+    ordering divergence between backends immediately derails the draw
+    sequence and shows up as a trace mismatch — the comparison is
+    self-amplifying.
+    """
+    rng = random.Random(seed)
+    sim = sim_class(backend)()
+    log = []
+    handles = []
+
+    def record(label):
+        log.append(("fire", label, sim.now, sim.events_processed))
+
+    def busy(label, depth):
+        log.append(("busy", label, sim.now, sim.events_processed))
+        if depth >= 4:
+            return
+        roll = rng.random()
+        if roll < 0.35:
+            handles.append(
+                sim.schedule(rng.randrange(0, 60), busy, label * 31 + 1, depth + 1)
+            )
+        elif roll < 0.60:
+            sim.post(rng.randrange(0, 60), busy, label * 31 + 2, depth + 1)
+        elif roll < 0.72 and handles:
+            handles[rng.randrange(len(handles))].cancel()
+        elif roll < 0.80:
+            handles.append(sim.schedule(rng.randrange(0, 60), record, label * 31 + 3))
+        elif roll < 0.84:
+            sim.stop()
+            log.append(("stop", sim.now))
+
+    for i in range(n_driver_ops):
+        roll = rng.random()
+        delay = rng.randrange(0, 200)
+        if roll < 0.35:
+            handles.append(sim.schedule(delay, record, i))
+        elif roll < 0.60:
+            sim.post(delay, busy, i, 0)
+        elif roll < 0.70:
+            handles.append(sim.schedule_at(sim.now + delay, record, 10_000 + i))
+        elif roll < 0.80 and handles:
+            handles[rng.randrange(len(handles))].cancel()
+        elif roll < 0.90:
+            sim.run(max_events=rng.randrange(1, 8))
+            log.append(("budget", sim.now, sim.events_processed, sim.peek_time()))
+        else:
+            sim.run(until=sim.now + rng.randrange(0, 300))
+            log.append(("until", sim.now, sim.events_processed, sim.peek_time()))
+
+    sim.run(until=sim.now + 500)
+    log.append(("horizon", sim.now, sim.events_processed, sim.peek_time()))
+    for _ in range(25):
+        if not sim.step():
+            break
+        log.append(("step", sim.now, sim.events_processed))
+    sim.run()
+    log.append(("drained", sim.now, sim.events_processed, sim.peek_time()))
+    return log
+
+
+@pytest.mark.parametrize("seed", [1, 7, 23, 99, 4242])
+def test_randomized_program_trace_parity(seed):
+    logs = {backend: _run_program(backend, seed) for backend in BACKENDS}
+    reference = logs["pure"]
+    assert len(reference) > 60, "program too small to be probative"
+    assert any(entry[0] == "busy" for entry in reference)
+    for backend in BACKENDS:
+        assert logs[backend] == reference, (
+            f"{backend} kernel diverged from pure on seed {seed}"
+        )
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_tie_heavy_program_is_submission_ordered(backend):
+    """All-ties stress: every event at one timestamp, mixed APIs."""
+    sim = sim_class(backend)()
+    fired = []
+    for i in range(200):
+        if i % 3 == 0:
+            sim.post(10, fired.append, i)
+        elif i % 3 == 1:
+            sim.schedule(10, fired.append, i)
+        else:
+            sim.schedule_at(10, fired.append, i)
+    sim.run()
+    assert fired == list(range(200))
+    assert sim.now == 10
+    assert sim.events_processed == 200
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_cancel_storm_parity_counts(backend):
+    """Cancel every other handle, including some already fired."""
+    sim = sim_class(backend)()
+    fired = []
+    handles = [sim.schedule(i % 17, fired.append, i) for i in range(100)]
+    sim.run(max_events=10)
+    for handle in handles[::2]:
+        handle.cancel()
+    sim.run()
+    # The first 10 fired before the cancel storm (cancelling them is
+    # inert); of the rest only the odd-indexed survive.
+    order = sorted(range(100), key=lambda i: (i % 17, i))
+    survivors = order[:10] + [i for i in order[10:] if i % 2 == 1]
+    assert fired == survivors
+    assert sim.events_processed == len(survivors)
+
+
+# ----------------------------------------------------------------------
+# perf-scenario digest parity
+# ----------------------------------------------------------------------
+def _scenario_digest(backend, name, budget):
+    from benchmarks.perf.harness import run_scenario
+
+    previous = os.environ.get("REPRO_BACKEND")
+    os.environ["REPRO_BACKEND"] = backend
+    try:
+        row = run_scenario(name, budget=budget, repeats=1)
+    finally:
+        if previous is None:
+            del os.environ["REPRO_BACKEND"]
+        else:
+            os.environ["REPRO_BACKEND"] = previous
+    return row["digest"]
+
+
+@pytest.mark.parametrize(
+    "scenario", ["wfq_saturation", "star_incast_admission", "two_tier_overload"]
+)
+def test_perf_scenario_digest_parity(scenario):
+    digests = {
+        backend: _scenario_digest(backend, scenario, budget=30_000)
+        for backend in BACKENDS
+    }
+    reference = digests["pure"]
+    assert reference  # non-empty end-state digest
+    for backend in BACKENDS:
+        assert digests[backend] == reference, (
+            f"{backend} kernel changed {scenario} results"
+        )
+
+
+# ----------------------------------------------------------------------
+# fig08 fast-profile sweep digest parity
+# ----------------------------------------------------------------------
+def _fig08_digest(backend, results_dir):
+    from repro.runner import run_experiment
+
+    previous = os.environ.get("REPRO_BACKEND")
+    os.environ["REPRO_BACKEND"] = backend
+    try:
+        report = run_experiment(
+            "fig08",
+            profile="fast",
+            workers=1,
+            results_dir=str(results_dir),
+            use_cache=False,
+        )
+    finally:
+        if previous is None:
+            del os.environ["REPRO_BACKEND"]
+        else:
+            os.environ["REPRO_BACKEND"] = previous
+    return report.digest_hex
+
+
+def test_fig08_fast_sweep_digest_parity(tmp_path):
+    digests = {
+        backend: _fig08_digest(backend, tmp_path / backend)
+        for backend in BACKENDS
+    }
+    reference = digests["pure"]
+    assert reference
+    for backend in BACKENDS:
+        assert digests[backend] == reference, (
+            f"{backend} kernel changed the fig08 run digest"
+        )

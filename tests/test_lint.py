@@ -59,6 +59,11 @@ BAD_FIXTURES = {
         "    def on_deliver(self, pkt):\n"
         "        self.delivered.append(pkt)\n"
     ),
+    "SIM011": (
+        "class Port:\n"
+        "    def lookup(self, size):\n"
+        "        self._tx_cache[size] = self.compute(size)\n"
+    ),
 }
 
 GOOD_FIXTURES = {
@@ -104,6 +109,14 @@ GOOD_FIXTURES = {
         "class Port:\n"
         "    def enqueue(self, pkt):\n"
         "        self._queue.append(pkt)\n"
+    ),
+    # A len() bound plus clear-on-full is the canonical bounded memo.
+    "SIM011": (
+        "class Port:\n"
+        "    def lookup(self, size):\n"
+        "        if len(self._tx_cache) >= 256:\n"
+        "            self._tx_cache.clear()\n"
+        "        self._tx_cache[size] = self.compute(size)\n"
     ),
 }
 
@@ -208,6 +221,70 @@ def test_sim010_scoping_and_shapes():
         "        self._items.append(x)\n"
     )
     assert rules_in(rebuild) == []
+
+
+def test_sim011_scoping_aliases_and_bounds():
+    bad = BAD_FIXTURES["SIM011"]
+    # Sim-domain only: host tools and tests may memoize freely.
+    assert rules_in(bad, GENERAL_PATH) == []
+    assert rules_in(bad, HOST_PATH) == []
+    assert "SIM011" in rules_in(bad, NET_PATH)
+    # A local alias of the cache attribute is followed, both for the
+    # store and for the eviction evidence.
+    aliased_bad = (
+        "class Port:\n"
+        "    def lookup(self, size):\n"
+        "        cache = self._ser_cache\n"
+        "        tx = cache.get(size)\n"
+        "        if tx is None:\n"
+        "            tx = cache[size] = self.compute(size)\n"
+        "        return tx\n"
+    )
+    assert rules_in(aliased_bad, NET_PATH) == ["SIM011"]
+    aliased_good = (
+        "class Port:\n"
+        "    def lookup(self, size):\n"
+        "        cache = self._ser_cache\n"
+        "        tx = cache.get(size)\n"
+        "        if tx is None:\n"
+        "            tx = self.compute(size)\n"
+        "            if len(cache) >= 256:\n"
+        "                cache.clear()\n"
+        "            cache[size] = tx\n"
+        "        return tx\n"
+    )
+    assert rules_in(aliased_good, NET_PATH) == []
+    # del-based eviction and whole-table rebuilds both count as bounds.
+    del_good = (
+        "class Port:\n"
+        "    def lookup(self, k):\n"
+        "        self._memo[k] = self.compute(k)\n"
+        "        del self._memo[next(iter(self._memo))]\n"
+    )
+    assert rules_in(del_good, NET_PATH) == []
+    rebuild_good = (
+        "class Port:\n"
+        "    def lookup(self, k):\n"
+        "        self._memo = {}\n"
+        "        self._memo[k] = self.compute(k)\n"
+    )
+    assert rules_in(rebuild_good, NET_PATH) == []
+    # Non-cache-named dicts are out of scope for this heuristic.
+    other = (
+        "class Port:\n"
+        "    def lookup(self, k):\n"
+        "        self._routes[k] = self.compute(k)\n"
+    )
+    assert rules_in(other, NET_PATH) == []
+    # Eviction in a *different* method does not excuse the store.
+    split = (
+        "class Port:\n"
+        "    def lookup(self, k):\n"
+        "        self._memo[k] = self.compute(k)\n"
+        "    def reset(self):\n"
+        "        self._memo.clear()\n"
+    )
+    assert rules_in(split, NET_PATH) == ["SIM011"]
 
 
 # ----------------------------------------------------------------------

@@ -32,6 +32,24 @@ def test_serialization_time_exact():
     assert port.serialization_ns(1) == 8
 
 
+def test_serialization_cache_is_bounded_and_exact():
+    from repro.net.link import _SER_CACHE_MAX
+
+    sim = Simulator()
+    port, sink = make_port(sim, rate=1e9, buffer_bytes=10**9)
+    # A worst-case workload with a distinct size per packet must not
+    # grow the memo past its cap, and every cached-or-recomputed
+    # serialization time must equal the direct computation.
+    sizes = list(range(64, 64 + 2 * _SER_CACHE_MAX))
+    for size in sizes:
+        port.send(Packet(0, 1, size))
+    sim.run()
+    assert len(port._ser_cache) <= _SER_CACHE_MAX
+    assert len(sink.received) == len(sizes)
+    for size, tx in port._ser_cache.items():
+        assert tx == port.serialization_ns(size)
+
+
 def test_single_packet_delivery_time():
     sim = Simulator()
     port, sink = make_port(sim, rate=1e9, prop=100)

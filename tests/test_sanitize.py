@@ -61,11 +61,28 @@ def test_env_enables_all_layers(monkeypatch):
 def _corrupt_past_event(sim):
     """Plant a heap entry that fires before ``now`` — impossible via the
     public API (schedule/post reject negative delays), so reach into the
-    heap the way a kernel bug would."""
+    active kernel's storage the way a kernel bug would."""
     import heapq
 
-    heapq.heappush(sim._heap, (sim.now - 5, sim._seq, lambda: None, ()))
-    sim._seq += 1
+    from repro.sim.compiled import CompiledSimulator
+    from repro.sim.kernel import SEQ_BITS, SLOT_BITS, ArraySimulator
+
+    time = sim.now - 5
+    if isinstance(sim, CompiledSimulator):
+        # The C core's post_at takes an absolute time; past-rejection
+        # lives in the Python facade, so this lands a past event.
+        sim._core.post_at(time, lambda: None)
+    elif isinstance(sim, ArraySimulator):
+        slot = sim._alloc_slot()
+        sim._slot_fn[slot] = lambda: None
+        sim._slot_args[slot] = ()
+        heapq.heappush(
+            sim._keys, ((time << SEQ_BITS | sim._seq) << SLOT_BITS) | slot
+        )
+        sim._seq += 1
+    else:
+        heapq.heappush(sim._heap, (time, sim._seq, lambda: None, ()))
+        sim._seq += 1
 
 
 def test_clock_monotonicity_trips_in_step():
@@ -129,12 +146,24 @@ def test_conservation_trips_on_leaked_backlog():
     sched = WfqScheduler((8, 4, 1), BUF, sanitize=True)
     for _ in range(3):
         sched.enqueue(_pkt(qos=0))
-    # A packet vanishes from the class FIFO without any accounting —
-    # the shape of a lost-packet bug in a scheduler rewrite.
-    sched._queues[0].popleft()
+    # A packet vanishes from the class-ring accounting without any
+    # stats update — the shape of a lost-packet bug in a scheduler
+    # rewrite.
+    sched._counts[0] -= 1
     with pytest.raises(SanitizerError) as exc:
         sched.dequeue()
     assert exc.value.invariant == "queue-conservation"
+
+
+def test_wfq_work_conservation_trips_on_lost_head_tag():
+    sched = WfqScheduler((8, 4, 1), BUF, sanitize=True)
+    sched.enqueue(_pkt(qos=0))
+    # The head-tag heap loses its entry while the packet stays queued —
+    # the scheduler would otherwise go idle with backlog, silently.
+    sched._head_tags.clear()
+    with pytest.raises(SanitizerError) as exc:
+        sched.dequeue()
+    assert exc.value.invariant == "wfq-work-conservation"
 
 
 def test_conservation_clean_through_mixed_traffic():

@@ -1,4 +1,11 @@
-"""Unit tests for the discrete-event kernel."""
+"""Unit tests for the discrete-event kernel.
+
+Every kernel-contract test runs against each available backend (pure,
+array, and compiled when built): the contract in
+:mod:`repro.sim.engine`'s docstring is one semantics with three
+implementations, so the same assertions must hold verbatim for all of
+them.
+"""
 
 import pytest
 
@@ -13,9 +20,13 @@ from repro.sim.engine import (
     us_from_ns,
 )
 
+from tests.backend_helpers import available_backends, sim_class
 
-def test_clock_starts_at_zero():
-    assert Simulator().now == 0
+
+@pytest.fixture(params=available_backends())
+def make_sim(request):
+    """Factory building a simulator on one kernel backend."""
+    return sim_class(request.param)
 
 
 def test_unit_conversions():
@@ -26,8 +37,34 @@ def test_unit_conversions():
     assert NS_PER_SEC == 1000 * NS_PER_MS == 10**6 * NS_PER_US
 
 
-def test_events_fire_in_time_order():
+def test_default_construction_is_pure_backend(monkeypatch):
+    monkeypatch.delenv("REPRO_BACKEND", raising=False)
+    assert type(Simulator()) is Simulator
+
+
+def test_env_selects_backend(monkeypatch):
+    from repro.sim.kernel import ArraySimulator
+
+    monkeypatch.setenv("REPRO_BACKEND", "array")
     sim = Simulator()
+    assert type(sim) is ArraySimulator
+    # Explicit subclass construction bypasses the selection.
+    monkeypatch.setenv("REPRO_BACKEND", "pure")
+    assert type(ArraySimulator()) is ArraySimulator
+
+
+def test_unknown_backend_rejected(monkeypatch):
+    monkeypatch.setenv("REPRO_BACKEND", "turbo")
+    with pytest.raises(ValueError, match="turbo"):
+        Simulator()
+
+
+def test_clock_starts_at_zero(make_sim):
+    assert make_sim().now == 0
+
+
+def test_events_fire_in_time_order(make_sim):
+    sim = make_sim()
     fired = []
     sim.schedule(300, fired.append, "c")
     sim.schedule(100, fired.append, "a")
@@ -36,8 +73,8 @@ def test_events_fire_in_time_order():
     assert fired == ["a", "b", "c"]
 
 
-def test_ties_fire_in_fifo_order():
-    sim = Simulator()
+def test_ties_fire_in_fifo_order(make_sim):
+    sim = make_sim()
     fired = []
     for label in "abcde":
         sim.schedule(50, fired.append, label)
@@ -45,8 +82,8 @@ def test_ties_fire_in_fifo_order():
     assert fired == list("abcde")
 
 
-def test_clock_advances_to_event_time():
-    sim = Simulator()
+def test_clock_advances_to_event_time(make_sim):
+    sim = make_sim()
     seen = []
     sim.schedule(123, lambda: seen.append(sim.now))
     sim.run()
@@ -54,21 +91,48 @@ def test_clock_advances_to_event_time():
     assert sim.now == 123
 
 
-def test_negative_delay_rejected():
+def test_negative_delay_rejected(make_sim):
     with pytest.raises(ValueError):
-        Simulator().schedule(-1, lambda: None)
+        make_sim().schedule(-1, lambda: None)
 
 
-def test_schedule_at_absolute_time():
-    sim = Simulator()
+def test_schedule_at_absolute_time(make_sim):
+    sim = make_sim()
     seen = []
     sim.schedule_at(500, lambda: seen.append(sim.now))
     sim.run()
     assert seen == [500]
 
 
-def test_cancelled_event_does_not_fire():
-    sim = Simulator()
+def test_schedule_at_past_time_reports_absolute_time_and_clock(make_sim):
+    """Regression: the error used to leak the internal relative delay
+    ("delay=-500ns"); callers passed an absolute timestamp and need to
+    see it alongside the current clock to make sense of the error."""
+    sim = make_sim()
+    sim.schedule(1000, lambda: None)
+    sim.run()
+    assert sim.now == 1000
+    with pytest.raises(ValueError) as excinfo:
+        sim.schedule_at(400, lambda: None)
+    message = str(excinfo.value)
+    assert "400" in message  # the absolute time the caller passed
+    assert "1000" in message  # the current clock
+    assert "delay=" not in message
+
+
+def test_schedule_at_now_is_allowed(make_sim):
+    sim = make_sim()
+    sim.schedule(100, lambda: None)
+    sim.run()
+    fired = []
+    sim.schedule_at(100, fired.append, "x")
+    sim.run()
+    assert fired == ["x"]
+    assert sim.now == 100
+
+
+def test_cancelled_event_does_not_fire(make_sim):
+    sim = make_sim()
     fired = []
     handle = sim.schedule(10, fired.append, "x")
     sim.schedule(5, handle.cancel)
@@ -77,8 +141,8 @@ def test_cancelled_event_does_not_fire():
     assert sim.events_processed == 1  # only the cancelling event
 
 
-def test_run_until_stops_before_later_events():
-    sim = Simulator()
+def test_run_until_stops_before_later_events(make_sim):
+    sim = make_sim()
     fired = []
     sim.schedule(100, fired.append, "early")
     sim.schedule(1000, fired.append, "late")
@@ -89,22 +153,22 @@ def test_run_until_stops_before_later_events():
     assert fired == ["early", "late"]
 
 
-def test_event_exactly_at_until_fires():
-    sim = Simulator()
+def test_event_exactly_at_until_fires(make_sim):
+    sim = make_sim()
     fired = []
     sim.schedule(500, fired.append, "at")
     sim.run(until=500)
     assert fired == ["at"]
 
 
-def test_run_with_empty_queue_advances_to_until():
-    sim = Simulator()
+def test_run_with_empty_queue_advances_to_until(make_sim):
+    sim = make_sim()
     sim.run(until=999)
     assert sim.now == 999
 
 
-def test_max_events_limits_execution():
-    sim = Simulator()
+def test_max_events_limits_execution(make_sim):
+    sim = make_sim()
     fired = []
     for i in range(10):
         sim.schedule(i + 1, fired.append, i)
@@ -112,8 +176,8 @@ def test_max_events_limits_execution():
     assert fired == [0, 1, 2]
 
 
-def test_stop_halts_run_loop():
-    sim = Simulator()
+def test_stop_halts_run_loop(make_sim):
+    sim = make_sim()
     fired = []
     sim.schedule(1, fired.append, "a")
     sim.schedule(2, sim.stop)
@@ -124,8 +188,8 @@ def test_stop_halts_run_loop():
     assert fired == ["a", "b"]
 
 
-def test_events_scheduled_during_run_fire():
-    sim = Simulator()
+def test_events_scheduled_during_run_fire(make_sim):
+    sim = make_sim()
     fired = []
 
     def chain(n):
@@ -139,25 +203,25 @@ def test_events_scheduled_during_run_fire():
     assert sim.now == 30
 
 
-def test_step_returns_false_when_idle():
-    sim = Simulator()
+def test_step_returns_false_when_idle(make_sim):
+    sim = make_sim()
     assert sim.step() is False
     sim.schedule(1, lambda: None)
     assert sim.step() is True
     assert sim.step() is False
 
 
-def test_peek_time_skips_cancelled():
-    sim = Simulator()
+def test_peek_time_skips_cancelled(make_sim):
+    sim = make_sim()
     h = sim.schedule(5, lambda: None)
     sim.schedule(10, lambda: None)
     h.cancel()
     assert sim.peek_time() == 10
 
 
-def test_determinism_same_schedule_same_order():
+def test_determinism_same_schedule_same_order(make_sim):
     def build():
-        sim = Simulator()
+        sim = make_sim()
         order = []
         for i in range(100):
             sim.schedule((i * 37) % 50, order.append, i)
@@ -170,11 +234,11 @@ def test_determinism_same_schedule_same_order():
 # ----------------------------------------------------------------------
 # Clock semantics on interrupted runs (stop / max_events / until)
 # ----------------------------------------------------------------------
-def test_stop_does_not_jump_clock_to_until():
+def test_stop_does_not_jump_clock_to_until(make_sim):
     """Regression: exiting via stop() once fell through to the
     advance-to-until epilogue, silently jumping the clock past the
     interruption point."""
-    sim = Simulator()
+    sim = make_sim()
     sim.schedule(100, sim.stop)
     sim.schedule(500, lambda: None)
     sim.run(until=1000)
@@ -186,8 +250,8 @@ def test_stop_does_not_jump_clock_to_until():
     assert sim.events_processed == 2
 
 
-def test_max_events_leaves_clock_at_last_event():
-    sim = Simulator()
+def test_max_events_leaves_clock_at_last_event(make_sim):
+    sim = make_sim()
     for t in (10, 20, 30, 40):
         sim.schedule(t, lambda: None)
     sim.run(until=1000, max_events=2)
@@ -198,10 +262,10 @@ def test_max_events_leaves_clock_at_last_event():
     assert sim.events_processed == 4
 
 
-def test_stop_until_max_events_interplay():
+def test_stop_until_max_events_interplay(make_sim):
     """stop() wins over both budgets and leaves the clock at the
     stopping event; the remaining budget is not consumed."""
-    sim = Simulator()
+    sim = make_sim()
     fired = []
     sim.schedule(10, fired.append, 1)
     sim.schedule(20, sim.stop)
@@ -214,11 +278,11 @@ def test_stop_until_max_events_interplay():
     assert sim.now == 30
 
 
-def test_post_interleaves_fifo_with_schedule():
+def test_post_interleaves_fifo_with_schedule(make_sim):
     """post() shares the sequence counter with schedule(): same-time
     events fire in submission order regardless of which API queued
     them."""
-    sim = Simulator()
+    sim = make_sim()
     order = []
     sim.schedule(50, order.append, "a")
     sim.post(50, order.append, "b")
@@ -228,7 +292,146 @@ def test_post_interleaves_fifo_with_schedule():
     assert sim.events_processed == 3
 
 
-def test_post_rejects_negative_delay():
-    sim = Simulator()
+def test_post_rejects_negative_delay(make_sim):
+    sim = make_sim()
     with pytest.raises(ValueError):
         sim.post(-1, print)
+
+
+# ----------------------------------------------------------------------
+# Lazy-cancellation characterization (kernel contract rule 2) — these
+# pin the one documented semantics every backend must preserve.
+# ----------------------------------------------------------------------
+def test_cancelled_events_do_not_consume_max_events(make_sim):
+    """A cancelled entry visited on the way to the budget is discarded
+    for free: max_events counts fired events only."""
+    sim = make_sim()
+    fired = []
+    handles = [sim.schedule(10 + i, fired.append, i) for i in range(5)]
+    handles[0].cancel()
+    handles[1].cancel()
+    sim.run(max_events=2)
+    assert fired == [2, 3]
+    assert sim.events_processed == 2
+
+
+def test_cancelled_event_does_not_advance_clock(make_sim):
+    """Discarding a cancelled entry never moves the clock — even when
+    the cancelled event was the only thing between now and later work."""
+    sim = make_sim()
+    h = sim.schedule(100, lambda: None)
+    h.cancel()
+    sim.run(max_events=1)
+    # Budget exit with nothing fired: clock untouched.
+    assert sim.now == 0
+    assert sim.events_processed == 0
+
+
+def test_cancelled_tie_preserves_fifo_of_survivors(make_sim):
+    """Cancelling one of several same-timestamp events leaves the
+    survivors' FIFO order intact."""
+    sim = make_sim()
+    order = []
+    sim.schedule(50, order.append, "a")
+    h = sim.schedule(50, order.append, "b")
+    sim.post(50, order.append, "c")
+    sim.schedule(50, order.append, "d")
+    h.cancel()
+    sim.run()
+    assert order == ["a", "c", "d"]
+    assert sim.events_processed == 3
+
+
+def test_cancel_beyond_until_leaves_entry_until_visited(make_sim):
+    """A cancelled event beyond the horizon is simply never reached;
+    the run still covers the horizon and a later run discards it."""
+    sim = make_sim()
+    h = sim.schedule(2000, lambda: None)
+    sim.schedule(100, lambda: None)
+    h.cancel()
+    sim.run(until=1000)
+    assert sim.now == 1000
+    assert sim.events_processed == 1
+    sim.run()  # drains: only the cancelled entry remains, fires nothing
+    assert sim.events_processed == 1
+    assert sim.peek_time() is None
+
+
+def test_cancel_mid_run_from_earlier_event(make_sim):
+    """An event cancelled by an earlier event in the same run is
+    discarded when reached, without firing."""
+    sim = make_sim()
+    fired = []
+    victim = sim.schedule(200, fired.append, "victim")
+    sim.schedule(100, victim.cancel)
+    sim.schedule(300, fired.append, "after")
+    sim.run()
+    assert fired == ["after"]
+    assert sim.events_processed == 2
+
+
+def test_step_discards_cancelled_then_fires_next(make_sim):
+    """step() applies the same discard-at-head rule as run()."""
+    sim = make_sim()
+    fired = []
+    h = sim.schedule(5, fired.append, "cancelled")
+    sim.schedule(10, fired.append, "live")
+    h.cancel()
+    assert sim.step() is True
+    assert fired == ["live"]
+    assert sim.now == 10
+    assert sim.events_processed == 1
+
+
+def test_step_returns_false_when_only_cancelled_remain(make_sim):
+    sim = make_sim()
+    h = sim.schedule(5, lambda: None)
+    h.cancel()
+    assert sim.step() is False
+    assert sim.now == 0
+    assert sim.events_processed == 0
+
+
+def test_peek_time_drains_all_cancelled_heads(make_sim):
+    sim = make_sim()
+    handles = [sim.schedule(i, lambda: None) for i in range(1, 4)]
+    for h in handles:
+        h.cancel()
+    assert sim.peek_time() is None
+    sim.schedule(9, lambda: None)
+    assert sim.peek_time() == 9
+
+
+def test_cancel_after_fire_is_inert(make_sim):
+    """Cancelling a handle whose event already fired must not disturb
+    later events (slot/entry reuse regression guard)."""
+    sim = make_sim()
+    fired = []
+    h = sim.schedule(10, fired.append, "x")
+    sim.run()
+    assert fired == ["x"]
+    h.cancel()  # too late; a no-op
+    sim.schedule(10, fired.append, "y")
+    sim.run()
+    assert fired == ["x", "y"]
+    assert sim.events_processed == 2
+
+
+def test_exception_in_callback_still_counts_fired_events(make_sim):
+    """events_processed is folded in on every exit path, including an
+    exception escaping a callback (kernel contract rule 6)."""
+    sim = make_sim()
+
+    def boom():
+        raise RuntimeError("handler failed")
+
+    sim.schedule(1, lambda: None)
+    sim.schedule(2, boom)
+    sim.schedule(3, lambda: None)
+    with pytest.raises(RuntimeError, match="handler failed"):
+        sim.run()
+    # The first event fired and is counted; the raising one is not.
+    assert sim.events_processed == 1
+    assert sim.now == 2  # clock had advanced to the raising event
+    sim.run()  # the run can be resumed past the failure
+    assert sim.events_processed == 2
