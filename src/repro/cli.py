@@ -14,6 +14,7 @@ Usage::
     python -m repro trace fig08          # traced companion run + report
     python -m repro report RUN_ID        # HTML + text report of a run
     python -m repro report --diff A B    # behavioral cross-run diff
+    python -m repro live --duration 10   # real processes over TCP
     python -m repro lint src tests    # simlint static determinism checks
 
 The ``run`` subcommand goes through :mod:`repro.runner`: sweep points
@@ -502,6 +503,111 @@ def _report_main(argv: Sequence[str]) -> int:
     return 0
 
 
+def _live_main(argv: Sequence[str]) -> int:
+    """The ``live`` subcommand: real processes over TCP, optionally
+    gated against the simulator reference."""
+    parser = argparse.ArgumentParser(
+        prog="repro live",
+        description="Run the admission stack live: one server process and "
+        "N client processes exchanging length-prefixed RPCs over TCP, "
+        "with per-channel AIMD admission on every client. Optionally "
+        "check the run's settled p_admit against the same workload in "
+        "the simulator (--check-convergence).",
+    )
+    parser.add_argument(
+        "--duration",
+        type=float,
+        default=10.0,
+        help="run length in seconds (default: 10)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=7,
+        help="workload seed shared by live run and sim reference (default: 7)",
+    )
+    parser.add_argument(
+        "--clients",
+        type=int,
+        default=3,
+        help="number of client processes (default: 3)",
+    )
+    parser.add_argument(
+        "--overload",
+        type=float,
+        default=1.8,
+        help="offered SLO-class load / server capacity (default: 1.8)",
+    )
+    parser.add_argument(
+        "--log-dir",
+        default="live-logs",
+        help="directory for per-process JSONL event logs (default: live-logs/)",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="server port (default: 0, ephemeral)",
+    )
+    parser.add_argument(
+        "--check-convergence",
+        action="store_true",
+        help="also run the workload in the simulator and require the "
+        "settled per-QoS p_admit to agree within --tolerance",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.2,
+        help="absolute settled-p_admit tolerance for --check-convergence "
+        "(default: 0.2)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.live.convergence import compare_tracks, tracks_from_logs
+    from repro.live.runtime import run_live
+    from repro.live.simref import run_sim_reference
+    from repro.live.workload import LiveWorkload
+
+    try:
+        workload = LiveWorkload(
+            clients=args.clients,
+            duration_s=args.duration,
+            seed=args.seed,
+            overload_factor=args.overload,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    result = run_live(workload, args.log_dir, port=args.port, log=print)
+    for stats in result.client_stats:
+        print(
+            f"client {stats['client']}: {stats['calls']} calls, "
+            f"{stats['completed']} completed, {stats['rejected']} rejected, "
+            f"{stats['failures']} failed"
+        )
+    for problem in result.problems:
+        print(f"problem: {problem}", file=sys.stderr)
+    if not result.ok:
+        return 1
+
+    if args.check_convergence:
+        live_tracks = tracks_from_logs(result.client_logs)
+        sim_tracks = run_sim_reference(workload)
+        verdict = compare_tracks(
+            sim_tracks,
+            live_tracks,
+            workload.duration_ns,
+            tolerance=args.tolerance,
+        )
+        print(verdict.report())
+        if not verdict.ok:
+            return 1
+    print(f"live run ok (logs in {args.log_dir}/)")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     if argv is None:
@@ -512,6 +618,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _trace_main(argv[1:])
     if argv and argv[0] == "report":
         return _report_main(argv[1:])
+    if argv and argv[0] == "live":
+        return _live_main(argv[1:])
     if argv and argv[0] == "lint":
         from repro.lint.runner import main as lint_main
 
@@ -524,9 +632,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "experiment",
         help="experiment name (see 'list'), 'all', 'list', or the 'run' / "
-        "'trace' / 'report' / 'lint' subcommands ('python -m repro run "
-        "<figure> --help', 'python -m repro trace <figure> --help', "
-        "'python -m repro report --help', 'python -m repro lint --help')",
+        "'trace' / 'report' / 'live' / 'lint' subcommands ('python -m "
+        "repro run <figure> --help', 'python -m repro trace <figure> "
+        "--help', 'python -m repro report --help', 'python -m repro live "
+        "--help', 'python -m repro lint --help')",
     )
     parser.add_argument(
         "--quick",

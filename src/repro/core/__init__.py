@@ -9,7 +9,9 @@ from repro.core.admission import (
     DEFAULT_FLOOR,
 )
 from repro.core.channel import ChannelRegistry
+from repro.core.clocks import ClockLike, ClockSource, FixedClock, as_now_fn
 from repro.core.feedback import DowngradeAwarePolicy, PolicyParams
+from repro.core.interface import AdmissionEngine, AdmissionOutcome
 from repro.core.quota import QuotaReservation, QuotaServer
 from repro.core.qos import (
     Priority,
@@ -26,8 +28,14 @@ from repro.core.slo import SLO, SLOMap
 __all__ = [
     "AdmissionController",
     "AdmissionDecision",
+    "AdmissionEngine",
+    "AdmissionOutcome",
     "AdmissionParams",
     "ChannelRegistry",
+    "ClockLike",
+    "ClockSource",
+    "FixedClock",
+    "as_now_fn",
     "DEFAULT_ALPHA",
     "DEFAULT_BETA",
     "DEFAULT_FLOOR",

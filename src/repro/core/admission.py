@@ -26,6 +26,7 @@ import random
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.core.clocks import ClockLike, as_now_fn
 from repro.core.qos import Priority, QoSConfig, map_priority_to_qos
 from repro.core.slo import SLOMap
 from repro.sim.sanitize import check_probability, sanitize_enabled
@@ -99,14 +100,18 @@ class AdmissionController:
         slo_map: SLOMap,
         params: AdmissionParams = AdmissionParams(),
         rng: Optional[random.Random] = None,
-        clock: Optional[Callable[[], int]] = None,
+        clock: Optional[ClockLike] = None,
         sanitize: Optional[bool] = None,
     ):
         self._slo_map = slo_map
         self._qos_config: QoSConfig = slo_map.qos_config
         self._params = params
         self._rng = rng if rng is not None else random.Random(0)
-        self._clock = clock if clock is not None else (lambda: 0)
+        # Transport-neutral: the clock may be a bare callable (the
+        # simulator's `lambda: sim.now`) or any ClockSource (the live
+        # runtime's WallClock); either way it is read as `()->int`.
+        now_fn = as_now_fn(clock)
+        self._clock = now_fn if now_fn is not None else (lambda: 0)
         self._state: Dict[int, _QoSState] = {
             level: _QoSState() for level in slo_map.levels()
         }

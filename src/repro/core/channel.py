@@ -12,6 +12,7 @@ import random
 from typing import Callable, Dict, Hashable, Optional
 
 from repro.core.admission import AdmissionController, AdmissionParams
+from repro.core.clocks import ClockLike
 from repro.core.slo import SLOMap
 from repro.sim.rng import substream
 
@@ -29,7 +30,7 @@ class ChannelRegistry:
         slo_map: SLOMap,
         params: AdmissionParams = AdmissionParams(),
         seed: int = 0,
-        clock: Optional[Callable[[], int]] = None,
+        clock: Optional[ClockLike] = None,
         on_adjust: Optional[Callable[[Hashable, int, float, str, int], None]] = None,
     ) -> None:
         self._slo_map = slo_map

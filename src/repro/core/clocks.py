@@ -1,0 +1,68 @@
+"""Clock-source port: where the admission stack takes "now" from.
+
+A leaf module (no intra-package imports) so both the controller layer
+(:mod:`repro.core.admission`, :mod:`repro.core.channel`) and the
+transport-neutral facade (:mod:`repro.core.interface`) can share one
+protocol without cycles.
+
+The admission algorithm only ever *reads* time — for AIMD increment
+windows — so the port is a single method.  Substrates provide it from
+their own domain: ``Simulator.now`` (integer virtual nanoseconds) in
+the simulator, ``time.monotonic_ns`` (rebased to a run origin) in the
+live runtime's :class:`repro.live.clock.WallClock`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Protocol, Union, runtime_checkable
+
+
+@runtime_checkable
+class ClockSource(Protocol):
+    """A monotonic nanosecond clock — simulated or wall."""
+
+    def now_ns(self) -> int:
+        """Current time in integer nanoseconds."""
+        ...
+
+
+#: Anything the admission stack accepts as a clock: a structural
+#: :class:`ClockSource` or the legacy bare callable.
+ClockLike = Union[ClockSource, Callable[[], int]]
+
+
+class FixedClock:
+    """A settable clock for tests and offline replay."""
+
+    __slots__ = ("_now_ns",)
+
+    def __init__(self, now_ns: int = 0) -> None:
+        self._now_ns = now_ns
+
+    def now_ns(self) -> int:
+        return self._now_ns
+
+    def advance(self, delta_ns: int) -> None:
+        if delta_ns < 0:
+            raise ValueError("clocks only move forward")
+        self._now_ns += delta_ns
+
+
+def as_now_fn(clock: Optional[ClockLike]) -> Optional[Callable[[], int]]:
+    """Normalize a clock-like value to the ``() -> int`` the core uses.
+
+    ``None`` passes through (the controller substitutes its zero
+    clock); a :class:`ClockSource` is adapted via its bound ``now_ns``;
+    a bare callable is returned as-is.
+    """
+    if clock is None:
+        return None
+    now_ns = getattr(clock, "now_ns", None)
+    if now_ns is not None and callable(now_ns):
+        return now_ns  # bound method: no per-call wrapper allocation
+    if callable(clock):
+        return clock
+    raise TypeError(f"not a clock: {clock!r} (need .now_ns() or a callable)")
+
+
+__all__ = ["ClockLike", "ClockSource", "FixedClock", "as_now_fn"]

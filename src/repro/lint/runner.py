@@ -8,7 +8,12 @@ Three file classes decide which rules run where:
 * **simulator-domain** files (``repro/sim``, ``repro/net``,
   ``repro/core``, ``repro/rpc``, ``repro/transport``,
   ``repro/baselines``) get every rule — this is the code whose
-  determinism the digests depend on;
+  determinism the digests depend on.  ``repro/live`` is held to the
+  same set: it is wall-clock code by nature, but precisely *because*
+  of that every OS-clock read must flow through the one audited
+  clock-source module (``repro/live/clock.py`` carries the package's
+  only ``SIM001`` suppressions), and its event logs must stay free of
+  per-event ``print``/global-RNG habits;
 * **host-side allowlisted** files (``repro/cli.py``, ``repro/runner/``,
   ``repro/lint/``, ``repro/__main__.py``) are exempt from the
   wall-clock/global-randomness rules (``SIM001``/``SIM002``/``SIM006``)
@@ -47,6 +52,10 @@ SIM_DOMAIN_PREFIXES: Tuple[str, ...] = (
     "repro/rpc/",
     "repro/transport/",
     "repro/baselines/",
+    # Live-mode runtime: wall-clock by nature, which is exactly why its
+    # clock reads are confined to the audited repro/live/clock.py
+    # suppressions — a stray time.monotonic() anywhere else fails lint.
+    "repro/live/",
 )
 
 #: Path fragments (posix) of host-side code exempt from SIM001/002/006.

@@ -1,0 +1,458 @@
+"""The client-side admission library and the open-loop workload driver.
+
+:class:`AdmissionClient` is the reusable wrapper applications embed: it
+owns one transport-neutral :class:`~repro.core.interface.AdmissionEngine`
+(Algorithm 1 state for this client's channels), one TCP connection to
+the server, and the failure machinery around each call — per-request
+deadlines, per-attempt timeouts, reconnect on connection loss, and
+jittered exponential-backoff retries drawn from a seeded stream so test
+runs are reproducible.
+
+The admission decision is made **once per logical RPC**, before the
+first attempt; retries re-send the same decided request.  That keeps
+the engine's coin-flip sequence a pure function of the arrival
+sequence — the property the sim-vs-live convergence gate relies on
+(the simulator reference consumes the identical coin stream).
+
+:func:`run_client` is the open-loop driver used by ``python -m repro
+live``: it pre-computes each QoS level's Poisson arrival schedule from
+the shared workload substreams, then fires one :meth:`AdmissionClient.call`
+task per arrival without waiting for completions (open loop: offered
+load does not shrink when the server slows down — the regime where
+admission control has to do its job).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.admission import AdmissionParams
+from repro.core.clocks import ClockSource
+from repro.core.interface import AdmissionEngine, AdmissionOutcome
+from repro.core.slo import SLOMap
+from repro.live.events import EventLog
+from repro.live.wire import (
+    KIND_RESPONSE,
+    FrameError,
+    Request,
+    Response,
+    decode_header,
+    read_frame,
+    write_message,
+)
+from repro.live.workload import LiveWorkload
+from repro.net.packet import mtus_for_bytes
+from repro.obs.trace import AdmissionEvent, RpcSpan
+from repro.sim.rng import poisson_interarrivals_ns, substream
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Deadline, per-attempt timeout, and backoff schedule for one call.
+
+    Backoff for attempt *n* (1-based) is ``base * 2**(n-1)`` capped at
+    ``backoff_cap_ns``, scaled by a uniform jitter factor in
+    ``[1 - jitter, 1 + jitter]`` — the standard decorrelation so a
+    burst of clients that failed together does not retry together.
+    """
+
+    max_attempts: int = 3
+    #: End-to-end budget per logical RPC, across all attempts.
+    deadline_ns: int = 200_000_000
+    #: How long one attempt waits for its response.
+    attempt_timeout_ns: int = 80_000_000
+    backoff_base_ns: int = 10_000_000
+    backoff_cap_ns: int = 100_000_000
+    jitter: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("need at least one attempt")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+
+    def backoff_ns(self, attempt: int, rng: random.Random) -> int:
+        raw = min(
+            self.backoff_cap_ns, self.backoff_base_ns * (2 ** max(0, attempt - 1))
+        )
+        factor = 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return max(0, int(raw * factor))
+
+
+@dataclass(frozen=True)
+class CallResult:
+    """What one logical RPC came back with."""
+
+    ok: bool
+    status: str  # "ok" | "timeout" | "error"
+    attempts: int
+    outcome: AdmissionOutcome
+    rnl_ns: Optional[int] = None
+
+
+class AdmissionClient:
+    """One client endpoint: admission engine + connection + retries."""
+
+    def __init__(
+        self,
+        client_id: str,
+        host: str,
+        port: int,
+        slo_map: SLOMap,
+        *,
+        params: Optional[AdmissionParams] = None,
+        seed: int = 0,
+        clock: ClockSource,
+        log: EventLog,
+        retry: RetryPolicy = RetryPolicy(),
+        dst: str = "srv",
+        src_index: int = 0,
+        backoff_rng: Optional[random.Random] = None,
+    ) -> None:
+        self.client_id = client_id
+        self._host = host
+        self._port = port
+        self._clock = clock
+        self._log = log
+        self._retry = retry
+        self._dst = dst
+        self._src_index = src_index
+        self._channel = f"{client_id}->{dst}"
+        self._backoff_rng = (
+            backoff_rng
+            if backoff_rng is not None
+            else substream(seed, f"live:backoff:{client_id}")
+        )
+        self.engine = AdmissionEngine(
+            slo_map,
+            params if params is not None else AdmissionParams(),
+            seed=seed,
+            clock=clock,
+            on_adjust=self._log_adjust,
+        )
+        self._reader_task: Optional[asyncio.Task[None]] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._conn_lock = asyncio.Lock()
+        self._pending: Dict[int, "asyncio.Future[Response]"] = {}
+        self._next_id = 0
+        self._closed = False
+        self.calls = 0
+        self.failures = 0
+        self.rejected = 0
+
+    # ------------------------------------------------------------------
+    # connection management
+    # ------------------------------------------------------------------
+    async def _ensure_conn(self) -> asyncio.StreamWriter:
+        # Serialized: a burst of concurrent calls on a fresh client must
+        # share one connection, not stampede into N parallel dials.
+        async with self._conn_lock:
+            if self._closed:
+                raise ConnectionError("client is closed")
+            if self._writer is not None and not self._writer.is_closing():
+                return self._writer
+            reader, writer = await asyncio.open_connection(self._host, self._port)
+            self._writer = writer
+            self._reader_task = asyncio.create_task(self._reader_loop(reader))
+            self._log.conn(
+                "connect", f"{self._host}:{self._port}", self._clock.now_ns()
+            )
+            return writer
+
+    async def _reader_loop(self, reader: asyncio.StreamReader) -> None:
+        try:
+            while True:
+                kind, header = await read_frame(reader)
+                response = decode_header(kind, header, Response)
+                if kind != KIND_RESPONSE:
+                    continue
+                future = self._pending.pop(response.request_id, None)
+                if future is not None and not future.done():
+                    future.set_result(response)
+        except (asyncio.IncompleteReadError, ConnectionError, FrameError):
+            pass
+        finally:
+            self._drop_conn("reset")
+
+    def _drop_conn(self, reason: str) -> None:
+        """Fail every in-flight attempt; the callers' retry loops cope."""
+        if self._writer is not None:
+            try:
+                self._writer.close()
+            except Exception:
+                pass
+            self._writer = None
+            self._log.conn(reason, f"{self._host}:{self._port}", self._clock.now_ns())
+        pending, self._pending = self._pending, {}
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(ConnectionResetError(reason))
+
+    async def aclose(self) -> None:
+        """Idempotent: tears down the connection and reader task."""
+        if self._closed:
+            return
+        self._closed = True
+        self._drop_conn("close")
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except asyncio.CancelledError:
+                pass
+            self._reader_task = None
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def _log_adjust(
+        self, dst: str, qos: int, p_admit: float, kind: str, now_ns: int
+    ) -> None:
+        self._log.admission(
+            AdmissionEvent(
+                time_ns=now_ns,
+                channel=f"{self.client_id}->{dst}",
+                qos=qos,
+                p_admit=p_admit,
+                kind=kind,
+            )
+        )
+
+    def _log_span(
+        self,
+        rpc_id: int,
+        outcome: AdmissionOutcome,
+        issued_ns: int,
+        payload_bytes: int,
+        size_mtus: int,
+        completed_ns: Optional[int],
+        rnl_ns: Optional[int],
+        slo_met: Optional[bool],
+        terminated: bool,
+    ) -> None:
+        self._log.rpc(
+            RpcSpan(
+                rpc_id=rpc_id,
+                src=self._src_index,
+                dst=0,
+                qos_requested=outcome.qos_requested,
+                qos_run=outcome.qos_run,
+                downgraded=outcome.downgraded,
+                issued_ns=issued_ns,
+                payload_bytes=payload_bytes,
+                size_mtus=size_mtus,
+                completed_ns=completed_ns,
+                rnl_ns=rnl_ns,
+                slo_met=slo_met,
+                terminated=terminated,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # the call path
+    # ------------------------------------------------------------------
+    async def call(self, qos: int, payload_bytes: int = 0) -> CallResult:
+        """Issue one logical RPC: decide once, then attempt with retries."""
+        issued_ns = self._clock.now_ns()
+        outcome = self.engine.decide(self._dst, qos, payload_bytes)
+        size_mtus = mtus_for_bytes(max(1, payload_bytes))
+        self._next_id += 1
+        rpc_id = self._next_id
+        self.calls += 1
+
+        slo = self.engine.slo_map
+        attempt = 0
+        status = "error"
+        while attempt < self._retry.max_attempts:
+            attempt += 1
+            elapsed = self._clock.now_ns() - issued_ns
+            remaining = self._retry.deadline_ns - elapsed
+            if remaining <= 0:
+                status = "timeout"
+                break
+            try:
+                writer = await self._ensure_conn()
+                future: "asyncio.Future[Response]" = (
+                    asyncio.get_running_loop().create_future()
+                )
+                self._pending[rpc_id] = future
+                await write_message(
+                    writer,
+                    Request(
+                        request_id=rpc_id,
+                        client=self.client_id,
+                        qos_requested=outcome.qos_requested,
+                        qos_run=outcome.qos_run,
+                        downgraded=outcome.downgraded,
+                        payload_bytes=payload_bytes,
+                        size_mtus=size_mtus,
+                        attempt=attempt,
+                        issued_ns=issued_ns,
+                    ),
+                    body_len=payload_bytes,
+                )
+                timeout_ns = min(self._retry.attempt_timeout_ns, remaining)
+                response = await asyncio.wait_for(future, timeout_ns / 1e9)
+            except (asyncio.TimeoutError, ConnectionError, OSError) as exc:
+                self._pending.pop(rpc_id, None)
+                status = "timeout" if isinstance(exc, asyncio.TimeoutError) else "error"
+                now_ns = self._clock.now_ns()
+                if (
+                    attempt >= self._retry.max_attempts
+                    or now_ns - issued_ns >= self._retry.deadline_ns
+                ):
+                    break
+                delay_ns = self._retry.backoff_ns(attempt, self._backoff_rng)
+                self._log.retry(rpc_id, attempt, delay_ns, status, now_ns)
+                await asyncio.sleep(delay_ns / 1e9)
+                continue
+            completed_ns = self._clock.now_ns()
+            rnl_ns = completed_ns - issued_ns
+            if response.status == "rejected":
+                self.rejected += 1
+                if slo.has_slo(outcome.qos_run):
+                    # A definitive reject of SLO-class work is an SLO
+                    # miss by construction; feed exactly the budget so
+                    # the signal is identical in sim and live (the
+                    # decrement is size-based, not magnitude-based).
+                    self.engine.complete(
+                        self._dst,
+                        slo.get(outcome.qos_run).budget_ns(size_mtus),
+                        size_mtus,
+                        outcome.qos_run,
+                    )
+            else:
+                self.engine.complete(self._dst, rnl_ns, size_mtus, outcome.qos_run)
+            slo_met: Optional[bool] = None
+            if slo.has_slo(outcome.qos_requested):
+                slo_met = (
+                    not outcome.downgraded
+                    and response.status == "ok"
+                    and slo.get(outcome.qos_requested).is_met(rnl_ns, size_mtus)
+                )
+            self._log_span(
+                rpc_id,
+                outcome,
+                issued_ns,
+                payload_bytes,
+                size_mtus,
+                completed_ns,
+                rnl_ns,
+                slo_met,
+                terminated=False,
+            )
+            return CallResult(
+                ok=response.status == "ok",
+                status=response.status,
+                attempts=attempt,
+                outcome=outcome,
+                rnl_ns=rnl_ns,
+            )
+
+        # Exhausted: a failed SLO-class RPC is an SLO miss by definition,
+        # so feed the elapsed time back as a (missing) measurement — the
+        # engine must throttle when the server stops answering, exactly
+        # like it throttles when the server answers late.
+        failed_ns = self._clock.now_ns()
+        if slo.has_slo(outcome.qos_run):
+            self.engine.complete(
+                self._dst, failed_ns - issued_ns, size_mtus, outcome.qos_run
+            )
+        self.failures += 1
+        slo_met = False if slo.has_slo(outcome.qos_requested) else None
+        self._log_span(
+            rpc_id,
+            outcome,
+            issued_ns,
+            payload_bytes,
+            size_mtus,
+            completed_ns=None,
+            rnl_ns=None,
+            slo_met=slo_met,
+            terminated=True,
+        )
+        return CallResult(ok=False, status=status, attempts=attempt, outcome=outcome)
+
+
+def arrival_schedule(workload: LiveWorkload, index: int) -> List[Tuple[int, int]]:
+    """Merged ``(time_ns, qos)`` arrival list for one client.
+
+    Built from the shared per-(client, qos) substreams, so the simulator
+    reference reproduces the identical sequence.  Ties are broken by QoS
+    index to keep the merge deterministic.
+    """
+    entries: List[Tuple[int, int]] = []
+    for qos, rate in sorted(workload.rates_rps().items()):
+        rng = workload.arrival_rng(index, qos)
+        gaps = poisson_interarrivals_ns(rng, rate)
+        now_ns = 0
+        while True:
+            now_ns += next(gaps)
+            if now_ns >= workload.duration_ns:
+                break
+            entries.append((now_ns, qos))
+    entries.sort()
+    return entries
+
+
+async def run_client(
+    workload: LiveWorkload,
+    index: int,
+    host: str,
+    port: int,
+    clock: ClockSource,
+    log: EventLog,
+    retry: RetryPolicy = RetryPolicy(),
+) -> Dict[str, int]:
+    """Open-loop driver: one task per scheduled arrival, never waiting."""
+    client = AdmissionClient(
+        workload.client_id(index),
+        host,
+        port,
+        workload.slo_map(),
+        params=workload.params,
+        seed=workload.admission_seed(index),
+        clock=clock,
+        log=log,
+        retry=retry,
+        src_index=index,
+        backoff_rng=substream(
+            workload.seed, f"live:backoff:{workload.client_id(index)}"
+        ),
+    )
+    schedule = arrival_schedule(workload, index)
+    in_flight: "List[asyncio.Task[CallResult]]" = []
+    start_ns = clock.now_ns()
+    for arrival_ns, qos in schedule:
+        delay_ns = arrival_ns - (clock.now_ns() - start_ns)
+        if delay_ns > 0:
+            await asyncio.sleep(delay_ns / 1e9)
+        in_flight.append(asyncio.create_task(client.call(qos, workload.payload_bytes)))
+    if in_flight:
+        # Bounded drain: every call self-limits via its deadline, so the
+        # gather finishes within one deadline of the run end.
+        await asyncio.wait(in_flight, timeout=retry.deadline_ns / 1e9 + 1.0)
+        for task in in_flight:
+            if not task.done():
+                task.cancel()
+    await client.aclose()
+    done = sum(1 for t in in_flight if t.done() and not t.cancelled())
+    return {
+        "client": index,
+        "calls": client.calls,
+        "completed": done,
+        "failures": client.failures,
+        "rejected": client.rejected,
+    }
+
+
+__all__ = [
+    "AdmissionClient",
+    "CallResult",
+    "RetryPolicy",
+    "arrival_schedule",
+    "run_client",
+]

@@ -1,0 +1,43 @@
+"""The live runtime's wall-clock source.
+
+Everything in :mod:`repro.live` that needs "now" takes a
+:class:`~repro.core.clocks.ClockSource`; this module is the **only**
+place the package reads the OS clock, and each read site carries an
+audited simlint suppression (``src/repro/live`` is held to the
+simulator-domain rule set, so any stray ``time.monotonic()`` elsewhere
+fails ``python -m repro lint``).
+
+Times are ``CLOCK_MONOTONIC`` nanoseconds rebased to a run *origin* so
+event logs from different processes of one run share a timebase
+starting near zero (on Linux the monotonic clock is system-wide, so an
+origin captured in the parent is meaningful in its children; see
+``docs/live.md`` for the cross-platform caveat).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+
+class WallClock:
+    """Monotonic wall-clock nanoseconds, rebased to a fixed origin.
+
+    Satisfies :class:`repro.core.clocks.ClockSource`.  Pass the parent
+    run's ``origin_ns`` so sibling processes report on one timebase;
+    omit it to start a fresh timebase at construction.
+    """
+
+    __slots__ = ("origin_ns",)
+
+    def __init__(self, origin_ns: Optional[int] = None) -> None:
+        if origin_ns is None:
+            origin_ns = time.monotonic_ns()  # simlint: ignore[SIM001]
+        self.origin_ns = origin_ns
+
+    def now_ns(self) -> int:
+        """Nanoseconds since the run origin (monotonic, cross-process)."""
+        return time.monotonic_ns() - self.origin_ns  # simlint: ignore[SIM001]
+
+
+__all__ = ["WallClock"]

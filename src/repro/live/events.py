@@ -1,0 +1,146 @@
+"""Structured JSONL event logs for the live runtime.
+
+The record vocabulary is the :mod:`repro.obs` span vocabulary: the
+``"rpc"``, ``"admission"``, and ``"queue"`` lines carry exactly the
+fields of :class:`repro.obs.trace.RpcSpan`,
+:class:`repro.obs.trace.AdmissionEvent`, and
+:class:`repro.obs.trace.QueueSpan` — the same shapes
+:func:`repro.obs.export.write_jsonl` emits for a traced simulation —
+so any tooling that consumes simulated span logs consumes live logs
+unchanged.  Three live-only record types are added on top:
+
+* ``"retry"`` — one backoff-scheduled retry of a request;
+* ``"conn"`` — connection lifecycle (connect / reset / close);
+* ``"run"`` — run-level metadata (one header line per log).
+
+Timestamps are wall-clock nanoseconds from the run-origin-rebased
+:class:`repro.live.clock.WallClock`, in the fields the span vocabulary
+already defines (``issued_ns``, ``time_ns``, ...).  Lines are written
+through immediately — a crashed process keeps everything it logged.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Any, Dict, List, Optional, TextIO, Tuple, Union
+
+from repro.obs.trace import AdmissionEvent, QueueSpan, RpcSpan
+
+#: One p_admit time series: (time_ns, value) points in time order —
+#: the same shape :mod:`repro.obs.series` produces for traced runs.
+Track = List[Tuple[int, float]]
+
+
+class EventLog:
+    """Append-only JSONL writer; one per live process."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh: Optional[TextIO] = open(self.path, "w", encoding="utf-8")
+
+    def _write(self, record: Dict[str, Any]) -> None:
+        if self._fh is None:
+            return  # closed: late stragglers (drained tasks) drop silently
+        self._fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+        self._fh.flush()
+
+    def run_header(self, **fields: Any) -> None:
+        self._write({"type": "run", **fields})
+
+    def rpc(self, span: RpcSpan) -> None:
+        self._write({"type": "rpc", **asdict(span)})
+
+    def admission(self, event: AdmissionEvent) -> None:
+        self._write({"type": "admission", **asdict(event)})
+
+    def queue(self, span: QueueSpan) -> None:
+        self._write({"type": "queue", **asdict(span)})
+
+    def retry(
+        self,
+        request_id: int,
+        attempt: int,
+        delay_ns: int,
+        reason: str,
+        time_ns: int,
+    ) -> None:
+        self._write(
+            {
+                "type": "retry",
+                "request_id": request_id,
+                "attempt": attempt,
+                "delay_ns": delay_ns,
+                "reason": reason,
+                "time_ns": time_ns,
+            }
+        )
+
+    def conn(self, event: str, peer: str, time_ns: int) -> None:
+        self._write({"type": "conn", "event": event, "peer": peer, "time_ns": time_ns})
+
+    def close(self) -> None:
+        """Idempotent."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+def read_events(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Load one JSONL event log (skipping blank lines)."""
+    records: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def p_admit_tracks(records: List[Dict[str, Any]]) -> Dict[str, Track]:
+    """Raw admit-probability adjustments per ``src->dst/qosN`` channel.
+
+    The live twin of :func:`repro.obs.series.p_admit_events`: one point
+    per AIMD adjustment, keyed by the same channel convention the
+    steady-state detector's per-QoS rollup parses.
+    """
+    tracks: Dict[str, Track] = {}
+    for record in records:
+        if record.get("type") != "admission":
+            continue
+        key = f"{record['channel']}/qos{record['qos']}"
+        tracks.setdefault(key, []).append(
+            (int(record["time_ns"]), float(record["p_admit"]))
+        )
+    for track in tracks.values():
+        track.sort(key=lambda point: point[0])
+    return tracks
+
+
+def merge_tracks(per_log: List[Dict[str, Track]]) -> Dict[str, Track]:
+    """Union of per-process track maps (channel keys never collide:
+    each client logs only its own ``client->server`` channels)."""
+    merged: Dict[str, Track] = {}
+    for tracks in per_log:
+        for key, track in tracks.items():
+            merged.setdefault(key, []).extend(track)
+    for track in merged.values():
+        track.sort(key=lambda point: point[0])
+    return merged
+
+
+__all__ = [
+    "EventLog",
+    "Track",
+    "merge_tracks",
+    "p_admit_tracks",
+    "read_events",
+]

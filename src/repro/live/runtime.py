@@ -1,0 +1,270 @@
+"""Process orchestration for ``python -m repro live``.
+
+One run is real OS processes: a server process and ``workload.clients``
+client processes, spawned with the multiprocessing ``spawn`` context
+(fresh interpreters — no inherited event loops or RNG state) and
+joined with hard timeouts so a wedged child can never hang the parent
+(or a CI job) indefinitely.
+
+The parent captures the run's clock origin once and ships it to every
+child, so all event logs share one timebase: on Linux
+``CLOCK_MONOTONIC`` is system-wide, making a parent-captured origin
+meaningful in children (see ``docs/live.md`` for the cross-platform
+caveat).  Shutdown is cooperative — clients exit when their arrival
+schedule is drained, then the parent sets the server's stop event —
+with ``terminate()`` as the escalation for stragglers, reported in the
+result rather than silently swallowed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing as mp
+import queue as queue_mod
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+from repro.live.client import run_client
+from repro.live.clock import WallClock
+from repro.live.events import EventLog
+from repro.live.server import LiveServer
+from repro.live.workload import LiveWorkload
+
+#: Seconds allowed for the server to report its bound port.
+_PORT_TIMEOUT_S = 15.0
+#: Join grace beyond the workload duration (drain + interpreter start).
+_JOIN_GRACE_S = 20.0
+
+
+@dataclass(frozen=True)
+class LiveRunResult:
+    """What one orchestrated run produced."""
+
+    ok: bool
+    port: int
+    server_log: Path
+    client_logs: Tuple[Path, ...]
+    client_stats: Tuple[Dict[str, int], ...]
+    #: Child exit codes, server first (None = had to be terminated).
+    exit_codes: Tuple[Optional[int], ...]
+    problems: Tuple[str, ...]
+
+
+# ----------------------------------------------------------------------
+# child entry points (module level: the spawn context pickles by name)
+# ----------------------------------------------------------------------
+async def _server_async(
+    workload: LiveWorkload,
+    host: str,
+    port: int,
+    origin_ns: int,
+    log_path: str,
+    port_queue: "mp.queues.Queue[int]",
+    stop_event: Any,
+) -> None:
+    clock = WallClock(origin_ns)
+    with EventLog(log_path) as log:
+        server = LiveServer(
+            clock,
+            log,
+            service_ns_per_mtu=workload.service_ns_per_mtu,
+            qos_levels=workload.slo_map().qos_config.num_levels,
+            queue_limit=workload.queue_limit,
+            host=host,
+            port=port,
+        )
+        bound = await server.start()
+        log.run_header(
+            role="server",
+            port=bound,
+            seed=workload.seed,
+            duration_s=workload.duration_s,
+        )
+        port_queue.put(bound)
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, stop_event.wait)
+        await server.stop()
+        log.run_header(role="server", served=server.served)
+
+
+def _server_main(
+    workload: LiveWorkload,
+    host: str,
+    port: int,
+    origin_ns: int,
+    log_path: str,
+    port_queue: "mp.queues.Queue[int]",
+    stop_event: Any,
+) -> None:
+    asyncio.run(
+        _server_async(workload, host, port, origin_ns, log_path, port_queue, stop_event)
+    )
+
+
+async def _client_async(
+    workload: LiveWorkload,
+    index: int,
+    host: str,
+    port: int,
+    origin_ns: int,
+    log_path: str,
+) -> Dict[str, int]:
+    clock = WallClock(origin_ns)
+    with EventLog(log_path) as log:
+        log.run_header(
+            role="client",
+            client=workload.client_id(index),
+            seed=workload.seed,
+            duration_s=workload.duration_s,
+        )
+        return await run_client(workload, index, host, port, clock, log)
+
+
+def _client_main(
+    workload: LiveWorkload,
+    index: int,
+    host: str,
+    port: int,
+    origin_ns: int,
+    log_path: str,
+    result_queue: "mp.queues.Queue[Dict[str, int]]",
+) -> None:
+    stats = asyncio.run(_client_async(workload, index, host, port, origin_ns, log_path))
+    result_queue.put(stats)
+
+
+# ----------------------------------------------------------------------
+# the parent
+# ----------------------------------------------------------------------
+def _join(proc: "mp.process.BaseProcess", timeout_s: float) -> Optional[int]:
+    """Join with a hard timeout; terminate (then kill) stragglers.
+
+    Returns the exit code, or ``None`` when the child had to be
+    terminated — the caller records that as a run problem.
+    """
+    proc.join(timeout_s)
+    if proc.is_alive():
+        proc.terminate()
+        proc.join(5.0)
+        if proc.is_alive():
+            proc.kill()
+            proc.join(5.0)
+        return None
+    return proc.exitcode
+
+
+def run_live(
+    workload: LiveWorkload,
+    log_dir: Union[str, Path],
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    log: Optional[Callable[[str], None]] = None,
+) -> LiveRunResult:
+    """Run the demo topology as real processes; blocks until done.
+
+    ``log`` is an optional progress sink (the CLI passes its printer;
+    library callers and tests usually leave it unset).
+    """
+    say = log if log is not None else (lambda _line: None)
+    log_dir = Path(log_dir)
+    log_dir.mkdir(parents=True, exist_ok=True)
+    server_log = log_dir / "server.jsonl"
+    client_logs = tuple(
+        log_dir / f"{workload.client_id(i)}.jsonl" for i in range(workload.clients)
+    )
+    origin_ns = WallClock().origin_ns
+    ctx = mp.get_context("spawn")
+    port_queue: "mp.queues.Queue[int]" = ctx.Queue()
+    result_queue: "mp.queues.Queue[Dict[str, int]]" = ctx.Queue()
+    stop_event = ctx.Event()
+    problems: List[str] = []
+
+    server_proc = ctx.Process(
+        target=_server_main,
+        args=(
+            workload,
+            host,
+            port,
+            origin_ns,
+            str(server_log),
+            port_queue,
+            stop_event,
+        ),
+        name="repro-live-server",
+    )
+    server_proc.start()
+    try:
+        bound_port = port_queue.get(timeout=_PORT_TIMEOUT_S)
+    except queue_mod.Empty:
+        stop_event.set()
+        code = _join(server_proc, 5.0)
+        return LiveRunResult(
+            ok=False,
+            port=0,
+            server_log=server_log,
+            client_logs=client_logs,
+            client_stats=(),
+            exit_codes=(code,),
+            problems=("server never reported a port",),
+        )
+    say(f"live: server listening on {host}:{bound_port}")
+
+    client_procs = []
+    for index in range(workload.clients):
+        proc = ctx.Process(
+            target=_client_main,
+            args=(
+                workload,
+                index,
+                host,
+                bound_port,
+                origin_ns,
+                str(client_logs[index]),
+                result_queue,
+            ),
+            name=f"repro-live-{workload.client_id(index)}",
+        )
+        proc.start()
+        client_procs.append(proc)
+    say(f"live: {len(client_procs)} client processes started")
+
+    join_budget_s = workload.duration_s + _JOIN_GRACE_S
+    exit_codes: List[Optional[int]] = []
+    for index, proc in enumerate(client_procs):
+        code = _join(proc, join_budget_s)
+        exit_codes.append(code)
+        if code is None:
+            problems.append(f"client {index} hung and was terminated")
+        elif code != 0:
+            problems.append(f"client {index} exited with code {code}")
+        join_budget_s = 10.0  # later clients finish with the first
+
+    stop_event.set()
+    server_code = _join(server_proc, 15.0)
+    if server_code is None:
+        problems.append("server hung and was terminated")
+    elif server_code != 0:
+        problems.append(f"server exited with code {server_code}")
+
+    stats: List[Dict[str, int]] = []
+    while True:
+        try:
+            stats.append(result_queue.get_nowait())
+        except queue_mod.Empty:
+            break
+    stats.sort(key=lambda s: s.get("client", 0))
+    say(f"live: done ({len(stats)} client reports, problems: {len(problems)})")
+    return LiveRunResult(
+        ok=not problems,
+        port=bound_port,
+        server_log=server_log,
+        client_logs=client_logs,
+        client_stats=tuple(stats),
+        exit_codes=(server_code, *exit_codes),
+        problems=tuple(problems),
+    )
+
+
+__all__ = ["LiveRunResult", "run_live"]

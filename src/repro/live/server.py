@@ -1,0 +1,254 @@
+"""The live RPC server: asyncio TCP, strict-priority service queue.
+
+One :class:`LiveServer` is the single bottleneck of the demo topology:
+requests from every connection land in per-QoS FIFO queues and a
+single dispatcher coroutine serves them strictly by QoS index (lower
+index first — the same strict-priority discipline the simulator's
+egress schedulers use for its admission experiments), charging
+``service_ns_per_mtu × size_mtus`` of real time per request with
+``asyncio.sleep``.  Queue residency is logged as :class:`QueueSpan`
+records in the same shape the simulator's tracer emits, so live and
+simulated queue logs are interchangeable downstream.
+
+Queues are **bounded** (``queue_limit`` per QoS) with tail drop: a
+request arriving at a full queue is answered immediately with a
+``"rejected"`` response rather than parked past its sender's deadline.
+Unbounded queues turn overload into zombie work — the server grinding
+through requests whose clients gave up — and reward timeout-driven
+retries with amplified load; a definitive reject gives the client-side
+AIMD a crisp, immediate overload signal instead (the simulator
+reference in :mod:`repro.live.simref` models the same bound).
+
+Fault injection for the test suite goes through the ``on_request``
+hook: a callable receiving each decoded request that may return
+``"reset"`` (abort the connection mid-request, exercising client
+reconnect) or ``"drop"`` (swallow the request silently, exercising the
+client's deadline timeout and backoff retry).  Production runs leave
+the hook unset.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.core.clocks import ClockSource
+from repro.live.events import EventLog
+from repro.live.wire import (
+    KIND_REQUEST,
+    FrameError,
+    Request,
+    Response,
+    decode_header,
+    read_frame,
+    write_message,
+)
+from repro.obs.trace import QueueSpan
+
+#: ``on_request`` verdicts understood by the connection reader.
+FAULT_RESET = "reset"
+FAULT_DROP = "drop"
+
+#: One queued unit of work: the request, its enqueue time, and the
+#: writer the response goes back on.
+_Work = Tuple[Request, int, asyncio.StreamWriter]
+
+
+class LiveServer:
+    """Strict-priority single-dispatcher RPC server over asyncio TCP."""
+
+    def __init__(
+        self,
+        clock: ClockSource,
+        log: EventLog,
+        *,
+        service_ns_per_mtu: int,
+        qos_levels: int = 2,
+        queue_limit: int = 16,
+        node: str = "srv",
+        host: str = "127.0.0.1",
+        port: int = 0,
+        on_request: Optional[Callable[[Request], Optional[str]]] = None,
+    ) -> None:
+        if qos_levels < 1:
+            raise ValueError("need at least one QoS level")
+        if queue_limit < 1:
+            raise ValueError("queue limit must be positive")
+        self._clock = clock
+        self._log = log
+        self._service_ns_per_mtu = service_ns_per_mtu
+        self._queue_limit = queue_limit
+        self._node = node
+        self._host = host
+        self._port = port
+        self.on_request = on_request
+        #: index == QoS level; lower index served first.
+        self._queues: List[Deque[_Work]] = [deque() for _ in range(qos_levels)]
+        self._work_ready = asyncio.Event()
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._dispatcher: Optional[asyncio.Task[None]] = None
+        self._conns: Dict[asyncio.StreamWriter, str] = {}
+        self._stopped = False
+        #: Virtual time the service unit frees up; pacing sleeps target
+        #: this schedule rather than accumulating per-sleep overshoot.
+        self._free_ns = 0
+        self.served = 0
+        self.rejected = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> int:
+        """Bind and begin serving; returns the bound port."""
+        self._server = await asyncio.start_server(
+            self._serve_conn, host=self._host, port=self._port
+        )
+        self._dispatcher = asyncio.create_task(self._dispatch_loop())
+        sock = self._server.sockets[0]
+        self._port = int(sock.getsockname()[1])
+        return self._port
+
+    @property
+    def port(self) -> int:
+        return self._port
+
+    async def stop(self) -> None:
+        """Graceful, idempotent shutdown: close listeners, then tasks."""
+        if self._stopped:
+            return
+        self._stopped = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            try:
+                await self._dispatcher
+            except asyncio.CancelledError:
+                pass
+        for writer, peer in list(self._conns.items()):
+            self._close_writer(writer)
+            self._log.conn("close", peer, self._clock.now_ns())
+        self._conns.clear()
+
+    def _close_writer(self, writer: asyncio.StreamWriter) -> None:
+        try:
+            writer.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+    # per-connection reader
+    # ------------------------------------------------------------------
+    async def _serve_conn(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        peername = writer.get_extra_info("peername")
+        peer = f"{peername[0]}:{peername[1]}" if peername else "?"
+        self._conns[writer] = peer
+        self._log.conn("accept", peer, self._clock.now_ns())
+        try:
+            while not self._stopped:
+                try:
+                    kind, header = await read_frame(reader)
+                    request = decode_header(kind, header, Request)
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    break
+                except FrameError:
+                    # A malformed peer gets disconnected, not served.
+                    break
+                if kind != KIND_REQUEST:
+                    break
+                verdict = self.on_request(request) if self.on_request else None
+                if verdict == FAULT_RESET:
+                    break
+                if verdict == FAULT_DROP:
+                    continue
+                qos = min(max(request.qos_run, 0), len(self._queues) - 1)
+                if len(self._queues[qos]) >= self._queue_limit:
+                    # Bounded queue, tail drop: overload is answered
+                    # immediately instead of parked until the client's
+                    # deadline has long passed — the definitive reject
+                    # is what keeps retry storms from amplifying load.
+                    self.rejected += 1
+                    try:
+                        await write_message(
+                            writer,
+                            Response(
+                                request_id=request.request_id,
+                                status="rejected",
+                                queue_ns=0,
+                                service_ns=0,
+                            ),
+                        )
+                    except (ConnectionError, RuntimeError):
+                        break
+                    continue
+                self._queues[qos].append((request, self._clock.now_ns(), writer))
+                self._work_ready.set()
+        finally:
+            self._conns.pop(writer, None)
+            self._close_writer(writer)
+            self._log.conn("close", peer, self._clock.now_ns())
+
+    # ------------------------------------------------------------------
+    # strict-priority dispatcher
+    # ------------------------------------------------------------------
+    def _next_work(self) -> Optional[Tuple[int, _Work]]:
+        for qos, queue in enumerate(self._queues):
+            if queue:
+                return qos, queue.popleft()
+        return None
+
+    async def _dispatch_loop(self) -> None:
+        while True:
+            picked = self._next_work()
+            if picked is None:
+                self._work_ready.clear()
+                await self._work_ready.wait()
+                continue
+            qos, (request, enqueued_ns, writer) = picked
+            dequeued_ns = self._clock.now_ns()
+            service_ns = self._service_ns_per_mtu * max(1, request.size_mtus)
+            # Pace against the virtual schedule: the unit frees up
+            # service_ns after it last freed (or after this request
+            # arrived, when it went idle).  Event-loop timers overshoot
+            # by OS-tick amounts; anchoring each sleep to the schedule
+            # instead of to "now" stops that overshoot accumulating, so
+            # sustained throughput matches the modeled capacity the
+            # simulator reference assumes.
+            self._free_ns = max(self._free_ns, enqueued_ns) + service_ns
+            sleep_ns = self._free_ns - dequeued_ns
+            if sleep_ns > 0:
+                await asyncio.sleep(sleep_ns / 1e9)
+            self._log.queue(
+                QueueSpan(
+                    node=self._node,
+                    qos=qos,
+                    enqueued_ns=enqueued_ns,
+                    dequeued_ns=dequeued_ns,
+                    size_bytes=request.payload_bytes,
+                    kind=0,
+                )
+            )
+            self.served += 1
+            response = Response(
+                request_id=request.request_id,
+                status="ok",
+                queue_ns=dequeued_ns - enqueued_ns,
+                service_ns=service_ns,
+            )
+            try:
+                await write_message(writer, response)
+            except (ConnectionError, RuntimeError):
+                continue  # client went away; its retry machinery copes
+
+
+async def serve_until(server: LiveServer, stop: "asyncio.Event") -> None:
+    """Run a started server until ``stop`` is set, then shut down."""
+    await stop.wait()
+    await server.stop()
+
+
+__all__ = ["FAULT_DROP", "FAULT_RESET", "LiveServer", "serve_until"]

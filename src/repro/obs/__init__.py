@@ -16,6 +16,7 @@ imports :mod:`repro.obs.runtime`, so keeping the init light avoids an
 import cycle.
 """
 
+from repro.obs.clock import ClockSource, FixedClock, SimClock
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.profile import ProfileRow, SimProfiler
 from repro.obs.runtime import (
@@ -41,8 +42,10 @@ from repro.obs.trace import (
 
 __all__ = [
     "AdmissionEvent",
+    "ClockSource",
     "Counter",
     "DropEvent",
+    "FixedClock",
     "FlowCwndSample",
     "FlowRetransmit",
     "Gauge",
@@ -52,6 +55,7 @@ __all__ = [
     "ProfileRow",
     "QueueSpan",
     "RpcSpan",
+    "SimClock",
     "SimProfiler",
     "Tracer",
     "TxSpan",

@@ -18,9 +18,9 @@ import random
 from typing import TYPE_CHECKING, Callable, Dict, Hashable, List, Optional, cast
 
 from repro.core.admission import AdmissionParams
-from repro.core.channel import ChannelRegistry
+from repro.core.interface import AdmissionEngine
 from repro.core.qos import Priority, map_priority_to_qos
-from repro.core.quota import QuotaServer, QuotaVerdict
+from repro.core.quota import QuotaServer
 from repro.core.slo import SLOMap
 from repro.net.node import Host
 from repro.obs.metrics import Histogram, MetricsRegistry
@@ -439,7 +439,6 @@ class RpcStack:
         self.endpoint = endpoint
         self.slo_map = slo_map
         self.metrics = metrics if metrics is not None else MetricsCollector()
-        self.admission_enabled = admission_enabled
         self.on_downgrade = on_downgrade
         self.deadline_fn = deadline_fn
         # Optional override of the Phase-1 priority->QoS mapping.  The
@@ -447,11 +446,8 @@ class RpcStack:
         # where e.g. BE traffic rides QoS_h; pass a mapper to recreate
         # such a cluster, or None for the aligned Phase-1 bijection.
         self.qos_mapper = qos_mapper
-        # Optional §5.2 extension: a cluster-wide QuotaServer granting
-        # per-tenant admission-rate guarantees ahead of the
-        # probabilistic stage.  ``tenant_of`` maps an RPC to its tenant
-        # (default: the source host).
-        self.quota_server = quota_server
+        # ``tenant_of`` maps an RPC to its §5.2 quota tenant (default:
+        # the source host); the quota gate itself lives in the engine.
         self.tenant_of: Callable[[Rpc], Hashable] = tenant_of or (
             lambda rpc: rpc.src
         )
@@ -470,13 +466,38 @@ class RpcStack:
                 tracer.on_admission(f"{host_id}->{dst}", qos, p_admit, kind, now_ns)
 
             on_adjust = _observe_adjust
-        self.registry = ChannelRegistry(
+        # The transport-neutral admission pipeline (quota gate + AIMD
+        # stage); the live runtime drives the identical engine off a
+        # wall clock.  Seed derivation is unchanged from the pre-engine
+        # ChannelRegistry wiring, so run digests are bit-identical.
+        self.admission = AdmissionEngine(
             slo_map,
             params,
             seed=seed * 1_000_003 + host.host_id,
             clock=lambda: sim.now,
+            enabled=admission_enabled,
+            quota_server=quota_server,
             on_adjust=on_adjust,
         )
+        #: Back-compat alias: experiments read per-channel controllers
+        #: through ``stack.registry.controller(dst)``.
+        self.registry = self.admission.channels
+
+    @property
+    def admission_enabled(self) -> bool:
+        return self.admission.enabled
+
+    @admission_enabled.setter
+    def admission_enabled(self, value: bool) -> None:
+        self.admission.enabled = value
+
+    @property
+    def quota_server(self) -> Optional[QuotaServer]:
+        return self.admission.quota_server
+
+    @quota_server.setter
+    def quota_server(self, value: Optional[QuotaServer]) -> None:
+        self.admission.quota_server = value
 
     def issue(self, dst: int, priority: Priority, payload_bytes: int) -> Rpc:
         """Issue one RPC.  Returns the live RPC object (completes later)."""
@@ -492,33 +513,22 @@ class RpcStack:
         else:
             qos_requested = int(map_priority_to_qos(priority))
         rpc.qos_requested = qos_requested
-        verdict: Optional[QuotaVerdict] = None
+        tenant: Optional[Hashable] = None
         if (
             self.quota_server is not None
             and self.slo_map.has_slo(qos_requested)
         ):
-            verdict = self.quota_server.check_admit(
-                self.tenant_of(rpc), qos_requested, payload_bytes
-            )
-        if verdict is not None and verdict.value == "denied":
-            rpc.qos_run = self.slo_map.qos_config.lowest
-            rpc.downgraded = True
-            if self.on_downgrade is not None:
-                self.on_downgrade(rpc)
-        elif verdict is not None and verdict.value == "reserved":
-            # Covered by the tenant's guarantee: bypass the
-            # probabilistic stage (the operator provisioned for this).
-            rpc.qos_run = qos_requested
-        elif self.admission_enabled:
-            decision = self.registry.controller(dst).on_rpc_issue_qos(qos_requested)
-            rpc.qos_run = decision.qos_run
-            rpc.downgraded = decision.downgraded
-            if decision.downgraded and self.on_downgrade is not None:
-                # Explicit downgrade notification back to the application
-                # (Algorithm 1 lines 10-11).
-                self.on_downgrade(rpc)
-        else:
-            rpc.qos_run = qos_requested
+            tenant = self.tenant_of(rpc)
+        outcome = self.admission.decide(
+            dst, qos_requested, payload_bytes, tenant=tenant
+        )
+        rpc.qos_run = outcome.qos_run
+        rpc.downgraded = outcome.downgraded
+        if outcome.downgraded and self.on_downgrade is not None:
+            # Explicit downgrade notification back to the application
+            # (Algorithm 1 lines 10-11), for quota denials and
+            # probabilistic downgrades alike.
+            self.on_downgrade(rpc)
         self.metrics.record_issue(rpc)
         if self._tracer is not None:
             self._tracer.on_rpc_issued(rpc)
@@ -551,10 +561,7 @@ class RpcStack:
         rpc.completed_ns = msg.completed_ns
         rpc.rnl_ns = rnl_ns
         qos_run = rpc.qos_run if rpc.qos_run is not None else 0
-        if self.admission_enabled:
-            self.registry.controller(rpc.dst).on_rpc_completion(
-                rnl_ns, rpc.size_mtus, qos_run
-            )
+        self.admission.complete(rpc.dst, rnl_ns, rpc.size_mtus, qos_run)
         self.metrics.record_completion(rpc)
         if self._tracer is not None:
             slo_met: Optional[bool] = None

@@ -122,3 +122,26 @@ def test_report_diff_needs_two_runs(tmp_path, capsys):
     assert "exactly two" in capsys.readouterr().err
     assert main(["report"]) == 2
     assert "exactly one" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# The live subcommand
+# ----------------------------------------------------------------------
+def test_live_rejects_invalid_workload(tmp_path, capsys):
+    code = main(["live", "--duration", "-1", "--log-dir", str(tmp_path)])
+    assert code == 2
+    assert "duration" in capsys.readouterr().err
+
+
+def test_live_short_run_exits_clean(tmp_path, capsys):
+    code = main([
+        "live", "--duration", "1", "--seed", "11", "--clients", "2",
+        "--log-dir", str(tmp_path),
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "server listening" in out
+    assert "client 0:" in out and "client 1:" in out
+    assert "live run ok" in out
+    assert (tmp_path / "server.jsonl").exists()
+    assert (tmp_path / "c0.jsonl").exists()

@@ -1,0 +1,307 @@
+"""Fault handling in the live client/server pair, in-process.
+
+One event loop hosts both ends (real asyncio TCP on loopback, no
+subprocesses), which makes fault injection deterministic: the server's
+``on_request`` hook resets or swallows chosen requests, and the client
+must recover exactly as specified — reconnect-and-retry on connection
+loss, timeout-and-backoff on silence, a definitive non-retried failure
+on queue rejection, and a terminated span when the deadline is
+exhausted.  Wall-clock assertions are *bounded* (at least the policy's
+floors, below a generous ceiling), never exact — loaded CI machines
+stretch sleeps but cannot shrink them.
+"""
+
+import asyncio
+import random
+
+import pytest
+
+from repro.core.qos import QoSConfig, WEIGHTS_2_QOS
+from repro.core.slo import SLO, SLOMap
+from repro.live.client import AdmissionClient, RetryPolicy
+from repro.live.clock import WallClock
+from repro.live.events import EventLog, read_events
+from repro.live.server import FAULT_DROP, FAULT_RESET, LiveServer
+
+MS = 1_000_000
+
+#: Fast-failing policy so fault tests stay well under a second each.
+FAST_RETRY = RetryPolicy(
+    max_attempts=3,
+    deadline_ns=2_000 * MS,
+    attempt_timeout_ns=60 * MS,
+    backoff_base_ns=20 * MS,
+    backoff_cap_ns=80 * MS,
+    jitter=0.25,
+)
+
+
+def slo_map() -> SLOMap:
+    return SLOMap({0: SLO(25 * MS, 90.0)}, QoSConfig(weights=WEIGHTS_2_QOS))
+
+
+def run_stack(
+    tmp_path,
+    scenario,
+    *,
+    on_request=None,
+    service_ns=1 * MS,
+    queue_limit=16,
+    retry=FAST_RETRY,
+):
+    """Start a server + client on loopback and run one scenario coro."""
+
+    async def _main():
+        clock = WallClock()
+        with EventLog(tmp_path / "server.jsonl") as server_log, EventLog(
+            tmp_path / "client.jsonl"
+        ) as client_log:
+            server = LiveServer(
+                clock,
+                server_log,
+                service_ns_per_mtu=service_ns,
+                queue_limit=queue_limit,
+                on_request=on_request,
+            )
+            port = await server.start()
+            client = AdmissionClient(
+                "c0",
+                "127.0.0.1",
+                port,
+                slo_map(),
+                seed=1,
+                clock=clock,
+                log=client_log,
+                retry=retry,
+            )
+            try:
+                return await scenario(server, client, clock)
+            finally:
+                await client.aclose()
+                await server.stop()
+
+    return asyncio.run(_main())
+
+
+class TestHappyPath:
+    def test_single_call_completes_first_attempt(self, tmp_path):
+        async def scenario(server, client, clock):
+            result = await client.call(0, payload_bytes=4096)
+            return result, server.served
+
+        result, served = run_stack(tmp_path, scenario)
+        assert result.ok
+        assert result.status == "ok"
+        assert result.attempts == 1
+        assert result.rnl_ns is not None and result.rnl_ns > 0
+        assert served == 1
+        spans = [
+            r for r in read_events(tmp_path / "client.jsonl")
+            if r["type"] == "rpc"
+        ]
+        assert len(spans) == 1
+        assert spans[0]["terminated"] is False
+
+    def test_strict_priority_favors_slo_class(self, tmp_path):
+        """With the server busy, a queued SLO request is served before
+        earlier-queued scavenger requests."""
+
+        async def scenario(server, client, clock):
+            first = asyncio.create_task(client.call(0, payload_bytes=4096))
+            await asyncio.sleep(0.01)  # first request now in service
+            scav = asyncio.create_task(client.call(1, payload_bytes=4096))
+            await asyncio.sleep(0.005)
+            slo = asyncio.create_task(client.call(0, payload_bytes=4096))
+            await asyncio.gather(first, scav, slo)
+            spans = [
+                r for r in read_events(tmp_path / "server.jsonl")
+                if r["type"] == "queue"
+            ]
+            return spans
+
+        # Patient retries: every call waits out the backlog in one
+        # attempt, so the three calls map to exactly three queue spans.
+        spans = run_stack(
+            tmp_path,
+            scenario,
+            service_ns=40 * MS,
+            retry=RetryPolicy(
+                max_attempts=1, deadline_ns=2_000 * MS,
+                attempt_timeout_ns=1_000 * MS,
+            ),
+        )
+        assert len(spans) == 3
+        scav_span = next(s for s in spans if s["qos"] == 1)
+        slo_span = max(
+            (s for s in spans if s["qos"] == 0),
+            key=lambda s: s["enqueued_ns"],
+        )
+        # FIFO inverted in favor of the SLO class: the scavenger request
+        # entered the queue first but was served last.
+        assert slo_span["enqueued_ns"] > scav_span["enqueued_ns"]
+        assert slo_span["dequeued_ns"] < scav_span["dequeued_ns"]
+
+
+class TestConnectionReset:
+    def test_reset_reconnects_and_retries(self, tmp_path):
+        dropped = []
+
+        def reset_first(request):
+            if not dropped:
+                dropped.append(request.request_id)
+                return FAULT_RESET
+            return None
+
+        async def scenario(server, client, clock):
+            return await client.call(0, payload_bytes=4096)
+
+        result = run_stack(tmp_path, scenario, on_request=reset_first)
+        assert result.ok
+        assert result.attempts == 2
+        conn_events = [
+            r["event"]
+            for r in read_events(tmp_path / "client.jsonl")
+            if r["type"] == "conn"
+        ]
+        # One dial, a reset, then the reconnect dial.
+        assert conn_events.count("connect") == 2
+        assert "reset" in conn_events
+
+
+class TestServerStall:
+    def test_drop_times_out_then_backs_off_and_retries(self, tmp_path):
+        dropped = []
+
+        def drop_first(request):
+            if not dropped:
+                dropped.append(request.request_id)
+                return FAULT_DROP
+            return None
+
+        async def scenario(server, client, clock):
+            start_ns = clock.now_ns()
+            result = await client.call(0, payload_bytes=4096)
+            return result, clock.now_ns() - start_ns
+
+        result, elapsed_ns = run_stack(tmp_path, scenario, on_request=drop_first)
+        assert result.ok
+        assert result.attempts == 2
+        retries = [
+            r for r in read_events(tmp_path / "client.jsonl")
+            if r["type"] == "retry"
+        ]
+        assert len(retries) == 1
+        retry = retries[0]
+        assert retry["reason"] == "timeout"
+        # Jittered exponential backoff from the seeded stream: attempt 1
+        # delays base x [1 - jitter, 1 + jitter].
+        low = FAST_RETRY.backoff_base_ns * (1 - FAST_RETRY.jitter)
+        high = FAST_RETRY.backoff_base_ns * (1 + FAST_RETRY.jitter)
+        assert low <= retry["delay_ns"] <= high
+        # Bounded, not exact: at least one attempt timeout plus the
+        # logged backoff elapsed; well under the deadline ceiling.
+        assert elapsed_ns >= FAST_RETRY.attempt_timeout_ns + retry["delay_ns"]
+        assert elapsed_ns < FAST_RETRY.deadline_ns
+
+    def test_persistent_stall_exhausts_deadline(self, tmp_path):
+        async def scenario(server, client, clock):
+            result = await client.call(0, payload_bytes=4096)
+            return result, client.failures
+
+        result, failures = run_stack(
+            tmp_path, scenario, on_request=lambda request: FAULT_DROP
+        )
+        assert not result.ok
+        assert result.status == "timeout"
+        assert result.attempts == FAST_RETRY.max_attempts
+        assert failures == 1
+        spans = [
+            r for r in read_events(tmp_path / "client.jsonl")
+            if r["type"] == "rpc"
+        ]
+        assert spans[-1]["terminated"] is True
+        assert spans[-1]["slo_met"] is False
+
+
+class TestRejection:
+    def test_full_queue_rejects_immediately_without_retry(self, tmp_path):
+        async def scenario(server, client, clock):
+            calls = [
+                asyncio.create_task(client.call(0, payload_bytes=4096))
+                for _ in range(4)
+            ]
+            results = await asyncio.gather(*calls)
+            return results, server.rejected, client.engine.p_admit("srv", 0)
+
+        results, server_rejected, p_admit = run_stack(
+            tmp_path,
+            scenario,
+            service_ns=50 * MS,
+            queue_limit=1,
+            retry=RetryPolicy(
+                max_attempts=3,
+                deadline_ns=2_000 * MS,
+                attempt_timeout_ns=400 * MS,
+                backoff_base_ns=20 * MS,
+            ),
+        )
+        rejected = [r for r in results if r.status == "rejected"]
+        assert rejected and server_rejected == len(rejected)
+        for result in rejected:
+            assert not result.ok
+            # A definitive reject is not retried.
+            assert result.attempts == 1
+        assert all(r.ok for r in results if r.status == "ok")
+        # The reject fed the SLO budget back as a miss: AIMD throttled.
+        assert p_admit < 1.0
+
+
+class TestShutdown:
+    def test_double_shutdown_is_idempotent(self, tmp_path):
+        async def scenario(server, client, clock):
+            result = await client.call(0, payload_bytes=4096)
+            await client.aclose()
+            await client.aclose()
+            await server.stop()
+            await server.stop()
+            return result
+
+        # run_stack's finally closes both a third time — also covered.
+        assert run_stack(tmp_path, scenario).ok
+
+    def test_call_after_close_fails_cleanly(self, tmp_path):
+        async def scenario(server, client, clock):
+            await client.aclose()
+            return await client.call(0, payload_bytes=4096)
+
+        result = run_stack(
+            tmp_path,
+            scenario,
+            retry=RetryPolicy(max_attempts=1, deadline_ns=200 * MS),
+        )
+        assert not result.ok
+        assert result.status == "error"
+
+
+class TestBackoffSchedule:
+    def test_exponential_doubling_capped_with_jitter_bounds(self):
+        policy = RetryPolicy(
+            backoff_base_ns=10 * MS, backoff_cap_ns=70 * MS, jitter=0.25
+        )
+        rng = random.Random(42)
+        for attempt in range(1, 8):
+            raw = min(policy.backoff_cap_ns, policy.backoff_base_ns * 2 ** (attempt - 1))
+            delay = policy.backoff_ns(attempt, rng)
+            assert raw * (1 - policy.jitter) <= delay <= raw * (1 + policy.jitter)
+
+    def test_seeded_stream_is_reproducible(self):
+        policy = RetryPolicy()
+        a = [policy.backoff_ns(n, random.Random(7)) for n in range(1, 5)]
+        b = [policy.backoff_ns(n, random.Random(7)) for n in range(1, 5)]
+        assert a == b
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)

@@ -1,0 +1,119 @@
+"""Live JSONL event logs and their compatibility with the obs vocabulary.
+
+The live runtime's selling point for tooling is that its ``"rpc"``,
+``"admission"``, and ``"queue"`` lines are byte-layout-compatible with
+what :func:`repro.obs.export.write_jsonl` emits for a traced simulation
+— same type tags, same field sets — so downstream consumers need no
+live/sim branch.  These tests pin that shape, the live-only record
+types, the idempotent-close contract, and the track-extraction helpers
+the convergence gate is built on.
+"""
+
+from dataclasses import asdict, fields
+
+from repro.live.events import (
+    EventLog,
+    merge_tracks,
+    p_admit_tracks,
+    read_events,
+)
+from repro.obs.trace import AdmissionEvent, QueueSpan, RpcSpan
+
+RPC = RpcSpan(
+    rpc_id=1,
+    src=0,
+    dst=0,
+    qos_requested=0,
+    qos_run=0,
+    downgraded=False,
+    issued_ns=100,
+    payload_bytes=4096,
+    size_mtus=1,
+    completed_ns=200,
+    rnl_ns=100,
+    slo_met=True,
+    terminated=False,
+)
+
+ADMISSION = AdmissionEvent(
+    time_ns=150, channel="c0->srv", qos=0, p_admit=0.5, kind="decrease"
+)
+
+QUEUE = QueueSpan(
+    node="srv", qos=0, enqueued_ns=100, dequeued_ns=150, size_bytes=4096, kind=0
+)
+
+
+def write_sample_log(path):
+    with EventLog(path) as log:
+        log.run_header(role="client", seed=7)
+        log.rpc(RPC)
+        log.admission(ADMISSION)
+        log.queue(QUEUE)
+        log.retry(request_id=1, attempt=1, delay_ns=5, reason="timeout", time_ns=160)
+        log.conn("connect", "127.0.0.1:9", 90)
+    return path
+
+
+class TestEventLog:
+    def test_records_round_trip_in_order(self, tmp_path):
+        records = read_events(write_sample_log(tmp_path / "log.jsonl"))
+        assert [r["type"] for r in records] == [
+            "run", "rpc", "admission", "queue", "retry", "conn",
+        ]
+
+    def test_span_records_match_obs_vocabulary(self, tmp_path):
+        """Each span line is exactly {type} + the obs dataclass fields —
+        the shape write_jsonl gives simulated runs."""
+        records = read_events(write_sample_log(tmp_path / "log.jsonl"))
+        by_type = {r["type"]: r for r in records}
+        for record_kind, span in (
+            ("rpc", RPC), ("admission", ADMISSION), ("queue", QUEUE),
+        ):
+            record = dict(by_type[record_kind])
+            assert record.pop("type") == record_kind
+            assert record == asdict(span)
+            assert set(record) == {f.name for f in fields(span)}
+
+    def test_close_is_idempotent_and_drops_stragglers(self, tmp_path):
+        log = EventLog(tmp_path / "log.jsonl")
+        log.rpc(RPC)
+        log.close()
+        log.close()
+        log.rpc(RPC)  # late straggler after close: dropped, not raised
+        assert len(read_events(tmp_path / "log.jsonl")) == 1
+
+    def test_blank_lines_skipped_on_read(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        write_sample_log(path)
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write("\n   \n")
+        assert len(read_events(path)) == 6
+
+
+class TestTrackExtraction:
+    def test_p_admit_tracks_keyed_by_channel_and_qos(self, tmp_path):
+        records = read_events(write_sample_log(tmp_path / "log.jsonl"))
+        tracks = p_admit_tracks(records)
+        assert tracks == {"c0->srv/qos0": [(150, 0.5)]}
+
+    def test_points_sorted_by_time(self):
+        records = [
+            {"type": "admission", "channel": "c0->srv", "qos": 0,
+             "p_admit": 0.4, "time_ns": 300, "kind": "decrease"},
+            {"type": "admission", "channel": "c0->srv", "qos": 0,
+             "p_admit": 0.9, "time_ns": 100, "kind": "decrease"},
+            {"type": "rpc", "rpc_id": 1},  # non-admission lines ignored
+        ]
+        tracks = p_admit_tracks(records)
+        assert tracks["c0->srv/qos0"] == [(100, 0.9), (300, 0.4)]
+
+    def test_merge_tracks_unions_and_sorts(self):
+        merged = merge_tracks(
+            [
+                {"c0->srv/qos0": [(200, 0.8)], "c1->srv/qos0": [(50, 0.9)]},
+                {"c0->srv/qos0": [(100, 1.0)]},
+            ]
+        )
+        assert merged["c0->srv/qos0"] == [(100, 1.0), (200, 0.8)]
+        assert merged["c1->srv/qos0"] == [(50, 0.9)]

@@ -1,0 +1,84 @@
+"""End-to-end orchestration of real live-mode processes.
+
+A short (1 s) run of the full topology — spawned server process, two
+spawned client processes, real loopback sockets — must come back clean:
+zero exit codes, a stats report per client, and JSONL logs whose record
+stream is well-formed and carries the spans the convergence tooling
+consumes.  The CI-spec 10-second convergence-gated run lives in the
+``live-smoke`` CI job (and behind ``REPRO_LIVE_E2E=1`` here) so the
+tier-1 suite stays fast.
+"""
+
+import os
+
+import pytest
+
+from repro.live.convergence import compare_tracks, tracks_from_logs
+from repro.live.events import read_events
+from repro.live.runtime import run_live
+from repro.live.simref import run_sim_reference
+from repro.live.workload import LiveWorkload
+
+
+@pytest.fixture(scope="module")
+def short_run(tmp_path_factory):
+    workload = LiveWorkload(clients=2, duration_s=1.0, seed=11)
+    log_dir = tmp_path_factory.mktemp("live-short")
+    return workload, run_live(workload, log_dir)
+
+
+class TestShortRun:
+    def test_clean_shutdown(self, short_run):
+        _, result = short_run
+        assert result.problems == ()
+        assert result.ok
+        assert result.exit_codes == (0, 0, 0)  # server first
+        assert result.port > 0
+
+    def test_one_stats_report_per_client(self, short_run):
+        workload, result = short_run
+        assert len(result.client_stats) == workload.clients
+        for index, stats in enumerate(result.client_stats):
+            assert stats["client"] == index
+            assert stats["calls"] > 0
+            # Every fired call is accounted for somewhere.
+            assert stats["completed"] <= stats["calls"]
+
+    def test_logs_exist_and_parse(self, short_run):
+        _, result = short_run
+        for path in (result.server_log, *result.client_logs):
+            records = read_events(path)
+            assert records[0]["type"] == "run"
+
+    def test_server_log_carries_queue_spans(self, short_run):
+        _, result = short_run
+        types = {r["type"] for r in read_events(result.server_log)}
+        assert "queue" in types
+
+    def test_client_logs_carry_spans_and_admission_events(self, short_run):
+        workload, result = short_run
+        tracks = tracks_from_logs(result.client_logs)
+        # Overload bites within the first second: the AIMD observer
+        # recorded adjustments on each client's SLO channel.
+        assert {
+            f"{workload.client_id(i)}->srv/qos0"
+            for i in range(workload.clients)
+        } <= set(tracks)
+        for path in result.client_logs:
+            assert any(r["type"] == "rpc" for r in read_events(path))
+
+
+@pytest.mark.skipif(
+    os.environ.get("REPRO_LIVE_E2E") != "1",
+    reason="CI-spec 10 s sim-vs-live run; exercised by the live-smoke job",
+)
+def test_ci_spec_run_converges_to_sim_reference(tmp_path):
+    workload = LiveWorkload()  # the `python -m repro live` defaults
+    result = run_live(workload, tmp_path)
+    assert result.ok, result.problems
+    comparison = compare_tracks(
+        run_sim_reference(workload),
+        tracks_from_logs(result.client_logs),
+        workload.duration_ns,
+    )
+    assert comparison.ok, comparison.report()

@@ -1,0 +1,169 @@
+"""The live runtime's length-prefixed wire format.
+
+Framing is pure (no clocks, no RNG), so these tests drive it directly
+through an in-memory :class:`asyncio.StreamReader`: well-formed frames
+round-trip exactly, bodies are consumed without corrupting frame
+boundaries, and every malformed-input class maps to a typed
+:class:`FrameError` (or ``IncompleteReadError`` for mid-frame EOF,
+which the connection layers treat as peer loss, not corruption).
+"""
+
+import asyncio
+import json
+import struct
+
+import pytest
+
+from repro.live.wire import (
+    KIND_REQUEST,
+    KIND_RESPONSE,
+    MAX_BODY_BYTES,
+    MAX_HEADER_BYTES,
+    FrameError,
+    Request,
+    Response,
+    decode_header,
+    encode_frame,
+    read_frame,
+)
+
+REQUEST = Request(
+    request_id=3,
+    client="c0",
+    qos_requested=0,
+    qos_run=1,
+    downgraded=True,
+    payload_bytes=4096,
+    size_mtus=1,
+    attempt=2,
+    issued_ns=123_456,
+)
+
+RESPONSE = Response(request_id=3, status="ok", queue_ns=10, service_ns=20)
+
+
+def read_from_bytes(payload: bytes):
+    """Parse one frame out of raw bytes via a fed StreamReader."""
+
+    async def _run():
+        reader = asyncio.StreamReader()
+        reader.feed_data(payload)
+        reader.feed_eof()
+        return await read_frame(reader)
+
+    return asyncio.run(_run())
+
+
+class TestRoundTrip:
+    def test_request_round_trips(self):
+        kind, header = read_from_bytes(encode_frame(REQUEST))
+        assert kind == KIND_REQUEST
+        assert decode_header(kind, header, Request) == REQUEST
+
+    def test_response_round_trips(self):
+        kind, header = read_from_bytes(encode_frame(RESPONSE))
+        assert kind == KIND_RESPONSE
+        assert decode_header(kind, header, Response) == RESPONSE
+
+    def test_body_consumed_without_breaking_framing(self):
+        """A padded request body must not bleed into the next frame."""
+        body_len = 10_000
+        payload = (
+            encode_frame(REQUEST, body_len=body_len)
+            + bytes(body_len)
+            + encode_frame(RESPONSE)
+        )
+
+        async def _run():
+            reader = asyncio.StreamReader()
+            reader.feed_data(payload)
+            reader.feed_eof()
+            first = await read_frame(reader)
+            second = await read_frame(reader)
+            return first, second
+
+        (kind1, header1), (kind2, header2) = asyncio.run(_run())
+        assert decode_header(kind1, header1, Request) == REQUEST
+        assert decode_header(kind2, header2, Response) == RESPONSE
+        assert header1["body_len"] == body_len
+
+    def test_extra_header_fields_are_ignored(self):
+        """Forward compatibility: unknown header keys don't break decode."""
+        kind, header = read_from_bytes(encode_frame(RESPONSE))
+        header["future_field"] = "whatever"
+        assert decode_header(kind, header, Response) == RESPONSE
+
+
+def frame_with_header(blob: bytes) -> bytes:
+    return struct.pack(">I", len(blob)) + blob
+
+
+class TestMalformedInput:
+    def test_zero_header_length_rejected(self):
+        with pytest.raises(FrameError):
+            read_from_bytes(struct.pack(">I", 0))
+
+    def test_oversize_header_length_rejected(self):
+        with pytest.raises(FrameError):
+            read_from_bytes(struct.pack(">I", MAX_HEADER_BYTES + 1))
+
+    def test_non_json_header_rejected(self):
+        with pytest.raises(FrameError):
+            read_from_bytes(frame_with_header(b"\xff\xfe not json"))
+
+    def test_non_object_header_rejected(self):
+        with pytest.raises(FrameError):
+            read_from_bytes(frame_with_header(b"[1,2,3]"))
+
+    def test_header_without_kind_rejected(self):
+        with pytest.raises(FrameError):
+            read_from_bytes(frame_with_header(b'{"request_id":1}'))
+
+    def test_implausible_body_length_rejected(self):
+        blob = json.dumps(
+            {"kind": KIND_REQUEST, "body_len": MAX_BODY_BYTES + 1}
+        ).encode()
+        with pytest.raises(FrameError):
+            read_from_bytes(frame_with_header(blob))
+
+    def test_negative_body_length_rejected(self):
+        blob = json.dumps({"kind": KIND_REQUEST, "body_len": -1}).encode()
+        with pytest.raises(FrameError):
+            read_from_bytes(frame_with_header(blob))
+
+    def test_truncated_frame_raises_incomplete_read(self):
+        payload = encode_frame(REQUEST)
+        with pytest.raises(asyncio.IncompleteReadError):
+            read_from_bytes(payload[: len(payload) // 2])
+
+    def test_truncated_length_prefix_raises_incomplete_read(self):
+        with pytest.raises(asyncio.IncompleteReadError):
+            read_from_bytes(b"\x00\x00")
+
+
+class TestDecodeHeader:
+    def test_kind_mismatch_rejected(self):
+        kind, header = read_from_bytes(encode_frame(REQUEST))
+        with pytest.raises(FrameError):
+            decode_header(kind, header, Response)
+
+    def test_missing_required_field_rejected(self):
+        kind, header = read_from_bytes(encode_frame(RESPONSE))
+        del header["status"]
+        with pytest.raises(FrameError):
+            decode_header(kind, header, Response)
+
+    def test_oversize_outgoing_header_rejected(self):
+        huge = Request(
+            request_id=1,
+            client="x" * (MAX_HEADER_BYTES + 1),
+            qos_requested=0,
+            qos_run=0,
+            downgraded=False,
+            payload_bytes=0,
+            size_mtus=1,
+            attempt=1,
+            issued_ns=0,
+        )
+        with pytest.raises(FrameError):
+            encode_frame(huge)
