@@ -113,9 +113,7 @@ class QuotaServer:
         if key in self._reservations:
             old = self._reservations[key].rate_bps
             self._reserved_rate[qos] -= old
-        self._reservations[key] = _Bucket(
-            reservation.rate_bps, reservation.burst_bytes
-        )
+        self._reservations[key] = _Bucket(reservation.rate_bps, reservation.burst_bytes)
         self._reserved_rate[qos] = (
             self._reserved_rate.get(qos, 0.0) + reservation.rate_bps
         )
