@@ -106,7 +106,11 @@ class AdmissionController:
         self._slo_map = slo_map
         self._qos_config: QoSConfig = slo_map.qos_config
         self._params = params
-        self._rng = rng if rng is not None else random.Random(0)
+        # Fixed-seed fallback: keeps a bare AdmissionEngine(...) fully
+        # deterministic; sweep runs always inject the per-point stream.
+        self._rng = (
+            rng if rng is not None else random.Random(0)  # simlint: ignore[SIM013]
+        )
         # Transport-neutral: the clock may be a bare callable (the
         # simulator's `lambda: sim.now`) or any ClockSource (the live
         # runtime's WallClock); either way it is read as `()->int`.

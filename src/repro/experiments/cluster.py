@@ -28,7 +28,7 @@ from repro.baselines.spq import spq_factory
 from repro.core.admission import AdmissionParams
 from repro.core.qos import Priority, QoSConfig
 from repro.core.slo import SLOMap
-from repro.net.topology import Network, build_star, wfq_factory
+from repro.net.topology import Network, SchedulerFactory, build_star, wfq_factory
 from repro.rpc.sizes import FixedSize, SizeDistribution
 from repro.rpc.stack import MetricsCollector, RpcStack
 from repro.rpc.workload import BurstPattern, OpenLoopSource
@@ -81,10 +81,10 @@ class ClusterConfig:
     swift_target_us: float = 25.0
     # Custom traffic: if set, called instead of the all-to-all default as
     # traffic_fn(sim, stacks, cfg) and must create the sources itself.
-    traffic_fn: Optional[Callable] = None
+    traffic_fn: Optional[Callable[..., object]] = None
     # Override the per-port scheduler factory (e.g. to swap the WFQ
     # realization for DWRR in ablations).  None = the scheme's default.
-    scheduler_factory: Optional[Callable] = None
+    scheduler_factory: Optional[SchedulerFactory] = None
 
     def __post_init__(self) -> None:
         if self.scheme not in SCHEMES:
@@ -240,7 +240,7 @@ def attach_traffic(result: ClusterResult) -> None:
 # ----------------------------------------------------------------------
 # Scheme wiring
 # ----------------------------------------------------------------------
-def _scheduler_factory(cfg: ClusterConfig):
+def _scheduler_factory(cfg: ClusterConfig) -> SchedulerFactory:
     if cfg.scheduler_factory is not None:
         return cfg.scheduler_factory
     n = len(cfg.weights)
@@ -269,7 +269,9 @@ def _swift_config(cfg: ClusterConfig) -> TransportConfig:
     )
 
 
-def _make_endpoints(cfg: ClusterConfig, sim: Simulator, net: Network):
+def _make_endpoints(
+    cfg: ClusterConfig, sim: Simulator, net: Network
+) -> List[TransportEndpoint]:
     hosts = net.hosts
     host_ids = [h.host_id for h in hosts]
     if cfg.scheme in ("aequitas", "wfq", "spq"):

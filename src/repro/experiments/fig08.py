@@ -9,7 +9,7 @@ at x = phi / (phi + 1) = 0.8 beyond which QoS_h delay exceeds QoS_l's.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.analysis.delay_bounds import (
     TrafficModel,
@@ -17,7 +17,7 @@ from repro.analysis.delay_bounds import (
     delay_l,
     priority_inversion_share,
 )
-from repro.runner.point import Point
+from repro.runner.point import Point, Row
 
 
 @dataclass
@@ -69,7 +69,7 @@ def sweep(profile: str = "paper") -> List[Point]:
     ]
 
 
-def run_point(point: Point, seed: int) -> Dict:
+def run_point(point: Point, seed: int) -> Row:
     p = point.params
     model = TrafficModel(mu=p["mu"], rho=p["rho"], phi=p["phi"])
     x = p["share"]
@@ -82,7 +82,7 @@ def run_point(point: Point, seed: int) -> Dict:
 
 
 def check(
-    rows: Sequence[Dict], profile: str, series: Optional[Dict] = None
+    rows: Sequence[Row], profile: str, series: Optional[Row] = None
 ) -> List[str]:
     """Shape assertions: delay-free region, then priority inversion.
 

@@ -13,10 +13,10 @@ mu = 0.8, rho = 1.4, for two weight settings: 8:4:1 (panel a) and
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.analysis.fluid import sweep_three_qos
-from repro.runner.point import Point
+from repro.runner.point import Point, Row
 
 
 @dataclass
@@ -47,7 +47,7 @@ def run(
     weights: Sequence[float] = (8, 4, 1),
     mu: float = 0.8,
     rho: float = 1.4,
-    shares: Sequence[float] = None,
+    shares: Optional[Sequence[float]] = None,
 ) -> Fig9Result:
     if shares is None:
         shares = [0.05 + 0.05 * i for i in range(18)]  # 5% .. 90%
@@ -80,7 +80,7 @@ def sweep(profile: str = "paper") -> List[Point]:
     ]
 
 
-def run_point(point: Point, seed: int) -> Dict:
+def run_point(point: Point, seed: int) -> Row:
     p = point.params
     ((x, dh, dm, dl),) = sweep_three_qos(
         [p["share"]], weights=tuple(p["weights"]), mu=p["mu"], rho=p["rho"]
@@ -94,7 +94,7 @@ def run_point(point: Point, seed: int) -> Dict:
     }
 
 
-def _panel_inversion(rows: Sequence[Dict]) -> float:
+def _panel_inversion(rows: Sequence[Row]) -> float:
     for r in sorted(rows, key=lambda r: r["share"]):
         if r["delay_h"] > r["delay_m"] + 1e-9 or r["delay_m"] > r["delay_l"] + 1e-9:
             return r["share"]
@@ -102,7 +102,7 @@ def _panel_inversion(rows: Sequence[Dict]) -> float:
 
 
 def check(
-    rows: Sequence[Dict], profile: str, series: Optional[Dict] = None
+    rows: Sequence[Row], profile: str, series: Optional[Row] = None
 ) -> List[str]:
     """Lemma-1 shape: raising the QoS_h weight moves the admissible
     region's right edge outward at the cost of QoS_m delay.

@@ -14,10 +14,10 @@ reports).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.analysis.delay_bounds import TrafficModel, delay_h, delay_l
-from repro.runner.point import Point
+from repro.runner.point import Point, Row
 from repro.net.link import Port
 from repro.net.node import Node
 from repro.net.packet import HEADER_BYTES, MTU_BYTES, Packet
@@ -28,7 +28,7 @@ from repro.sim.engine import Simulator, ns_from_us
 class _DelaySink(Node):
     """Records per-class worst delay from arrival stamp to delivery."""
 
-    def __init__(self, sim: Simulator, num_classes: int):
+    def __init__(self, sim: Simulator, num_classes: int) -> None:
         super().__init__(sim, "sink")
         self.worst_ns = [0] * num_classes
 
@@ -105,7 +105,7 @@ def run(
     mu: float = 0.8,
     rho: float = 1.2,
     phi: float = 4.0,
-    shares: Sequence[float] = None,
+    shares: Optional[Sequence[float]] = None,
     period_us: float = 500.0,
     periods: int = 2,
     line_rate_bps: float = 100e9,
@@ -147,7 +147,7 @@ def sweep(profile: str = "paper") -> List[Point]:
     ]
 
 
-def run_point(point: Point, seed: int) -> Dict:
+def run_point(point: Point, seed: int) -> Row:
     p = point.params
     model = TrafficModel(mu=p["mu"], rho=p["rho"], phi=p["phi"])
     sim_h, sim_l = _run_single_share(
@@ -162,7 +162,7 @@ def run_point(point: Point, seed: int) -> Dict:
     }
 
 
-def check(rows: Sequence[Dict], profile: str) -> List[str]:
+def check(rows: Sequence[Row], profile: str) -> List[str]:
     """Validation shape: packet sim tracks theory, QoS_l only ever
     slightly above it (the packetization artifact)."""
     failures: List[str] = []

@@ -11,14 +11,15 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Callable, List, Optional, Sequence
 
 from repro.core.qos import Priority
 from repro.experiments.cluster import ClusterConfig, run_cluster
 from repro.rpc.sizes import FixedSize
+from repro.rpc.stack import RpcStack
 from repro.rpc.workload import OpenLoopSource, steady_pattern
-from repro.runner.point import Point
-from repro.sim.engine import ns_from_ms
+from repro.runner.point import Point, Row
+from repro.sim.engine import Simulator, ns_from_ms
 from repro.stats.digest import completed_rpc_digest
 
 
@@ -47,10 +48,14 @@ class Fig11Result:
         return "\n".join(lines)
 
 
-def _three_node_traffic(load: float = 1.0, qos_h_fraction: float = 0.7):
+def _three_node_traffic(
+    load: float = 1.0, qos_h_fraction: float = 0.7
+) -> Callable[[Simulator, List[RpcStack], ClusterConfig], None]:
     """Hosts 0 and 1 fire at the server (host 2) at the given load."""
 
-    def traffic(sim, stacks, cfg: ClusterConfig):
+    def traffic(
+        sim: Simulator, stacks: List[RpcStack], cfg: ClusterConfig
+    ) -> None:
         pattern = steady_pattern(load, period_ns=cfg.pattern.period_ns)
         for stack in stacks[:2]:
             rng = random.Random(cfg.seed * 31 + stack.host.host_id)
@@ -71,8 +76,8 @@ def _three_node_traffic(load: float = 1.0, qos_h_fraction: float = 0.7):
 
 def run(
     slos_us: Sequence[float] = (15.0, 25.0, 40.0, 60.0),
-    duration_ms: float = None,
-    warmup_ms: float = None,
+    duration_ms: Optional[float] = None,
+    warmup_ms: Optional[float] = None,
     target_percentile: float = 99.0,
     alpha: float = 0.05,
     seed: int = 11,
@@ -117,7 +122,7 @@ def _run_slo_point(
     target_percentile: float,
     alpha: float,
     seed: int,
-) -> Dict:
+) -> Row:
     """One SLO coordinate of the sweep, reduced to a metrics row."""
     cfg = ClusterConfig(
         scheme="aequitas",
@@ -185,7 +190,7 @@ def sweep(profile: str = "paper") -> List[Point]:
     return points
 
 
-def run_point(point: Point, seed: int) -> Dict:
+def run_point(point: Point, seed: int) -> Row:
     p = point.params
     return _run_slo_point(
         slo_us=p["slo_us"],
@@ -197,7 +202,7 @@ def run_point(point: Point, seed: int) -> Dict:
     )
 
 
-def check(rows: Sequence[Dict], profile: str) -> List[str]:
+def check(rows: Sequence[Row], profile: str) -> List[str]:
     """SLO tracking: achieved tail hugs each SLO and rises with it."""
     failures: List[str] = []
     for r in rows:

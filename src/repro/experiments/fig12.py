@@ -11,12 +11,12 @@ because fewer RPCs contend overall (Little's law).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.core.qos import Priority
 from repro.experiments.cluster import ClusterConfig, ClusterResult, run_cluster
 from repro.rpc.sizes import FixedSize, SizeDistribution
-from repro.runner.point import Point
+from repro.runner.point import Point, Row
 from repro.stats.digest import completed_rpc_digest
 
 
@@ -55,10 +55,10 @@ def make_config(
     size_dist: Optional[SizeDistribution] = None,
     priority_mix: Optional[Dict[Priority, float]] = None,
     seed: int = 12,
-    **overrides,
+    **overrides: Any,
 ) -> ClusterConfig:
     """The shared Fig-12/13 cluster parameterization."""
-    params = dict(
+    params: Dict[str, Any] = dict(
         scheme=scheme,
         num_hosts=num_hosts,
         slo_high_us=15.0,
@@ -120,7 +120,7 @@ def sweep(profile: str = "paper") -> List[Point]:
     ]
 
 
-def run_point(point: Point, seed: int) -> Dict:
+def run_point(point: Point, seed: int) -> Row:
     p = point.params
     cfg = make_config(
         p["scheme"],
@@ -138,11 +138,11 @@ def run_point(point: Point, seed: int) -> Dict:
     }
 
 
-def _by_scheme(rows: Sequence[Dict]) -> Dict[str, Dict]:
+def _by_scheme(rows: Sequence[Row]) -> Dict[str, Row]:
     return {r["scheme"]: r for r in rows}
 
 
-def check(rows: Sequence[Dict], profile: str) -> List[str]:
+def check(rows: Sequence[Row], profile: str) -> List[str]:
     """Headline shape: enabling Aequitas pulls the SLO classes' tails
     down toward their SLOs."""
     failures: List[str] = []

@@ -18,7 +18,8 @@ from typing import Dict, List, Sequence, Tuple
 
 from repro.experiments.cluster import attach_traffic, build_cluster
 from repro.experiments.fig12 import make_config
-from repro.runner.point import Point
+from repro.rpc.message import Rpc
+from repro.runner.point import Point, Row
 from repro.sim.engine import ns_from_ms, ns_from_us
 from repro.stats.summary import cdf_points, percentile
 
@@ -48,7 +49,7 @@ class Fig13Result:
             percentile(self.with_aequitas.low, pctl),
         )
 
-    def cdf(self, group: str, with_aequitas: bool):
+    def cdf(self, group: str, with_aequitas: bool) -> List[Tuple[float, float]]:
         trace = self.with_aequitas if with_aequitas else self.without
         return cdf_points(trace.high_medium if group == "hm" else trace.low)
 
@@ -65,8 +66,14 @@ class Fig13Result:
         )
 
 
-def _run_with_tracking(scheme: str, num_hosts: int, duration_ms: float,
-                       warmup_ms: float, sample_us: float, seed: int) -> OutstandingTrace:
+def _run_with_tracking(
+    scheme: str,
+    num_hosts: int,
+    duration_ms: float,
+    warmup_ms: float,
+    sample_us: float,
+    seed: int,
+) -> OutstandingTrace:
     cfg = make_config(scheme, num_hosts=num_hosts, duration_ms=duration_ms,
                       warmup_ms=warmup_ms, seed=seed)
     result = build_cluster(cfg)
@@ -75,13 +82,13 @@ def _run_with_tracking(scheme: str, num_hosts: int, duration_ms: float,
     outstanding_hm: Dict[int, int] = {h: 0 for h in range(num_hosts)}
     outstanding_l: Dict[int, int] = {h: 0 for h in range(num_hosts)}
 
-    def on_issue(rpc):
+    def on_issue(rpc: Rpc) -> None:
         if rpc.qos_run in (0, 1):
             outstanding_hm[rpc.dst] += 1
         else:
             outstanding_l[rpc.dst] += 1
 
-    def on_complete(rpc):
+    def on_complete(rpc: Rpc) -> None:
         if rpc.qos_run in (0, 1):
             outstanding_hm[rpc.dst] -= 1
         else:
@@ -95,7 +102,7 @@ def _run_with_tracking(scheme: str, num_hosts: int, duration_ms: float,
     interval = ns_from_us(sample_us)
     warmup_ns = ns_from_ms(warmup_ms)
 
-    def sample():
+    def sample() -> None:
         if sim.now >= warmup_ns:
             samples_hm.extend(outstanding_hm.values())
             samples_l.extend(outstanding_l.values())
@@ -136,7 +143,7 @@ def sweep(profile: str = "paper") -> List[Point]:
     ]
 
 
-def run_point(point: Point, seed: int) -> Dict:
+def run_point(point: Point, seed: int) -> Row:
     p = point.params
     trace = _run_with_tracking(
         p["scheme"],
@@ -154,7 +161,7 @@ def run_point(point: Point, seed: int) -> Dict:
     }
 
 
-def check(rows: Sequence[Dict], profile: str) -> List[str]:
+def check(rows: Sequence[Row], profile: str) -> List[str]:
     """Little's-law shape: admission control cuts outstanding QoS_h+m
     RPCs while the scavenger class absorbs the downgrades."""
     by = {r["scheme"]: r for r in rows}

@@ -13,12 +13,12 @@ equals the target, almost nothing is downgraded.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.core.qos import Priority
 from repro.experiments.cluster import run_cluster
 from repro.experiments.fig12 import make_config
-from repro.runner.point import Point
+from repro.runner.point import Point, Row
 from repro.stats.digest import completed_rpc_digest
 
 
@@ -140,7 +140,7 @@ def sweep(profile: str = "paper") -> List[Point]:
     ]
 
 
-def run_point(point: Point, seed: int) -> Dict:
+def run_point(point: Point, seed: int) -> Row:
     p = point.params
     mix = tuple(p["input_mix"])
     cfg = make_config(
@@ -165,7 +165,7 @@ def run_point(point: Point, seed: int) -> Dict:
     }
 
 
-def check(rows: Sequence[Dict], profile: str) -> List[str]:
+def check(rows: Sequence[Row], profile: str) -> List[str]:
     """Race-to-the-top defusal: the admitted QoS_h share is (nearly)
     input-independent, and an already-admissible input is left alone."""
     failures: List[str] = []

@@ -10,11 +10,11 @@ plus the fit's relative error.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.experiments.cluster import run_cluster
 from repro.experiments.fig12 import make_config
-from repro.runner.point import Point
+from repro.runner.point import Point, Row
 from repro.stats.digest import completed_rpc_digest
 
 
@@ -101,7 +101,7 @@ def sweep(profile: str = "paper") -> List[Point]:
     ]
 
 
-def run_point(point: Point, seed: int) -> Dict:
+def run_point(point: Point, seed: int) -> Row:
     p = point.params
     cfg = make_config(
         "aequitas",
@@ -119,7 +119,7 @@ def run_point(point: Point, seed: int) -> Dict:
     }
 
 
-def check(rows: Sequence[Dict], profile: str) -> List[str]:
+def check(rows: Sequence[Row], profile: str) -> List[str]:
     """Section-5.2 law: admitted QoS_h share shrinks as rho grows."""
     ordered = sorted(rows, key=lambda r: r["rho"])
     failures: List[str] = []

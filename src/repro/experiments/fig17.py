@@ -15,17 +15,18 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.qos import Priority
 from repro.experiments.cluster import ClusterConfig, build_cluster
 from repro.rpc.sizes import FixedSize
 from repro.rpc.workload import OpenLoopSource, steady_pattern
-from repro.runner.point import Point
+from repro.runner.point import Point, Row
 from repro.sim.engine import ns_from_ms, ns_from_us
 from repro.stats.convergence import convergence_time_ns, relative_gap, steady_value
 from repro.stats.digest import completed_rpc_digest
 from repro.stats.sampler import PeriodicSampler
+from repro.transport.reliable import Flow
 
 
 @dataclass
@@ -154,7 +155,11 @@ def run_two_channels(
         flow = stack.endpoint.flow_to(2, 0)
         state = {"last": 0}
 
-        def goodput_probe(flow=flow, state=state, interval_ns=ns_from_us(sample_us)):
+        def goodput_probe(
+            flow: Flow = flow,
+            state: Dict[str, int] = state,
+            interval_ns: int = ns_from_us(sample_us),
+        ) -> float:
             delta = flow.acked_payload_bytes - state["last"]
             state["last"] = flow.acked_payload_bytes
             return delta * 8.0 / interval_ns  # Gbps
@@ -175,7 +180,7 @@ def run_two_channels(
     )
 
 
-def run(**kwargs) -> FairnessResult:
+def run(**kwargs: Any) -> FairnessResult:
     """Figure 17 defaults: 40% vs 80% QoS_h demand."""
     return run_two_channels(**kwargs)
 
@@ -205,7 +210,7 @@ def sweep(profile: str = "paper") -> List[Point]:
     ]
 
 
-def run_point(point: Point, seed: int) -> Dict:
+def run_point(point: Point, seed: int) -> Row:
     p = point.params
     result = run_two_channels(
         share_a=p["share_a"],
@@ -229,7 +234,7 @@ def run_point(point: Point, seed: int) -> Dict:
     }
 
 
-def check(rows: Sequence[Dict], profile: str) -> List[str]:
+def check(rows: Sequence[Row], profile: str) -> List[str]:
     """Fairness shape: the heavier channel holds the lower admit
     probability, and admitted throughputs land far closer than the
     2x demand split."""

@@ -9,10 +9,10 @@ than equal division.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Any, List, Sequence
 
 from repro.experiments.fig17 import FairnessResult, run_two_channels
-from repro.runner.point import Point
+from repro.runner.point import Point, Row
 from repro.stats.digest import completed_rpc_digest
 
 
@@ -23,7 +23,7 @@ def run(
     beta: float = 0.01,
     duration_ms: float = 60.0,
     seed: int = 18,
-    **kwargs,
+    **kwargs: Any,
 ) -> FairnessResult:
     return run_two_channels(
         share_a=share_a,
@@ -61,7 +61,7 @@ def sweep(profile: str = "paper") -> List[Point]:
     ]
 
 
-def run_point(point: Point, seed: int) -> Dict:
+def run_point(point: Point, seed: int) -> Row:
     p = point.params
     result = run(
         share_a=p["share_a"],
@@ -83,7 +83,7 @@ def run_point(point: Point, seed: int) -> Dict:
     }
 
 
-def check(rows: Sequence[Dict], profile: str) -> List[str]:
+def check(rows: Sequence[Row], profile: str) -> List[str]:
     """Max-min shape: the in-quota channel keeps p_admit pinned near 1
     and the heavy channel reclaims the slack."""
     failures: List[str] = []

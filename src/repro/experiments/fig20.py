@@ -12,21 +12,24 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Sequence, Tuple
 
-from repro.experiments.cluster import ClusterConfig, run_cluster
+from repro.experiments.cluster import ClusterConfig, ClusterResult, run_cluster
 from repro.experiments.fig12 import make_config
 from repro.rpc.sizes import FixedSize
+from repro.rpc.stack import RpcStack
 from repro.rpc.workload import OpenLoopSource
-from repro.runner.point import Point
-from repro.sim.engine import ns_from_ms
+from repro.runner.point import Point, Row
+from repro.sim.engine import Simulator, ns_from_ms
 from repro.stats.digest import completed_rpc_digest
 from repro.stats.summary import percentile
 
 _SIZES = (32 * 1024, 64 * 1024)
 
 
-def _mixed_size_traffic(sim, stacks, cfg: ClusterConfig) -> None:
+def _mixed_size_traffic(
+    sim: Simulator, stacks: List[RpcStack], cfg: ClusterConfig
+) -> None:
     """Even hosts send 32 KB RPCs, odd hosts 64 KB, all-to-all."""
     host_ids = [s.host.host_id for s in stacks]
     for stack in stacks:
@@ -76,7 +79,7 @@ def _run_scheme(
     warmup_ms: float,
     report_percentile: float,
     seed: int,
-):
+) -> Tuple[Dict[str, Dict[int, float]], ClusterResult]:
     """One scheme's run, reduced to per-(size-slice, QoS) tails."""
     cfg = make_config(
         scheme,
@@ -137,7 +140,7 @@ def sweep(profile: str = "paper") -> List[Point]:
     ]
 
 
-def run_point(point: Point, seed: int) -> Dict:
+def run_point(point: Point, seed: int) -> Row:
     p = point.params
     by_slice, result = _run_scheme(
         p["scheme"], p["num_hosts"], p["duration_ms"], p["warmup_ms"], 99.9, seed
@@ -152,7 +155,7 @@ def run_point(point: Point, seed: int) -> Dict:
     }
 
 
-def check(rows: Sequence[Dict], profile: str) -> List[str]:
+def check(rows: Sequence[Row], profile: str) -> List[str]:
     """Size-normalization shape: Aequitas improves the overall QoS_h
     tail and keeps the two size classes' normalized tails comparable."""
     by = {r["scheme"]: r for r in rows}

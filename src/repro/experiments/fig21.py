@@ -21,11 +21,11 @@ from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
 from repro.core.qos import Priority
-from repro.experiments.cluster import run_cluster
+from repro.experiments.cluster import ClusterResult, run_cluster
 from repro.experiments.fig12 import make_config
 from repro.rpc.sizes import production_mixture
 from repro.rpc.workload import byte_mix_to_rpc_mix
-from repro.runner.point import Point
+from repro.runner.point import Point, Row
 from repro.stats.digest import completed_rpc_digest
 
 
@@ -87,7 +87,7 @@ def run(
         )
         results[scheme] = run_cluster(cfg)
 
-    def mix_of(res) -> Tuple[float, float, float]:
+    def mix_of(res: ClusterResult) -> Tuple[float, float, float]:
         mix = res.admitted_mix()
         return (mix.get(0, 0.0), mix.get(1, 0.0), mix.get(2, 0.0))
 
@@ -135,7 +135,7 @@ def sweep(profile: str = "paper") -> List[Point]:
     ]
 
 
-def run_point(point: Point, seed: int) -> Dict:
+def run_point(point: Point, seed: int) -> Row:
     p = point.params
     sizes = production_mixture()
     byte_mix = {Priority.PC: 0.6, Priority.NC: 0.3, Priority.BE: 0.1}
@@ -162,7 +162,7 @@ def run_point(point: Point, seed: int) -> Dict:
     }
 
 
-def check(rows: Sequence[Dict], profile: str) -> List[str]:
+def check(rows: Sequence[Row], profile: str) -> List[str]:
     """Extreme-overload shape: large QoS_h tail improvement and a mix
     shift toward the scavenger class."""
     by = {r["scheme"]: r for r in rows}

@@ -14,14 +14,14 @@ size distributions, input QoS-mix 50/30/20.  Three metrics per scheme:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Sequence, Tuple
 
 from repro.core.qos import Priority
-from repro.experiments.cluster import run_cluster
+from repro.experiments.cluster import ClusterResult, run_cluster
 from repro.experiments.fig12 import make_config
 from repro.rpc.sizes import production_mixture
 from repro.rpc.workload import byte_mix_to_rpc_mix
-from repro.runner.point import Point
+from repro.runner.point import Point, Row
 from repro.stats.digest import completed_rpc_digest
 
 COMPARED_SCHEMES = ("aequitas", "pfabric", "qjump", "d3", "pdq", "homa")
@@ -72,7 +72,7 @@ def _run_scheme(
     warmup_ms: float,
     report_percentile: float,
     seed: int,
-):
+) -> Tuple["SchemeOutcome", ClusterResult]:
     """One scheme's run on the shared comparison workload."""
     sizes = production_mixture()
     overrides = {}
@@ -139,7 +139,7 @@ def sweep(profile: str = "paper") -> List[Point]:
     ]
 
 
-def run_point(point: Point, seed: int) -> Dict:
+def run_point(point: Point, seed: int) -> Row:
     p = point.params
     outcome, result = _run_scheme(
         p["scheme"], p["num_hosts"], p["duration_ms"], p["warmup_ms"], 99.9, seed
@@ -154,7 +154,7 @@ def run_point(point: Point, seed: int) -> Dict:
     }
 
 
-def check(rows: Sequence[Dict], profile: str) -> List[str]:
+def check(rows: Sequence[Row], profile: str) -> List[str]:
     """Comparison shape, mirroring the tier-1 benchmark's assertions:
     Aequitas runs at full utilization with the lowest QoS_h tail of any
     scheme, and the early-terminating deadline schemes pay in

@@ -16,13 +16,13 @@ same code path as the prototype's).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Any, Dict, List, Sequence, Tuple
 
 from repro.core.qos import Priority
-from repro.experiments.cluster import run_cluster
+from repro.experiments.cluster import ClusterResult, run_cluster
 from repro.experiments.fig12 import make_config
 from repro.rpc.sizes import FixedSize
-from repro.runner.point import Point
+from repro.runner.point import Point, Row
 from repro.stats.digest import completed_rpc_digest
 
 
@@ -61,14 +61,14 @@ def run(
     input_mix = {Priority.PC: 0.5, Priority.NC: 0.35, Priority.BE: 0.15}
     target_mix = {Priority.PC: 0.2, Priority.NC: 0.3, Priority.BE: 0.5}
 
-    def tails(res) -> Dict[int, float]:
+    def tails(res: ClusterResult) -> Dict[int, float]:
         return {q: res.rnl_tail_us(q, report_percentile) for q in (0, 1, 2)}
 
-    def mix_of(res) -> Tuple[float, float, float]:
+    def mix_of(res: ClusterResult) -> Tuple[float, float, float]:
         mix = res.admitted_mix()
         return (mix.get(0, 0.0), mix.get(1, 0.0), mix.get(2, 0.0))
 
-    common = dict(
+    common: Dict[str, Any] = dict(
         num_hosts=num_hosts,
         duration_ms=duration_ms,
         warmup_ms=warmup_ms,
@@ -123,7 +123,7 @@ def sweep(profile: str = "paper") -> List[Point]:
     ]
 
 
-def run_point(point: Point, seed: int) -> Dict:
+def run_point(point: Point, seed: int) -> Row:
     p = point.params
     mix = p["mix"]
     cfg = make_config(
@@ -145,7 +145,7 @@ def run_point(point: Point, seed: int) -> Dict:
     }
 
 
-def check(rows: Sequence[Dict], profile: str) -> List[str]:
+def check(rows: Sequence[Row], profile: str) -> List[str]:
     """Testbed shape: Aequitas pulls the normalized QoS_h tail toward
     the reference run's level."""
     by = {r["role"]: r for r in rows}

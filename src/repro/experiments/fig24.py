@@ -24,45 +24,53 @@ from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
 from repro.core.qos import Priority
-from repro.experiments.cluster import run_cluster
+from repro.experiments.cluster import ClusterConfig, ClusterResult, run_cluster
 from repro.experiments.fig12 import make_config
 from repro.rpc.message import Rpc
 from repro.rpc.sizes import FixedSize
-from repro.runner.point import Point
+from repro.runner.point import Point, Row
 from repro.stats.summary import percentile
 
 
-def make_misaligned_mapper(rng: random.Random):
+class MisalignedMapper:
     """A Figure-4-shaped random priority->QoS mapping.
 
     PC mostly lands on QoS_h but leaks downward; BE leaks heavily
     upward (the "race to the top" steady state before Phase 1).
     """
-    pc_split = _jitter(rng, (0.80, 0.15, 0.05))
-    nc_split = _jitter(rng, (0.25, 0.55, 0.20))
-    be_split = _jitter(rng, (0.40, 0.10, 0.50))
-    table = {Priority.PC: pc_split, Priority.NC: nc_split, Priority.BE: be_split}
 
-    def mapper(rpc: Rpc) -> int:
-        split = table[rpc.priority]
-        roll = rng.random()
+    def __init__(self, rng: random.Random) -> None:
+        self._rng = rng
+        self.table: Dict[Priority, Tuple[float, ...]] = {
+            Priority.PC: _jitter(rng, (0.80, 0.15, 0.05)),
+            Priority.NC: _jitter(rng, (0.25, 0.55, 0.20)),
+            Priority.BE: _jitter(rng, (0.40, 0.10, 0.50)),
+        }
+
+    def __call__(self, rpc: Rpc) -> int:
+        split = self.table[rpc.priority]
+        roll = self._rng.random()
         if roll < split[0]:
             return 0
         if roll < split[0] + split[1]:
             return 1
         return 2
 
-    mapper.table = table  # type: ignore[attr-defined]
-    return mapper
+
+def make_misaligned_mapper(rng: random.Random) -> MisalignedMapper:
+    """One random mapper draw (kept as a factory for ensemble loops)."""
+    return MisalignedMapper(rng)
 
 
-def _jitter(rng: random.Random, base: Tuple[float, float, float]):
+def _jitter(
+    rng: random.Random, base: Tuple[float, float, float]
+) -> Tuple[float, ...]:
     vals = [max(0.02, b + rng.uniform(-0.1, 0.1)) for b in base]
     total = sum(vals)
     return tuple(v / total for v in vals)
 
 
-def misalignment_fraction(mapper) -> float:
+def misalignment_fraction(mapper: MisalignedMapper) -> float:
     """Traffic-weighted fraction of RPCs mapped off their aligned QoS."""
     aligned = {Priority.PC: 0, Priority.NC: 1, Priority.BE: 2}
     total = 0.0
@@ -116,7 +124,7 @@ class Fig24Result:
         return "\n".join(lines)
 
 
-def _pc_tail(result, pctl: float) -> float:
+def _pc_tail(result: ClusterResult, pctl: float) -> float:
     samples = [
         rpc.rnl_ns / rpc.size_mtus
         for rpc in result.metrics.completed
@@ -175,7 +183,7 @@ def run(
     return Fig24Result(clusters=clusters, rollout_weeks=weeks)
 
 
-def _run_misaligned(cfg, qos_mapper):
+def _run_misaligned(cfg: ClusterConfig, qos_mapper: MisalignedMapper) -> ClusterResult:
     from repro.experiments.cluster import attach_traffic, build_cluster
     from repro.sim.engine import ns_from_ms
 
@@ -224,7 +232,7 @@ def sweep(profile: str = "paper") -> List[Point]:
     ]
 
 
-def run_point(point: Point, seed: int) -> Dict:
+def run_point(point: Point, seed: int) -> Row:
     p = point.params
     mapper = make_misaligned_mapper(random.Random(seed * 1009 + 1))
     mix = {Priority.PC: 0.35, Priority.NC: 0.35, Priority.BE: 0.30}
@@ -257,7 +265,7 @@ def run_point(point: Point, seed: int) -> Dict:
     }
 
 
-def check(rows: Sequence[Dict], profile: str) -> List[str]:
+def check(rows: Sequence[Row], profile: str) -> List[str]:
     """Phase-1 shape: alignment alone helps — the best cluster improves
     clearly and the ensemble does not regress on average."""
     failures: List[str] = []

@@ -12,12 +12,12 @@ values and report the stability and compliance metrics side by side.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import List, Sequence
 
 import numpy as np
 
 from repro.experiments.fig17 import FairnessResult, run_two_channels
-from repro.runner.point import Point
+from repro.runner.point import Point, Row
 
 
 @dataclass
@@ -60,7 +60,7 @@ class SensitivityResult:
 
 
 def run(
-    betas=(0.01, 0.0015),
+    betas: Sequence[float] = (0.01, 0.0015),
     duration_ms: float = 60.0,
     seed: int = 28,
 ) -> SensitivityResult:
@@ -102,7 +102,7 @@ def sweep(profile: str = "paper") -> List[Point]:
     ]
 
 
-def run_point(point: Point, seed: int) -> Dict:
+def run_point(point: Point, seed: int) -> Row:
     p = point.params
     share_a, share_b = _SCENARIOS[p["scenario"]]
     result = run_two_channels(
@@ -122,7 +122,7 @@ def run_point(point: Point, seed: int) -> Dict:
     }
 
 
-def check(rows: Sequence[Dict], profile: str) -> List[str]:
+def check(rows: Sequence[Row], profile: str) -> List[str]:
     """Sensitivity shape: in the Fig-18 scenario Channel A sits well
     under its fair share, so its worst-case admit probability must stay
     high for *both* beta values.  The beta stability/compliance

@@ -14,14 +14,15 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Sequence, Tuple
 
 from repro.analysis.fluid import simulate_fluid
-from repro.runner.point import Point
+from repro.runner.point import Point, Row
 from repro.core.admission import AdmissionParams
-from repro.core.qos import QoSConfig
+from repro.core.qos import Priority, QoSConfig
 from repro.core.slo import SLO, SLOMap
 from repro.net.topology import build_star, wfq_factory
+from repro.rpc.message import Rpc
 from repro.rpc.sizes import FixedSize
 from repro.rpc.stack import MetricsCollector, RpcStack
 from repro.sim.engine import Simulator, ns_from_ms, ns_from_us
@@ -93,14 +94,15 @@ def run(
     size = FixedSize(32 * 1024)
     stop_ns = ns_from_ms(duration_ms)
 
-    def issue_loop(stack, dsts):
-        def issue_one():
+    def issue_loop(stack: RpcStack, dsts: List[int]) -> None:
+        def issue_one() -> None:
             if sim.now >= stop_ns:
                 return
             dst = dsts[rng.randrange(len(dsts))]
             # The per-stack qos_mapper draws the requested QoS level, so
-            # the Priority argument is unused in this N-QoS setting.
-            stack.issue(dst, None, size.sample(rng))
+            # the Priority argument is a dead placeholder in this
+            # N-QoS setting.
+            stack.issue(dst, Priority.BE, size.sample(rng))
             sim.schedule(max(1, int(rng.expovariate(1.0) * gap_ns)), issue_one)
 
         sim.schedule(1, issue_one)
@@ -130,8 +132,10 @@ def run(
     )
 
 
-def _roll_mapper(offered, rng):
-    def mapper(rpc):
+def _roll_mapper(
+    offered: Sequence[float], rng: random.Random
+) -> Callable[[Rpc], int]:
+    def mapper(rpc: Rpc) -> int:
         roll = rng.random()
         acc = 0.0
         for level, frac in enumerate(offered):
@@ -156,7 +160,7 @@ def sweep(profile: str = "paper") -> List[Point]:
     return [Point("nqos", dict(PROFILES[profile]))]
 
 
-def run_point(point: Point, seed: int) -> Dict:
+def run_point(point: Point, seed: int) -> Row:
     p = point.params
     result = run(
         num_hosts=p["num_hosts"],
@@ -172,7 +176,7 @@ def run_point(point: Point, seed: int) -> Dict:
     }
 
 
-def check(rows: Sequence[Dict], profile: str) -> List[str]:
+def check(rows: Sequence[Row], profile: str) -> List[str]:
     """N-QoS shape: five classes all carry traffic with finite,
     positive tails — nothing in the stack is hard-wired to N = 3."""
     (row,) = rows

@@ -1,0 +1,436 @@
+"""SIM014–SIM016: asyncio correctness rules for the live runtime.
+
+The live admission runtime (:mod:`repro.live`) is one shared admission
+engine mutated by many coroutines on one event loop.  Its two classic
+failure modes are invisible to per-statement review: a blocking call
+that silently serializes every connection behind one sleeping
+coroutine, and a read-modify-write of shared state that straddles an
+``await`` (the only points where asyncio interleaves).  These rules
+make both — plus the fire-and-forget coroutine leak — static findings:
+
+========  ============================================================
+SIM014    blocking call inside ``async def``: ``time.sleep``, the sync
+          ``subprocess`` entry points, sync socket dials, sync file I/O
+          (``open``/``Path.read_text``/...), ``input`` — each stalls
+          the whole event loop for its duration
+SIM015    shared instance/module state read before an ``await`` and
+          written after it with no lock held.  ``await`` is where other
+          coroutines run; a value read before the suspension is stale
+          by the write, so the write clobbers concurrent updates (lost
+          update) or acts on a stale check (check-then-act).  Holding
+          an ``async with self._lock``-style lock across the window
+          clears the finding, as does collapsing the read and write
+          into one suspension-free statement
+SIM016    a coroutine called but never awaited (it never runs), or an
+          ``asyncio.create_task``/``ensure_future`` result discarded
+          (the loop keeps only a weak reference: the task can be
+          garbage-collected mid-flight)
+========  ============================================================
+
+Like every simlint rule these are deliberate, documented heuristics:
+SIM015 scans straight-line statement order (no back-edge analysis) and
+recognizes locks by name (``*lock*``/``*sem*``/``*mutex*``/``*cond*``
+context managers), trading soundness for a near-zero false-positive
+rate on real code.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.lint.rules import Finding, _terminal_identifier
+
+#: Call targets (import-alias resolved, like SIM001's) that block the
+#: event loop, with the suggested fix.
+_BLOCKING_CALLS: Dict[str, str] = {
+    "time.sleep": "use `await asyncio.sleep(...)`",
+    "subprocess.run": "use `asyncio.create_subprocess_exec(...)`",
+    "subprocess.call": "use `asyncio.create_subprocess_exec(...)`",
+    "subprocess.check_call": "use `asyncio.create_subprocess_exec(...)`",
+    "subprocess.check_output": "use `asyncio.create_subprocess_exec(...)`",
+    "os.system": "use `asyncio.create_subprocess_shell(...)`",
+    "os.popen": "use `asyncio.create_subprocess_shell(...)`",
+    "socket.create_connection": "use `asyncio.open_connection(...)`",
+    "urllib.request.urlopen": "run it in a thread (`asyncio.to_thread`)",
+    "open": "open files outside the loop or via `asyncio.to_thread`",
+    "input": "run it in a thread (`asyncio.to_thread`)",
+}
+
+#: Method names whose call on any receiver inside ``async def`` is sync
+#: file I/O (the pathlib convenience readers/writers).
+_BLOCKING_METHODS: Set[str] = {
+    "read_text",
+    "write_text",
+    "read_bytes",
+    "write_bytes",
+}
+
+#: Task-spawning callables whose discarded result is a leak (SIM016).
+_TASK_SPAWNERS: Set[str] = {"create_task", "ensure_future"}
+
+#: Name fragments marking an ``async with`` context as a lock (SIM015).
+_LOCK_FRAGMENTS: Tuple[str, ...] = ("lock", "sem", "mutex", "cond")
+
+
+def _is_lockish(node: ast.expr) -> bool:
+    """Whether an ``async with`` context expression looks like a lock."""
+    if isinstance(node, ast.Call):
+        node = node.func
+    name = _terminal_identifier(node)
+    if name is None:
+        return False
+    bare = name.lstrip("_").lower()
+    return any(fragment in bare for fragment in _LOCK_FRAGMENTS)
+
+
+class _AsyncFunctionState:
+    """Per-``async def`` bookkeeping for the race scan (SIM015).
+
+    ``epoch`` counts suspension points seen so far; a read at a lower
+    epoch than a later write brackets at least one ``await``.
+    """
+
+    __slots__ = ("name", "epoch", "lock_depth", "reads", "writes")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.epoch = 0
+        self.lock_depth = 0
+        #: state key -> first unlocked read: (epoch, line)
+        self.reads: Dict[str, Tuple[int, int]] = {}
+        #: state key -> unlocked writes: (epoch, node)
+        self.writes: List[Tuple[str, int, ast.AST]] = []
+
+
+class AsyncRuleVisitor(ast.NodeVisitor):
+    """Single-pass visitor applying SIM014–SIM016 to one module."""
+
+    def __init__(self, path: str, enabled: Iterable[str]):
+        self.path = path
+        self.enabled = set(enabled)
+        self.findings: List[Finding] = []
+        self._imports: Dict[str, str] = {}
+        #: stack of function states; ``None`` entries are sync frames.
+        self._frames: List[Optional[_AsyncFunctionState]] = []
+        #: enclosing class-name stack (for ``self.method()`` SIM016).
+        self._classes: List[str] = []
+        #: module-level and per-class async function names.
+        self._module_asyncs: Set[str] = set()
+        self._class_asyncs: Dict[str, Set[str]] = {}
+        #: names declared ``global`` in the current function.
+        self._globals: List[Set[str]] = []
+        #: AST node ids excluded from read tracking (call receivers and
+        #: store targets reached through generic_visit).
+        self._non_reads: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    # module prepass: collect async definitions for SIM016 resolution
+    # ------------------------------------------------------------------
+    def visit_Module(self, node: ast.Module) -> None:
+        for stmt in node.body:
+            if isinstance(stmt, ast.AsyncFunctionDef):
+                self._module_asyncs.add(stmt.name)
+            elif isinstance(stmt, ast.ClassDef):
+                methods = {
+                    sub.name
+                    for sub in stmt.body
+                    if isinstance(sub, ast.AsyncFunctionDef)
+                }
+                if methods:
+                    self._class_asyncs[stmt.name] = methods
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------------
+    # plumbing (import-alias resolution, shared with rules.py's shape)
+    # ------------------------------------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self._imports[alias.asname or alias.name.split(".")[0]] = alias.name
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module and node.level == 0:
+            for alias in node.names:
+                self._imports[alias.asname or alias.name] = (
+                    f"{node.module}.{alias.name}"
+                )
+        self.generic_visit(node)
+
+    def _resolve(self, node: ast.expr) -> Optional[str]:
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        parts.append(self._imports.get(node.id, node.id))
+        return ".".join(reversed(parts))
+
+    def _emit(self, rule: str, node: ast.AST, message: str) -> None:
+        if rule in self.enabled:
+            self.findings.append(
+                Finding(
+                    path=self.path,
+                    line=getattr(node, "lineno", 1),
+                    col=getattr(node, "col_offset", 0) + 1,
+                    rule=rule,
+                    message=message,
+                )
+            )
+
+    @property
+    def _state(self) -> Optional[_AsyncFunctionState]:
+        return self._frames[-1] if self._frames else None
+
+    # ------------------------------------------------------------------
+    # function frames
+    # ------------------------------------------------------------------
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._frames.append(_AsyncFunctionState(node.name))
+        self._globals.append(set())
+        self.generic_visit(node)
+        self._globals.pop()
+        self._flush_races(self._frames.pop())
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._frames.append(None)
+        self._globals.append(set())
+        self.generic_visit(node)
+        self._globals.pop()
+        self._frames.pop()
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._classes.append(node.name)
+        self.generic_visit(node)
+        self._classes.pop()
+
+    def visit_Global(self, node: ast.Global) -> None:
+        if self._globals:
+            self._globals[-1].update(node.names)
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------------
+    # suspension points and lock scopes (SIM015)
+    # ------------------------------------------------------------------
+    def visit_Await(self, node: ast.Await) -> None:
+        # Reads inside the awaited expression happen before the
+        # suspension, so visit first, then advance the epoch.
+        self.generic_visit(node)
+        state = self._state
+        if state is not None:
+            state.epoch += 1
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        state = self._state
+        self.visit(node.iter)
+        if state is not None:
+            state.epoch += 1  # every iteration suspends on __anext__
+        for stmt in node.body:
+            self.visit(stmt)
+        for stmt in node.orelse:
+            self.visit(stmt)
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        state = self._state
+        lockish = any(_is_lockish(item.context_expr) for item in node.items)
+        for item in node.items:
+            self.visit(item.context_expr)
+            if item.optional_vars is not None:
+                self.visit(item.optional_vars)
+        if state is not None:
+            state.epoch += 1  # __aenter__ suspends
+            if lockish:
+                state.lock_depth += 1
+        for stmt in node.body:
+            self.visit(stmt)
+        if state is not None:
+            if lockish:
+                state.lock_depth -= 1
+            state.epoch += 1  # __aexit__ suspends
+
+    # ------------------------------------------------------------------
+    # shared-state accesses (SIM015)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _state_key(node: ast.expr, globals_: Set[str]) -> Optional[str]:
+        """``self.X`` -> ``"self.X"``; a ``global``-declared name -> it."""
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            return f"self.{node.attr}"
+        if isinstance(node, ast.Name) and node.id in globals_:
+            return node.id
+        return None
+
+    def _record_read(self, node: ast.expr) -> None:
+        state = self._state
+        if state is None or state.lock_depth > 0:
+            return
+        key = self._state_key(node, self._globals[-1] if self._globals else set())
+        if key is not None:
+            state.reads.setdefault(key, (state.epoch, node.lineno))
+
+    def _record_write(self, node: ast.expr, target: ast.expr) -> None:
+        state = self._state
+        if state is None or state.lock_depth > 0:
+            return
+        key = self._state_key(target, self._globals[-1] if self._globals else set())
+        if key is not None:
+            state.writes.append((key, state.epoch, node))
+
+    def _mark_write_targets(self, target: ast.expr, node: ast.AST) -> None:
+        """Record writes for one assignment target (tuples unpacked).
+
+        A subscript store (``self.X[k] = v``) counts as a write to the
+        container attribute, and its base is excluded from read
+        tracking.
+        """
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._mark_write_targets(element, node)
+            return
+        if isinstance(target, ast.Subscript):
+            self._non_reads.add(id(target.value))
+            self._record_write(target, target.value)  # type: ignore[arg-type]
+            return
+        self._record_write(target, target)  # type: ignore[arg-type]
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._mark_write_targets(target, node)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._mark_write_targets(node.target, node)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        # `self.x += 1` reads and writes at one epoch: atomic between
+        # suspensions, so it can complete a straddle only as the write
+        # half against an *earlier* read.
+        self._record_read(node.target)
+        self._mark_write_targets(node.target, node)
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if isinstance(node.ctx, ast.Load) and id(node) not in self._non_reads:
+            self._record_read(node)
+        self.generic_visit(node)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, ast.Load):
+            self._record_read(node)
+        self.generic_visit(node)
+
+    def _flush_races(self, state: Optional[_AsyncFunctionState]) -> None:
+        if state is None:
+            return
+        reported: Set[str] = set()
+        for key, write_epoch, node in state.writes:
+            if key in reported:
+                continue
+            read = state.reads.get(key)
+            if read is None:
+                continue
+            read_epoch, read_line = read
+            if write_epoch > read_epoch:
+                reported.add(key)
+                self._emit(
+                    "SIM015",
+                    node,
+                    f"`{key}` is read at line {read_line} and written here "
+                    f"with {write_epoch - read_epoch} await point(s) "
+                    f"between, and no lock held — another coroutine can "
+                    f"update `{key}` during the suspension, making this a "
+                    "lost-update/stale-check race; hold a lock across the "
+                    "window or collapse the read-modify-write",
+                )
+
+    # ------------------------------------------------------------------
+    # calls: SIM014 (blocking) and SIM016 receivers
+    # ------------------------------------------------------------------
+    def _in_async_frame(self) -> bool:
+        return self._state is not None
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if isinstance(node.func, ast.Attribute):
+            # The receiver of a method call is a use, not a state read
+            # (SIM015 would otherwise flag `self._queue.popleft()` as a
+            # stale read).
+            self._non_reads.add(id(node.func.value))
+        if self._in_async_frame():
+            qualified = self._resolve(node.func)
+            if qualified in _BLOCKING_CALLS:
+                self._emit(
+                    "SIM014",
+                    node,
+                    f"blocking call `{qualified}` inside `async def "
+                    f"{self._state.name}` stalls the whole event loop — "
+                    f"{_BLOCKING_CALLS[qualified]}",
+                )
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _BLOCKING_METHODS
+            ):
+                self._emit(
+                    "SIM014",
+                    node,
+                    f"sync file I/O `.{node.func.attr}()` inside `async "
+                    f"def {self._state.name}` stalls the event loop — do "
+                    "the I/O outside the loop or via `asyncio.to_thread`",
+                )
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------------
+    # SIM016: bare coroutine calls and discarded tasks
+    # ------------------------------------------------------------------
+    def _is_local_coroutine_call(self, call: ast.Call) -> bool:
+        func = call.func
+        if isinstance(func, ast.Name):
+            return func.id in self._module_asyncs
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "self"
+            and self._classes
+        ):
+            return func.attr in self._class_asyncs.get(self._classes[-1], set())
+        return False
+
+    def visit_Expr(self, node: ast.Expr) -> None:
+        call = node.value
+        if isinstance(call, ast.Call):
+            func = call.func
+            spawner = isinstance(func, ast.Attribute) and func.attr in _TASK_SPAWNERS
+            if spawner:
+                self._emit(
+                    "SIM016",
+                    node,
+                    "task created but its handle is discarded — the event "
+                    "loop holds only a weak reference, so the task can be "
+                    "garbage-collected mid-flight; store the handle (and "
+                    "await or cancel it at shutdown)",
+                )
+            elif self._is_local_coroutine_call(call):
+                name = self._resolve(func) or "<coroutine>"
+                self._emit(
+                    "SIM016",
+                    node,
+                    f"coroutine `{name}(...)` is never awaited — calling an "
+                    "`async def` only builds the coroutine object; without "
+                    "`await` (or `asyncio.create_task`) it never runs",
+                )
+        self.generic_visit(node)
+
+
+def run_async_rules(
+    tree: ast.Module, path: str, enabled: Iterable[str]
+) -> List[Finding]:
+    """Apply the asyncio rules to one parsed module."""
+    visitor = AsyncRuleVisitor(path, enabled)
+    visitor.visit(tree)
+    return visitor.findings

@@ -1,0 +1,90 @@
+"""Committed finding baseline: grandfather known findings, gate new ones.
+
+When a new rule lands (or an old one sharpens), the repo policy is to
+fix or explicitly suppress every *true* finding — but a large rollout
+sometimes needs a bridge.  The baseline file records the fingerprints
+of accepted findings; a normal lint run subtracts them, so only *new*
+findings fail CI, and ``--update-baseline`` rewrites the file from the
+current run.
+
+Fingerprints are location-drift-tolerant: the hash covers the rule id,
+the file path, and a *salt* that identifies the finding without its
+line number — the stripped offending source line for the single-module
+rules, or the semantic anchor (``call:<target>``, ``store:<self.attr>``,
+``rng:<ctor>``) for the whole-program rules.  Editing unrelated parts
+of a file therefore neither clears nor duplicates baseline entries.
+
+The file itself (``.simlint-baseline.json``) is committed, sorted, and
+human-reviewable: every entry keeps the rule, path, and last-seen line
+alongside the fingerprint so a reviewer can audit what was
+grandfathered.  An absent or empty file means "no grandfathered
+findings" — which is this repo's steady state.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.lint.rules import Finding
+
+#: Format version of the baseline document.
+BASELINE_VERSION = 1
+
+
+def finding_fingerprint(rule: str, path: str, salt: str) -> str:
+    """Stable identity of one finding (rule + posix path + salt)."""
+    posix = Path(path).as_posix()
+    digest = hashlib.sha256(f"{rule}|{posix}|{salt}".encode("utf-8"))
+    return digest.hexdigest()[:16]
+
+
+def load_baseline(path: Path) -> Set[str]:
+    """Fingerprints recorded in a baseline file (empty when absent)."""
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return set()
+    entries = document.get("entries", [])
+    return {
+        str(entry["fingerprint"])
+        for entry in entries
+        if isinstance(entry, dict) and "fingerprint" in entry
+    }
+
+
+def write_baseline(path: Path, findings: Iterable[Finding]) -> int:
+    """Rewrite the baseline from the current findings; returns count."""
+    entries: List[Dict[str, object]] = []
+    seen: Set[str] = set()
+    for finding in sorted(findings, key=lambda f: (f.path, f.line, f.rule)):
+        if not finding.fingerprint or finding.fingerprint in seen:
+            continue
+        seen.add(finding.fingerprint)
+        entries.append(
+            {
+                "fingerprint": finding.fingerprint,
+                "rule": finding.rule,
+                "path": Path(finding.path).as_posix(),
+                "line": finding.line,
+            }
+        )
+    document = {"version": BASELINE_VERSION, "entries": entries}
+    path.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+    return len(entries)
+
+
+def apply_baseline(
+    findings: Iterable[Finding], baseline: Set[str]
+) -> Tuple[List[Finding], int]:
+    """Split findings into (new, grandfathered-count)."""
+    kept: List[Finding] = []
+    suppressed = 0
+    for finding in findings:
+        if finding.fingerprint and finding.fingerprint in baseline:
+            suppressed += 1
+        else:
+            kept.append(finding)
+    return kept, suppressed

@@ -1,0 +1,82 @@
+"""Incremental lint cache: per-file results keyed by content hash.
+
+One JSON document (``<cache-dir>/cache.json``) maps each linted file's
+absolute path to its last result: the content's SHA-256, the
+post-suppression single-module findings, the per-line suppression map,
+the file's scope classification, and the whole-program IR
+(:mod:`repro.lint.project`).  A warm run whose files are unchanged
+re-parses **nothing** — it replays the cached findings and re-runs only
+the cheap global taint phase over the cached IRs (the global phase
+cannot be cached per file: adding a wall-clock read to ``helpers.py``
+must surface a SIM012 in an *unchanged* ``repro/sim`` module).
+
+Two invariants keep the cache safe:
+
+* the whole document is discarded when
+  :data:`repro.lint.rules.RULESET_VERSION` changes — rule logic is part
+  of the key, so sharpening a rule invalidates every stored result;
+* entries store results for the file's *full* applicable rule set
+  (scope-filtered, never ``--select``-filtered) — rule selection is a
+  report-time filter, so switching ``--select`` between runs can't
+  poison the cache.
+
+``--no-cache`` bypasses both load and store for one run.  The cache
+directory is disposable and git-ignored; deleting it is always safe.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.lint.rules import RULESET_VERSION
+
+#: Cache document format version (bump on layout changes).
+CACHE_FORMAT = 1
+
+
+class LintCache:
+    """Load-once / save-once view of the per-file result cache."""
+
+    def __init__(self, cache_dir: Path) -> None:
+        self.path = cache_dir / "cache.json"
+        self.hits = 0
+        self.misses = 0
+        self._dirty = False
+        self._files: Dict[str, Dict[str, Any]] = {}
+        try:
+            document = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if (
+            document.get("format") == CACHE_FORMAT
+            and document.get("ruleset") == RULESET_VERSION
+            and isinstance(document.get("files"), dict)
+        ):
+            self._files = document["files"]
+
+    def lookup(self, path: str, digest: str) -> Optional[Dict[str, Any]]:
+        """The cached entry for ``path`` at ``digest``, counting hit/miss."""
+        entry = self._files.get(path)
+        if entry is not None and entry.get("digest") == digest:
+            self.hits += 1
+            return entry
+        self.misses += 1
+        return None
+
+    def store(self, path: str, entry: Dict[str, Any]) -> None:
+        self._files[path] = entry
+        self._dirty = True
+
+    def save(self) -> None:
+        if not self._dirty:
+            return
+        document = {
+            "format": CACHE_FORMAT,
+            "ruleset": RULESET_VERSION,
+            "files": self._files,
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.path.write_text(json.dumps(document), encoding="utf-8")
+        self._dirty = False

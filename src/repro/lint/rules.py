@@ -1,15 +1,24 @@
 """simlint rule definitions: AST checks for simulator determinism.
 
-Every rule is a heuristic over one module's AST.  The common shape:
+SIM001–SIM011 are heuristics over one module's AST.  The common shape:
 :class:`RuleVisitor` walks a file once, resolving imported names to
 dotted paths (so ``from time import time`` and ``time.time`` are the
 same call), and emits :class:`Finding` records.  Scoping — which rules
 apply to simulator-domain code versus host-side orchestration code —
 is decided by the caller (:mod:`repro.lint.runner`), not here.
 
+Three rule families live elsewhere but register their ids here so the
+CLI, SARIF reporter, and suppression machinery see one catalogue:
+
+* SIM000 — structured analysis errors (:mod:`repro.lint.runner`);
+* SIM012/SIM013 — whole-program taint rules (:mod:`repro.lint.project`);
+* SIM014–SIM016 — asyncio rules (:mod:`repro.lint.asyncrules`).
+
 The rules (see ``docs/correctness.md`` for the full contract):
 
 ========  ============================================================
+SIM000    analysis error: the file could not be read or parsed —
+          reported as a structured finding, never a mid-run crash
 SIM001    wall-clock reads (``time.time``/``datetime.now``/...) inside
           simulator-domain code — sim code must use ``Simulator.now``
 SIM002    module-level ``random.*`` calls — draws must come from a
@@ -38,6 +47,22 @@ SIM011    ``self.<cache>[key] = value`` store into a cache/memo dict in
           ``clear``/``pop``/``del``/``len`` bound) — memo tables keyed
           by per-packet or per-event values grow with traffic, not
           configuration
+SIM012    wall-clock taint reaching simulator-domain code across call
+          boundaries — a helper that (transitively) reads the OS clock
+          is called from sim code, a clock-tainted value is stored into
+          sim-domain state, or passed into a sim-domain function
+SIM013    RNG in sim-domain code not derived from a threaded seed —
+          created with no seed, a hard-coded constant seed, or via a
+          helper that (transitively) does so
+SIM014    blocking call (``time.sleep``, sync subprocess/socket/file
+          I/O) inside ``async def`` — starves every coroutine sharing
+          the event loop
+SIM015    read of shared instance/module state before an ``await`` and
+          write after it, with no lock held — the static race detector
+          for the live runtime
+SIM016    coroutine or task created but never awaited or stored — the
+          coroutine silently never runs, or the un-referenced task can
+          be garbage-collected mid-flight
 ========  ============================================================
 """
 
@@ -47,8 +72,14 @@ import ast
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
+#: Version of the rule set.  Bump whenever a rule is added, removed, or
+#: its detection logic changes: the incremental cache keys on it, so a
+#: bump invalidates every cached per-file result.
+RULESET_VERSION = "2.0.0"
+
 #: rule id -> one-line description (the CLI's ``--explain`` output).
 RULES: Dict[str, str] = {
+    "SIM000": "analysis error: file could not be read or parsed",
     "SIM001": "wall-clock call in simulator-domain code (use Simulator.now)",
     "SIM002": "module-level random.* call (use a seeded repro.sim.rng stream)",
     "SIM003": "float ==/!= on a virtual-time/finish-tag value",
@@ -66,7 +97,28 @@ RULES: Dict[str, str] = {
         "unbounded cache/memo dict store in sim-domain code (no "
         "clear/pop/del/len bound in the same function)"
     ),
+    "SIM012": (
+        "wall-clock taint reaches simulator-domain code across a call "
+        "boundary (whole-program dataflow)"
+    ),
+    "SIM013": (
+        "RNG in sim-domain code not derived from a threaded seed "
+        "(unseeded or hard-coded constant, whole-program dataflow)"
+    ),
+    "SIM014": "blocking call inside `async def` (starves the event loop)",
+    "SIM015": (
+        "shared state read before an `await` and written after it "
+        "without a lock (static asyncio race)"
+    ),
+    "SIM016": "coroutine or task created but never awaited or stored",
 }
+
+#: Rules reported by the whole-program pass (:mod:`repro.lint.project`)
+#: rather than the single-module visitors.
+WHOLE_PROGRAM_RULES: Set[str] = {"SIM012", "SIM013"}
+
+#: Rules reported by the asyncio visitor (:mod:`repro.lint.asyncrules`).
+ASYNC_RULES: Set[str] = {"SIM014", "SIM015", "SIM016"}
 
 #: Rules that only apply to simulator-domain files (suppressed for
 #: host-side orchestration code via the runner's allowlist).
@@ -176,13 +228,20 @@ _MUTABLE_DEFAULT_CALLS = frozenset(
 
 @dataclass(frozen=True)
 class Finding:
-    """One rule violation at one source location."""
+    """One rule violation at one source location.
+
+    ``fingerprint`` is a location-drift-tolerant identity (rule + path +
+    offending source text) assigned by the runner; the baseline and
+    SARIF layers key on it.  Two findings differing only in line number
+    keep the same fingerprint across edits elsewhere in the file.
+    """
 
     path: str
     line: int
     col: int
     rule: str
     message: str
+    fingerprint: str = ""
 
     def render(self) -> str:
         return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"

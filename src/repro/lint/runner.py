@@ -1,4 +1,24 @@
-"""simlint driver: file discovery, scoping, suppression, reporting.
+"""simlint driver: discovery, scoping, caching, suppression, reporting.
+
+Analysis pipeline (per ``analyze_paths`` run):
+
+1. **Discover** — expand the path arguments into a sorted, de-duplicated
+   ``*.py`` list.
+2. **Per-file phase** (cached) — hash the file's content; on a cache hit
+   (same content, same :data:`~repro.lint.rules.RULESET_VERSION`) reuse
+   the stored result *without re-parsing*.  On a miss: parse, run the
+   single-module rules (SIM001–SIM011), the asyncio rules
+   (SIM014–SIM016), record the per-line suppression map, lower the
+   module to the whole-program IR, and store it all.  Unreadable or
+   unparseable files become structured ``SIM000`` findings — one bad
+   file never aborts the run.
+3. **Global phase** (never cached) — run the taint fixpoint
+   (:mod:`repro.lint.project`) over every module IR and emit
+   SIM012/SIM013; their suppressions apply through the cached per-line
+   maps, so warm runs stay zero-parse.
+4. **Report** — subtract the committed baseline
+   (:mod:`repro.lint.baseline`), apply ``--select``, and render as text
+   or SARIF 2.1.0 (:mod:`repro.lint.sarif`).
 
 Scoping model
 -------------
@@ -12,29 +32,47 @@ Three file classes decide which rules run where:
   same set: it is wall-clock code by nature, but precisely *because*
   of that every OS-clock read must flow through the one audited
   clock-source module (``repro/live/clock.py`` carries the package's
-  only ``SIM001`` suppressions), and its event logs must stay free of
-  per-event ``print``/global-RNG habits;
+  only ``SIM001`` suppressions).  The whole-program SIM012 rule
+  excludes ``repro/live`` from its *target* set (wall-clock is its
+  job) while still tracking taint *through* it — a ``WallClock``
+  handle leaking into ``repro/core`` is reported at the leak site;
 * **host-side allowlisted** files (``repro/cli.py``, ``repro/runner/``,
   ``repro/lint/``, ``repro/__main__.py``) are exempt from the
   wall-clock/global-randomness rules (``SIM001``/``SIM002``/``SIM006``)
   — timing a sweep or seeding a worker pool is their job;
 * everything else (experiments, stats, analysis, tests, examples) gets
-  every rule except the sim-domain-only ``SIM001``.
+  every rule except the sim-domain-only set.
 
 Per-line suppression: append ``# simlint: ignore[SIM001]`` (one or more
 comma-separated rule ids) to the offending line, or a bare
 ``# simlint: ignore`` to silence every rule on that line.  Suppressions
 are deliberate, documented exceptions — keep them rare.
+
+Exit codes: ``0`` clean, ``1`` findings, ``2`` analysis errors
+(``SIM000``) or bad invocation.
 """
 
 from __future__ import annotations
 
 import ast
+import dataclasses
+import hashlib
+import json
 import re
 import sys
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro.lint.asyncrules import run_async_rules
+from repro.lint.baseline import (
+    apply_baseline,
+    finding_fingerprint,
+    load_baseline,
+    write_baseline,
+)
+from repro.lint.cache import LintCache
+from repro.lint.project import analyze_project, extract_module_ir
 from repro.lint.rules import (
     Finding,
     HOST_EXEMPT,
@@ -43,6 +81,7 @@ from repro.lint.rules import (
     parse_rule_list,
     run_rules,
 )
+from repro.lint.sarif import render_sarif
 
 #: Path fragments (posix) marking simulator-domain packages.
 SIM_DOMAIN_PREFIXES: Tuple[str, ...] = (
@@ -66,13 +105,34 @@ HOST_ALLOWLIST: Tuple[str, ...] = (
     "repro/lint/",
 )
 
+#: Default on-disk locations (relative to the invocation cwd).
+DEFAULT_CACHE_DIR = ".simlint-cache"
+DEFAULT_BASELINE = ".simlint-baseline.json"
+
 _SUPPRESS_RE = re.compile(
     r"#\s*simlint:\s*ignore(?:\[(?P<rules>[A-Za-z0-9_,\s]+)\])?"
 )
 
 
 class LintError(Exception):
-    """A file could not be linted (unreadable or unparseable)."""
+    """A path argument could not be analyzed at all (bad invocation)."""
+
+
+@dataclass
+class LintReport:
+    """Everything one ``analyze_paths`` run produced.
+
+    ``findings`` holds every reportable finding *including* ``SIM000``
+    analysis errors; ``errors`` repeats the ``SIM000`` subset rendered
+    as strings (the legacy ``lint_paths`` error channel).  ``stats``
+    carries the incremental-machinery counters: ``files``, ``parses``,
+    ``cache_hits``, ``cache_misses``, ``baseline_suppressed``,
+    ``baselined`` (written by ``--update-baseline``).
+    """
+
+    findings: List[Finding] = field(default_factory=list)
+    errors: List[str] = field(default_factory=list)
+    stats: Dict[str, int] = field(default_factory=dict)
 
 
 def classify(path: str) -> str:
@@ -107,41 +167,90 @@ def suppressed_rules(line: str) -> Optional[Set[str]]:
     return {part.strip().upper() for part in spec.split(",") if part.strip()}
 
 
+def suppression_map(source_lines: Sequence[str]) -> Dict[str, Any]:
+    """Per-line suppressions as a JSON-shaped map.
+
+    Keys are 1-based line numbers as strings; values are ``"*"`` (bare
+    ``ignore``) or a sorted rule-id list.  Only lines carrying a
+    suppression appear, so the map is tiny and cache-friendly — it is
+    what lets the whole-program rules honor suppressions on warm runs
+    without re-reading the file.
+    """
+    result: Dict[str, Any] = {}
+    for number, line in enumerate(source_lines, start=1):
+        if "simlint" not in line:
+            continue
+        rules = suppressed_rules(line)
+        if rules is None:
+            result[str(number)] = "*"
+        elif rules:
+            result[str(number)] = sorted(rules)
+    return result
+
+
+def _is_suppressed(finding: Finding, smap: Dict[str, Any]) -> bool:
+    entry = smap.get(str(finding.line))
+    if entry is None:
+        return False
+    return entry == "*" or finding.rule in entry
+
+
 def apply_suppressions(
     findings: Iterable[Finding], source_lines: Sequence[str]
 ) -> List[Finding]:
-    kept: List[Finding] = []
-    for finding in findings:
-        line = (
-            source_lines[finding.line - 1]
-            if 0 < finding.line <= len(source_lines)
-            else ""
-        )
-        suppressed = suppressed_rules(line)
-        if suppressed is None or finding.rule in suppressed:
-            continue
-        kept.append(finding)
-    return kept
+    """Drop findings whose source line carries a matching suppression."""
+    smap = suppression_map(source_lines)
+    return [f for f in findings if not _is_suppressed(f, smap)]
 
 
-def lint_source(
-    source: str, path: str, select: Optional[Sequence[str]] = None
+def _fingerprinted(
+    findings: Iterable[Finding], source_lines: Sequence[str]
 ) -> List[Finding]:
-    """Lint one in-memory module (the unit the fixture tests drive)."""
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as exc:
-        raise LintError(f"{path}: syntax error on line {exc.lineno}: {exc.msg}")
-    findings = run_rules(tree, path, rules_for(path, select))
-    return apply_suppressions(findings, source.splitlines())
+    """Findings with their drift-tolerant fingerprint filled in.
+
+    The salt is the stripped offending source line (falling back to the
+    message when the line is out of range), so edits elsewhere in the
+    file do not churn baseline entries.
+    """
+    result: List[Finding] = []
+    for finding in findings:
+        if 0 < finding.line <= len(source_lines):
+            salt = source_lines[finding.line - 1].strip()
+        else:
+            salt = finding.message
+        result.append(
+            dataclasses.replace(
+                finding,
+                fingerprint=finding_fingerprint(finding.rule, finding.path, salt),
+            )
+        )
+    return result
 
 
-def lint_file(path: Path, select: Optional[Sequence[str]] = None) -> List[Finding]:
-    try:
-        source = path.read_text(encoding="utf-8")
-    except OSError as exc:
-        raise LintError(f"{path}: unreadable: {exc}")
-    return lint_source(source, str(path), select)
+def _analysis_error(path: str, line: int, col: int, message: str) -> Finding:
+    return Finding(
+        path=path,
+        line=line,
+        col=col,
+        rule="SIM000",
+        message=message,
+        fingerprint=finding_fingerprint("SIM000", path, message),
+    )
+
+
+def _finding_to_dict(finding: Finding) -> Dict[str, Any]:
+    return dataclasses.asdict(finding)
+
+
+def _finding_from_dict(entry: Dict[str, Any]) -> Finding:
+    return Finding(
+        path=str(entry["path"]),
+        line=int(entry["line"]),
+        col=int(entry["col"]),
+        rule=str(entry["rule"]),
+        message=str(entry["message"]),
+        fingerprint=str(entry.get("fingerprint", "")),
+    )
 
 
 def iter_python_files(paths: Sequence[str]) -> List[Path]:
@@ -163,23 +272,175 @@ def iter_python_files(paths: Sequence[str]) -> List[Path]:
     return ordered
 
 
+def _analyze_file(
+    path_str: str, source: str, stats: Dict[str, int]
+) -> Dict[str, Any]:
+    """The cacheable per-file phase: parse, local rules, IR."""
+    lines = source.splitlines()
+    scope = classify(path_str)
+    stats["parses"] += 1
+    try:
+        tree = ast.parse(source, filename=path_str)
+    except SyntaxError as exc:
+        finding = _analysis_error(
+            path_str,
+            exc.lineno or 1,
+            (exc.offset or 1),
+            f"syntax error: {exc.msg}",
+        )
+        return {
+            "scope": scope,
+            "findings": [_finding_to_dict(finding)],
+            "suppressions": {},
+            "ir": None,
+        }
+    enabled = rules_for(path_str)
+    local = run_rules(tree, path_str, enabled)
+    local.extend(run_async_rules(tree, path_str, enabled))
+    smap = suppression_map(lines)
+    kept = [f for f in local if not _is_suppressed(f, smap)]
+    kept = _fingerprinted(kept, lines)
+    kept.sort(key=lambda f: (f.line, f.col, f.rule))
+    return {
+        "scope": scope,
+        "findings": [_finding_to_dict(f) for f in kept],
+        "suppressions": smap,
+        "ir": extract_module_ir(tree, path_str, scope),
+    }
+
+
+def analyze_paths(
+    paths: Sequence[str],
+    select: Optional[Sequence[str]] = None,
+    cache: Optional[LintCache] = None,
+    baseline_path: Optional[Path] = None,
+    update_baseline: bool = False,
+) -> LintReport:
+    """Run the full pipeline over ``paths`` and return the report."""
+    report = LintReport(
+        stats={
+            "files": 0,
+            "parses": 0,
+            "cache_hits": 0,
+            "cache_misses": 0,
+            "baseline_suppressed": 0,
+            "baselined": 0,
+        }
+    )
+    entries: List[Dict[str, Any]] = []
+    files = iter_python_files(paths)
+    report.stats["files"] = len(files)
+    for path in files:
+        path_str = str(path)
+        try:
+            data = path.read_bytes()
+        except OSError as exc:
+            finding = _analysis_error(path_str, 1, 1, f"unreadable: {exc}")
+            entries.append(
+                {
+                    "scope": classify(path_str),
+                    "findings": [_finding_to_dict(finding)],
+                    "suppressions": {},
+                    "ir": None,
+                }
+            )
+            continue
+        digest = hashlib.sha256(data).hexdigest()
+        cache_key = str(path.resolve())
+        entry = cache.lookup(cache_key, digest) if cache is not None else None
+        if entry is None:
+            source = data.decode("utf-8", errors="replace")
+            entry = _analyze_file(path_str, source, report.stats)
+            entry["digest"] = digest
+            if cache is not None:
+                cache.store(cache_key, entry)
+        entries.append(entry)
+    if cache is not None:
+        report.stats["cache_hits"] = cache.hits
+        report.stats["cache_misses"] = cache.misses
+        cache.save()
+
+    findings = [
+        _finding_from_dict(raw) for entry in entries for raw in entry["findings"]
+    ]
+    irs = [entry["ir"] for entry in entries if entry.get("ir") is not None]
+    smap_by_path = {
+        entry["ir"]["path"]: entry.get("suppressions", {})
+        for entry in entries
+        if entry.get("ir") is not None
+    }
+    for finding in analyze_project(irs):
+        if not _is_suppressed(finding, smap_by_path.get(finding.path, {})):
+            findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+
+    if baseline_path is not None:
+        rule_findings = [f for f in findings if f.rule != "SIM000"]
+        if update_baseline:
+            report.stats["baselined"] = write_baseline(baseline_path, rule_findings)
+            findings = [f for f in findings if f.rule == "SIM000"]
+        elif baseline_path.exists():
+            findings, grandfathered = apply_baseline(
+                findings, load_baseline(baseline_path)
+            )
+            report.stats["baseline_suppressed"] = grandfathered
+
+    if select:
+        wanted = set(select)
+        findings = [f for f in findings if f.rule in wanted or f.rule == "SIM000"]
+
+    report.findings = findings
+    report.errors = [f.render() for f in findings if f.rule == "SIM000"]
+    return report
+
+
+def lint_source(
+    source: str, path: str, select: Optional[Sequence[str]] = None
+) -> List[Finding]:
+    """Lint one in-memory module (the unit the fixture tests drive).
+
+    Runs the complete pipeline — single-module rules, asyncio rules,
+    and the whole-program pass over this one module's IR — so fixtures
+    exercise SIM012/SIM013 resolution without touching the filesystem.
+    Syntax errors come back as ``SIM000`` findings, never exceptions.
+    """
+    stats = {"parses": 0}
+    entry = _analyze_file(path, source, stats)
+    findings = [_finding_from_dict(raw) for raw in entry["findings"]]
+    if entry["ir"] is not None:
+        smap = entry["suppressions"]
+        for finding in analyze_project([entry["ir"]]):
+            if not _is_suppressed(finding, smap):
+                findings.append(finding)
+    findings.sort(key=lambda f: (f.line, f.col, f.rule))
+    if select:
+        wanted = set(select)
+        findings = [f for f in findings if f.rule in wanted or f.rule == "SIM000"]
+    return findings
+
+
+def lint_file(path: Path, select: Optional[Sequence[str]] = None) -> List[Finding]:
+    """Lint one on-disk file; unreadable files become SIM000 findings."""
+    try:
+        source = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        return [_analysis_error(str(path), 1, 1, f"unreadable: {exc}")]
+    return lint_source(source, str(path), select)
+
+
 def lint_paths(
     paths: Sequence[str], select: Optional[Sequence[str]] = None
 ) -> Tuple[List[Finding], List[str]]:
-    """Lint every file under ``paths``.
+    """Lint every file under ``paths`` (uncached, no baseline).
 
-    Returns ``(findings, errors)`` — findings sorted by location,
-    errors being unreadable/unparseable files.
+    Returns ``(findings, errors)`` — rule findings sorted by location,
+    and analysis errors (``SIM000``) rendered as strings.  This is the
+    library entry point the repo-gate test drives; the CLI adds the
+    cache, baseline, and SARIF layers on top of :func:`analyze_paths`.
     """
-    findings: List[Finding] = []
-    errors: List[str] = []
-    for path in iter_python_files(paths):
-        try:
-            findings.extend(lint_file(path, select))
-        except LintError as exc:
-            errors.append(str(exc))
-    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
-    return findings, errors
+    report = analyze_paths(paths, select=select)
+    findings = [f for f in report.findings if f.rule != "SIM000"]
+    return findings, report.errors
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -200,12 +461,52 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--select",
         metavar="RULES",
         default=None,
-        help="comma-separated rule ids to run (default: all)",
+        help="comma-separated rule ids to report (default: all)",
     )
     parser.add_argument(
         "--explain",
         action="store_true",
         help="list every rule with its description and exit",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "sarif"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        default=None,
+        help="write the report to FILE instead of stdout",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore and do not update the incremental result cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=DEFAULT_CACHE_DIR,
+        help=f"incremental cache directory (default: {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=DEFAULT_BASELINE,
+        help=f"committed baseline of grandfathered findings "
+        f"(default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from this run's findings and exit clean",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print cache/parse statistics to stderr",
     )
     args = parser.parse_args(argv)
 
@@ -216,15 +517,53 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     try:
         select = parse_rule_list(args.select) if args.select else None
-        findings, errors = lint_paths(args.paths, select)
+        cache = None if args.no_cache else LintCache(Path(args.cache_dir))
+        report = analyze_paths(
+            args.paths,
+            select=select,
+            cache=cache,
+            baseline_path=Path(args.baseline),
+            update_baseline=args.update_baseline,
+        )
     except (LintError, ValueError) as exc:
         print(str(exc), file=sys.stderr)
         return 2
 
-    for finding in findings:
-        print(finding.render())
+    errors = [f for f in report.findings if f.rule == "SIM000"]
+    findings = [f for f in report.findings if f.rule != "SIM000"]
+
+    if args.format == "sarif":
+        payload = render_sarif(report.findings)
+        if args.output:
+            Path(args.output).write_text(payload, encoding="utf-8")
+        else:
+            print(payload, end="")
+        # Keep the human-readable findings visible in CI logs even when
+        # the SARIF document goes to a file.
+        stream = sys.stderr if not args.output else sys.stdout
+        for finding in findings:
+            print(finding.render(), file=stream)
+    else:
+        lines = [f.render() for f in findings]
+        if args.output:
+            Path(args.output).write_text(
+                "".join(line + "\n" for line in lines), encoding="utf-8"
+            )
+        else:
+            for line in lines:
+                print(line)
     for error in errors:
-        print(error, file=sys.stderr)
+        print(error.render(), file=sys.stderr)
+
+    if args.update_baseline:
+        print(
+            f"simlint: baselined {report.stats.get('baselined', 0)} finding(s)",
+            file=sys.stderr,
+        )
+    if args.stats:
+        stats = json.dumps(report.stats, sort_keys=True)
+        print(f"simlint stats: {stats}", file=sys.stderr)
+
     if errors:
         return 2
     if findings:

@@ -192,18 +192,30 @@ class AdmissionClient:
                 future.set_exception(ConnectionResetError(reason))
 
     async def aclose(self) -> None:
-        """Idempotent: tears down the connection and reader task."""
+        """Idempotent: tears down the connection and reader task.
+
+        Teardown happens under ``_conn_lock``: without it, a dial in
+        ``_ensure_conn`` that is already past its ``_closed`` check can
+        complete *after* this teardown and resurrect the writer and a
+        fresh reader task — a socket and task leak on a closed client.
+        Holding the lock means any in-flight dial either finished first
+        (its connection is dropped here) or re-checks ``_closed`` once
+        we release.  The reader task is swapped out before the
+        lock-free cancel/await so no other coroutine can observe a
+        half-cancelled task through ``self._reader_task``.
+        """
         if self._closed:
             return
-        self._closed = True
-        self._drop_conn("close")
-        if self._reader_task is not None:
-            self._reader_task.cancel()
+        async with self._conn_lock:
+            self._closed = True
+            self._drop_conn("close")
+            task, self._reader_task = self._reader_task, None
+        if task is not None:
+            task.cancel()
             try:
-                await self._reader_task
+                await task
             except asyncio.CancelledError:
                 pass
-            self._reader_task = None
 
     # ------------------------------------------------------------------
     # observability

@@ -106,7 +106,11 @@ class LiveServer:
         )
         self._dispatcher = asyncio.create_task(self._dispatch_loop())
         sock = self._server.sockets[0]
-        self._port = int(sock.getsockname()[1])
+        # Rebinding the requested port (possibly 0) to the OS-assigned
+        # one straddles the bind await, but start() is a single-shot
+        # lifecycle call: nothing else reads or writes _port until it
+        # returns the bound value.
+        self._port = int(sock.getsockname()[1])  # simlint: ignore[SIM015]
         return self._port
 
     @property

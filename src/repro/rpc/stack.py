@@ -112,7 +112,11 @@ class MetricsCollector:
         self._slo_met_bytes_by_qos: Dict[int, int] = {}
         self._rnl_reservoirs: Dict[int, List[float]] = {}
         self._reservoir_seen: Dict[int, int] = {}
-        self._reservoir_rng = random.Random(0x5EED)
+        # Fixed seed by design: reservoir sampling must be identical
+        # run to run and independent of the workload's seed threading;
+        # it only shapes which latencies are *retained*, never touches
+        # simulation state (see the comment above).
+        self._reservoir_rng = random.Random(0x5EED)  # simlint: ignore[SIM013]
         # Optional live hooks (used by experiments to track outstanding
         # RPCs per destination without post-processing).
         self.on_issue_hook: Optional[Callable[[Rpc], None]] = None

@@ -101,7 +101,11 @@ class OpenLoopSource:
         self.mix_weights = [priority_mix[p] / total_mix for p in self.priorities]
         self.size_dist = size_dist
         self.pattern = pattern
-        self.rng = rng if rng is not None else random.Random(1)
+        # Fixed-seed fallback for seedless construction in unit tests;
+        # sweep entry points always pass the per-point stream.
+        self.rng = (
+            rng if rng is not None else random.Random(1)  # simlint: ignore[SIM013]
+        )
         self.stop_ns = stop_ns
         self.deterministic = deterministic
         self.issued = 0

@@ -19,6 +19,11 @@ from dataclasses import dataclass, field
 from typing import Any, Dict
 
 
+#: One result row of a sweep: what ``run_point`` returns.  Rows round-
+#: trip through JSON in the result cache, so values stay heterogeneous.
+Row = Dict[str, Any]
+
+
 def canonical_json(value: Any) -> str:
     """Key-sorted, whitespace-free JSON — the canonical param encoding."""
     return json.dumps(value, sort_keys=True, separators=(",", ":"))

@@ -269,6 +269,28 @@ class TestShutdown:
         # run_stack's finally closes both a third time — also covered.
         assert run_stack(tmp_path, scenario).ok
 
+    def test_close_during_dial_does_not_resurrect_connection(self, tmp_path):
+        """Close-vs-dial race: a dial already past aclose's ``_closed``
+        check must not re-establish the writer and reader task after the
+        teardown ran — that leaks a socket and a task on a closed
+        client.  aclose now tears down under ``_conn_lock``, so it waits
+        for the in-flight dial and then drops whatever it produced."""
+
+        async def scenario(server, client, clock):
+            dial = asyncio.create_task(client._ensure_conn())
+            await asyncio.sleep(0)  # dial now holds the lock, mid-connect
+            assert client._conn_lock.locked()
+            await client.aclose()
+            try:
+                await dial
+            except ConnectionError:
+                pass  # closed before the dial got through: equally fine
+            return client._writer, client._reader_task
+
+        writer, reader_task = run_stack(tmp_path, scenario)
+        assert writer is None
+        assert reader_task is None
+
     def test_call_after_close_fails_cleanly(self, tmp_path):
         async def scenario(server, client, clock):
             await client.aclose()
