@@ -1,0 +1,197 @@
+"""Measure the live telemetry plane's overhead: sampler + endpoint.
+
+Runs the in-process live stack (one ``LiveServer``, one
+``AdmissionClient``, real loopback TCP) through the same call schedule
+twice — telemetry fully off, then fully on (registries on both ends,
+the 4 Hz snapshot sampler, and an OpenMetrics endpoint scraped
+continuously at 10 Hz) — and reports wall time, throughput, and call
+latency for each, plus the relative deltas.  The "on" configuration is
+deliberately hostile (a scraper hammering the endpoint an order of
+magnitude faster than a real Prometheus would) so the recorded number
+is an upper bound.
+
+Writes the ``BENCH_PR9.json`` payload::
+
+    python -m benchmarks.live_overhead --calls 2000 --output BENCH_PR9.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import statistics
+import sys
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.core.qos import QoSConfig, WEIGHTS_2_QOS
+from repro.core.slo import SLO, SLOMap
+from repro.live.client import AdmissionClient, RetryPolicy
+from repro.live.clock import WallClock
+from repro.live.events import EventLog
+from repro.live.server import LiveServer
+from repro.live.telemetry import LiveTelemetry, TelemetryEndpoint, scrape_openmetrics
+from repro.obs.metrics import MetricsRegistry
+
+MS = 1_000_000
+
+#: Patient policy: the benchmark measures telemetry cost, not retries.
+PATIENT = RetryPolicy(
+    max_attempts=1, deadline_ns=2_000 * MS, attempt_timeout_ns=2_000 * MS
+)
+
+
+def slo_map() -> SLOMap:
+    return SLOMap({0: SLO(25 * MS, 90.0)}, QoSConfig(weights=WEIGHTS_2_QOS))
+
+
+async def _scrape_loop(port: int, interval_s: float, stats: Dict[str, Any]) -> None:
+    while True:
+        start = time.perf_counter()
+        body = await scrape_openmetrics("127.0.0.1", port)
+        stats["scrapes"] += 1
+        stats["scrape_seconds"] += time.perf_counter() - start
+        stats["last_bytes"] = len(body)
+        await asyncio.sleep(interval_s)
+
+
+async def run_config(
+    calls: int, batch: int, telemetry: bool, log_dir: str
+) -> Dict[str, Any]:
+    clock = WallClock()
+    suffix = "on" if telemetry else "off"
+    server_registry = MetricsRegistry() if telemetry else None
+    client_registry = MetricsRegistry() if telemetry else None
+    scrape_stats: Dict[str, Any] = {
+        "scrapes": 0, "scrape_seconds": 0.0, "last_bytes": 0
+    }
+    with EventLog(f"{log_dir}/server-{suffix}.jsonl") as server_log, EventLog(
+        f"{log_dir}/client-{suffix}.jsonl"
+    ) as client_log:
+        server = LiveServer(
+            clock,
+            server_log,
+            service_ns_per_mtu=10_000,  # ~100k req/s capacity: never the bottleneck
+            queue_limit=max(64, batch * 2),
+            registry=server_registry,
+        )
+        port = await server.start()
+        client = AdmissionClient(
+            "bench",
+            "127.0.0.1",
+            port,
+            slo_map(),
+            seed=1,
+            clock=clock,
+            log=client_log,
+            retry=PATIENT,
+            registry=client_registry,
+        )
+        sampler: Optional[LiveTelemetry] = None
+        endpoint: Optional[TelemetryEndpoint] = None
+        scraper: Optional["asyncio.Task[None]"] = None
+        if telemetry:
+            endpoint = TelemetryEndpoint(server_registry)
+            metrics_port = await endpoint.start()
+            sampler = LiveTelemetry(
+                client_registry,
+                clock,
+                EventLog(f"{log_dir}/metrics-{suffix}.jsonl"),
+                interval_ns=250 * MS,
+            )
+            await sampler.start()
+            scraper = asyncio.create_task(
+                _scrape_loop(metrics_port, 0.1, scrape_stats)
+            )
+        latencies_ns: List[int] = []
+        start = time.perf_counter()
+        try:
+            for offset in range(0, calls, batch):
+                burst = min(batch, calls - offset)
+                results = await asyncio.gather(
+                    *(client.call(0, payload_bytes=4096) for _ in range(burst))
+                )
+                latencies_ns.extend(
+                    r.rnl_ns for r in results if r.rnl_ns is not None
+                )
+        finally:
+            wall_s = time.perf_counter() - start
+            if scraper is not None:
+                scraper.cancel()
+                try:
+                    await scraper
+                except asyncio.CancelledError:
+                    pass
+            await client.aclose()
+            await server.stop()
+            if sampler is not None:
+                await sampler.stop()
+            if endpoint is not None:
+                await endpoint.stop()
+    latencies_ns.sort()
+    out: Dict[str, Any] = {
+        "telemetry": telemetry,
+        "calls": calls,
+        "completed": len(latencies_ns),
+        "wall_s": round(wall_s, 4),
+        "calls_per_sec": round(calls / wall_s, 1),
+        "mean_call_us": round(statistics.fmean(latencies_ns) / 1e3, 2),
+        "p50_call_us": round(latencies_ns[len(latencies_ns) // 2] / 1e3, 2),
+        "p99_call_us": round(
+            latencies_ns[min(len(latencies_ns) - 1, int(len(latencies_ns) * 0.99))]
+            / 1e3,
+            2,
+        ),
+    }
+    if telemetry:
+        out["sampler_snapshots"] = sampler.samples if sampler else 0
+        out["scrapes"] = scrape_stats["scrapes"]
+        out["mean_scrape_ms"] = round(
+            1e3 * scrape_stats["scrape_seconds"] / max(1, scrape_stats["scrapes"]),
+            3,
+        )
+        out["exposition_bytes"] = scrape_stats["last_bytes"]
+    return out
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--calls", type=int, default=2000)
+    parser.add_argument("--batch", type=int, default=32)
+    parser.add_argument("--output", default="BENCH_PR9.json")
+    parser.add_argument("--log-dir", default="/tmp/live-overhead")
+    args = parser.parse_args(argv)
+
+    import pathlib
+
+    pathlib.Path(args.log_dir).mkdir(parents=True, exist_ok=True)
+    # Off twice: the first run warms the interpreter/loopback path, the
+    # second is the comparison baseline.
+    asyncio.run(run_config(args.calls // 4, args.batch, False, args.log_dir))
+    off = asyncio.run(run_config(args.calls, args.batch, False, args.log_dir))
+    on = asyncio.run(run_config(args.calls, args.batch, True, args.log_dir))
+
+    payload = {
+        "benchmark": "live telemetry overhead (sampler + scraped endpoint)",
+        "configs": {"off": off, "on": on},
+        "overhead": {
+            "wall_pct": round(100.0 * (on["wall_s"] / off["wall_s"] - 1.0), 2),
+            "mean_call_pct": round(
+                100.0 * (on["mean_call_us"] / off["mean_call_us"] - 1.0), 2
+            ),
+            "throughput_pct": round(
+                100.0 * (on["calls_per_sec"] / off["calls_per_sec"] - 1.0), 2
+            ),
+        },
+    }
+    with open(args.output, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(json.dumps(payload["overhead"], indent=2))
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

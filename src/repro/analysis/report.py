@@ -105,6 +105,105 @@ def _qos_sort_key(key: str) -> Tuple[int, str]:
     return (int(key), "") if key.isdigit() else (1 << 30, key)
 
 
+# ----------------------------------------------------------------------
+# Live run directories
+# ----------------------------------------------------------------------
+#: Header fields copied into the synthetic point's params (stable under
+#: reruns of the same workload, so ``--diff`` params-matching works).
+_LIVE_PARAM_FIELDS = (
+    "clients",
+    "duration_s",
+    "seed",
+    "overload_factor",
+    "service_ms_per_mtu",
+    "scavenger_fraction",
+    "payload_bytes",
+    "slo_ms",
+    "slo_percentile",
+)
+
+
+def is_live_run_dir(path: Union[str, Path]) -> bool:
+    """Whether ``path`` looks like a ``repro live`` log directory."""
+    path = Path(path)
+    return path.is_dir() and (path / "server.jsonl").is_file()
+
+
+def load_live_run(run_dir: Union[str, Path]) -> Dict[str, Any]:
+    """Load a live run's log directory as a report-ready run document.
+
+    The document has the same shape the result store holds for a sim
+    sweep — one synthetic point whose params are the workload header
+    and whose row carries the robust whole-run counts, plus an embedded
+    series built by :func:`repro.obs.series.build_live_series` — so
+    :func:`summarize`, :func:`render_text`, :func:`render_html`, and
+    :func:`diff_summaries` consume it unchanged.  Works with or without
+    telemetry logs; killed runs load too (torn final lines are skipped
+    by ``read_events``).
+    """
+    from repro.live.events import read_events
+    from repro.obs.series import build_live_series
+
+    run_dir = Path(run_dir)
+    server_path = run_dir / "server.jsonl"
+    if not server_path.is_file():
+        raise FileNotFoundError(
+            f"{run_dir}: not a live run directory (no server.jsonl)"
+        )
+    client_paths = sorted(
+        p
+        for p in run_dir.glob("*.jsonl")
+        if p.name != "server.jsonl" and not p.name.startswith("metrics-")
+    )
+    metrics_paths = sorted(run_dir.glob("metrics-*.jsonl"))
+    server_records = read_events(server_path)
+    client_records = [read_events(p) for p in client_paths]
+    metrics_records = [read_events(p) for p in metrics_paths]
+
+    headers = [r for r in server_records if r.get("type") == "run"]
+    header: Dict[str, Any] = headers[0] if headers else {}
+    served = next(
+        (int(h["served"]) for h in reversed(headers) if "served" in h), None
+    )
+    duration_ns = int(float(header.get("duration_s", 10.0)) * 1e9)
+    slo_ns: Dict[str, float] = {}
+    if "slo_ms" in header:
+        # The live workload carries one SLO, on the top QoS level.
+        slo_ns["0"] = float(header["slo_ms"]) * 1e6
+
+    spans = [
+        r
+        for records in client_records
+        for r in records
+        if r.get("type") == "rpc"
+    ]
+    row: Dict[str, Any] = {
+        "calls": len(spans),
+        "completed": sum(1 for s in spans if s.get("completed_ns") is not None),
+        "terminated": sum(1 for s in spans if s.get("terminated")),
+    }
+    if served is not None:
+        row["served"] = served
+    params = {k: header[k] for k in _LIVE_PARAM_FIELDS if k in header}
+
+    series = build_live_series(
+        client_records,
+        server_records,
+        metrics_records,
+        duration_ns=duration_ns,
+        slo_ns=slo_ns,
+    )
+    return {
+        "experiment": "live",
+        "run_id": run_dir.name,
+        "profile": "live",
+        "run_digest_hex": None,
+        "checks": {"passed": True},
+        "points": [{"params": params, "row": row}],
+        "series": series,
+    }
+
+
 def load_summary(path: Union[str, Path]) -> Dict[str, Any]:
     """Load a summary JSON written by ``--emit-summary``."""
     with open(path) as fh:
@@ -138,7 +237,7 @@ def render_text(doc: Mapping[str, Any], top_k: int = 5) -> str:
     summary = summarize(doc)
     lines: List[str] = []
     checks = "ok" if summary["checks_passed"] else "FAILED"
-    digest = str(summary.get("run_digest_hex") or "")[:16]
+    digest = str(summary.get("run_digest_hex") or "n/a (live)")[:16]
     lines.append(
         f"run {summary['run_id']} — {summary['experiment']} "
         f"[{summary['profile']}]: {len(summary['points'])} points, "
@@ -213,6 +312,29 @@ def render_text(doc: Mapping[str, Any], top_k: int = 5) -> str:
             f"{flows.get('cwnd_samples', 0)} cwnd samples, "
             f"{sum(retx.values()) if retx else 0} retransmits"
         )
+    alerts = series.get("alerts") or []
+    if alerts:
+        firing = sum(1 for a in alerts if a.get("state") == "firing")
+        last_by_qos: Dict[str, str] = {}
+        for alert in alerts:
+            last_by_qos[str(alert.get("qos"))] = str(alert.get("state"))
+        lines.append("")
+        lines.append(
+            f"SLO burn-rate alerts: {len(alerts)} transitions "
+            f"({firing} firing)"
+        )
+        for alert in alerts:
+            t_ms = float(alert.get("time_ns", 0)) / 1e6
+            lines.append(
+                f"  {t_ms:9.1f} ms  QoS {alert.get('qos')} {alert.get('state'):>8}  "
+                f"burn short {float(alert.get('burn_short', 0.0)):.1f}x / "
+                f"long {float(alert.get('burn_long', 0.0)):.1f}x"
+            )
+        unresolved = sorted(q for q, s in last_by_qos.items() if s == "firing")
+        if unresolved:
+            lines.append(
+                "  still firing at end of run: QoS " + ", ".join(unresolved)
+            )
     return "\n".join(lines)
 
 
@@ -383,6 +505,10 @@ class DiffThresholds:
 
     #: Max relative delta of any numeric row field, point-by-point.
     max_row_rel_delta: float = 0.05
+    #: Absolute row-field deltas at or below this floor never breach —
+    #: a relative gate is meaningless on small noisy counts (a live
+    #: run's handful of terminated RPCs jittering 7 -> 11).
+    row_abs_floor: float = 0.0
     #: Max absolute delta of the per-QoS settled admit probability.
     max_p_admit_delta: float = 0.05
     #: Max absolute delta of the per-QoS whole-run SLO miss rate.
@@ -466,7 +592,10 @@ def diff_summaries(
             delta = _rel_delta(float(va), float(vb))
             if delta > worst[0]:
                 worst = (delta, f"{fld} at {key}")
-            if delta > thresholds.max_row_rel_delta:
+            if (
+                delta > thresholds.max_row_rel_delta
+                and abs(float(va) - float(vb)) > thresholds.row_abs_floor
+            ):
                 result.breaches.append(
                     f"row field {fld!r} at {key}: {va:.6g} -> {vb:.6g} "
                     f"(rel delta {delta:.3f} > {thresholds.max_row_rel_delta})"
@@ -528,6 +657,8 @@ __all__ = [
     "DiffResult",
     "DiffThresholds",
     "diff_summaries",
+    "is_live_run_dir",
+    "load_live_run",
     "load_summary",
     "render_html",
     "render_text",

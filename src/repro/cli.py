@@ -13,8 +13,10 @@ Usage::
 
     python -m repro trace fig08          # traced companion run + report
     python -m repro report RUN_ID        # HTML + text report of a run
+    python -m repro report live-logs/    # same panels for a live run dir
     python -m repro report --diff A B    # behavioral cross-run diff
     python -m repro live --duration 10   # real processes over TCP
+    python -m repro live --telemetry     # + /metrics endpoint, SLO alerts
     python -m repro lint src tests    # simlint static determinism checks
 
 The ``run`` subcommand goes through :mod:`repro.runner`: sweep points
@@ -365,9 +367,10 @@ def _report_main(argv: Sequence[str]) -> int:
     parser.add_argument(
         "run",
         nargs="*",
-        help="run id to report on (searched across <results-dir>/*/), or "
-        "with --diff: two runs — each a run id or a path to a summary "
-        "JSON written by --emit-summary",
+        help="run id to report on (searched across <results-dir>/*/) or a "
+        "live run's log directory, or with --diff: two runs — each a "
+        "run id, a live log directory, or a path to a summary JSON "
+        "written by --emit-summary",
     )
     parser.add_argument(
         "--diff",
@@ -412,6 +415,14 @@ def _report_main(argv: Sequence[str]) -> int:
         help="diff: max relative delta of any numeric row field (default: 0.05)",
     )
     parser.add_argument(
+        "--row-abs-floor",
+        type=float,
+        default=0.0,
+        help="diff: ignore row-field deltas at or below this absolute "
+        "size — keeps small noisy counts from tripping the relative "
+        "gate (default: 0)",
+    )
+    parser.add_argument(
         "--max-p-admit-delta",
         type=float,
         default=0.05,
@@ -436,6 +447,8 @@ def _report_main(argv: Sequence[str]) -> int:
     from repro.analysis.report import (
         DiffThresholds,
         diff_summaries,
+        is_live_run_dir,
+        load_live_run,
         load_summary,
         render_html,
         render_text,
@@ -446,11 +459,17 @@ def _report_main(argv: Sequence[str]) -> int:
 
     store = ResultStore(args.results_dir)
 
+    def _doc_of(ref: str) -> Dict[str, Any]:
+        """A run id or a live run's log directory."""
+        if is_live_run_dir(ref):
+            return load_live_run(ref)
+        return store.find(ref)
+
     def _summary_of(ref: str) -> Dict[str, Any]:
-        """A run id or a path to an --emit-summary JSON."""
+        """A run id, a live log directory, or an --emit-summary JSON."""
         if ref.endswith(".json") and Path(ref).is_file():
             return load_summary(ref)
-        return summarize(store.find(ref))
+        return summarize(_doc_of(ref))
 
     if args.diff:
         if len(args.run) != 2:
@@ -468,6 +487,7 @@ def _report_main(argv: Sequence[str]) -> int:
             candidate,
             DiffThresholds(
                 max_row_rel_delta=args.max_row_delta,
+                row_abs_floor=args.row_abs_floor,
                 max_p_admit_delta=args.max_p_admit_delta,
                 max_slo_miss_delta=args.max_slo_miss_delta,
                 max_convergence_delta_ms=args.max_convergence_delta_ms,
@@ -480,20 +500,22 @@ def _report_main(argv: Sequence[str]) -> int:
         print("need exactly one run id (or --diff with two)", file=sys.stderr)
         return 2
     try:
-        doc = store.find(args.run[0])
-    except FileNotFoundError as exc:
+        doc = _doc_of(args.run[0])
+    except (FileNotFoundError, ValueError) as exc:
         print(str(exc), file=sys.stderr)
         return 2
 
     print(render_text(doc, top_k=args.top))
     if not args.no_html:
-        html_path = (
-            Path(args.html)
-            if args.html
-            else store.path(doc["experiment"], doc["run_id"]).with_suffix(
+        if args.html:
+            html_path = Path(args.html)
+        elif is_live_run_dir(args.run[0]):
+            # Live runs self-contain: the report lands in the log dir.
+            html_path = Path(args.run[0]) / "report.html"
+        else:
+            html_path = store.path(doc["experiment"], doc["run_id"]).with_suffix(
                 ".report.html"
             )
-        )
         html_path.parent.mkdir(parents=True, exist_ok=True)
         html_path.write_text(render_html(doc))
         print(f"\nhtml report: {html_path}")
@@ -550,6 +572,26 @@ def _live_main(argv: Sequence[str]) -> int:
         help="server port (default: 0, ephemeral)",
     )
     parser.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="arm the live telemetry plane: per-process metrics snapshot "
+        "logs, SLO burn-rate alerts, and an OpenMetrics /metrics "
+        "endpoint on the server process",
+    )
+    parser.add_argument(
+        "--metrics-port",
+        type=int,
+        default=0,
+        help="scrape endpoint port, implies --telemetry (default: 0, "
+        "ephemeral; the chosen port is printed at startup)",
+    )
+    parser.add_argument(
+        "--sample-interval-ms",
+        type=float,
+        default=250.0,
+        help="telemetry snapshot cadence in milliseconds (default: 250)",
+    )
+    parser.add_argument(
         "--check-convergence",
         action="store_true",
         help="also run the workload in the simulator and require the "
@@ -567,6 +609,7 @@ def _live_main(argv: Sequence[str]) -> int:
     from repro.live.convergence import compare_tracks, tracks_from_logs
     from repro.live.runtime import run_live
     from repro.live.simref import run_sim_reference
+    from repro.live.telemetry import TelemetryConfig
     from repro.live.workload import LiveWorkload
 
     try:
@@ -576,11 +619,19 @@ def _live_main(argv: Sequence[str]) -> int:
             seed=args.seed,
             overload_factor=args.overload,
         )
+        telemetry = None
+        if args.telemetry or args.metrics_port:
+            telemetry = TelemetryConfig(
+                metrics_port=args.metrics_port,
+                sample_interval_ns=int(args.sample_interval_ms * 1e6),
+            )
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 2
 
-    result = run_live(workload, args.log_dir, port=args.port, log=print)
+    result = run_live(
+        workload, args.log_dir, port=args.port, log=print, telemetry=telemetry
+    )
     for stats in result.client_stats:
         print(
             f"client {stats['client']}: {stats['calls']} calls, "

@@ -16,6 +16,9 @@ processes exchanging length-prefixed messages over real sockets:
   client-side admission/throttling wrapper (deadline timeouts, jittered
   exponential-backoff retries), plus the open-loop workload driver;
 * :mod:`repro.live.workload` — the shared demo-topology spec;
+* :mod:`repro.live.telemetry` — the wall-clock metrics sampler, SLO
+  burn-rate alerting hookup, and the OpenMetrics ``/metrics`` scrape
+  endpoint;
 * :mod:`repro.live.runtime` — process orchestration for
   ``python -m repro live``;
 * :mod:`repro.live.simref` — the same workload run in the simulator;
@@ -33,6 +36,12 @@ from repro.live.convergence import CompareResult, compare_tracks
 from repro.live.runtime import LiveRunResult, run_live
 from repro.live.server import LiveServer
 from repro.live.simref import run_sim_reference
+from repro.live.telemetry import (
+    LiveTelemetry,
+    TelemetryConfig,
+    TelemetryEndpoint,
+    scrape_openmetrics,
+)
 from repro.live.workload import LiveWorkload
 
 __all__ = [
@@ -41,10 +50,14 @@ __all__ = [
     "CompareResult",
     "LiveRunResult",
     "LiveServer",
+    "LiveTelemetry",
     "LiveWorkload",
     "RetryPolicy",
+    "TelemetryConfig",
+    "TelemetryEndpoint",
     "WallClock",
     "compare_tracks",
     "run_live",
     "run_sim_reference",
+    "scrape_openmetrics",
 ]

@@ -45,6 +45,7 @@ from repro.live.wire import (
 )
 from repro.live.workload import LiveWorkload
 from repro.net.packet import mtus_for_bytes
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.trace import AdmissionEvent, RpcSpan
 from repro.sim.rng import poisson_interarrivals_ns, substream
 
@@ -93,6 +94,67 @@ class CallResult:
     rnl_ns: Optional[int] = None
 
 
+class _ClientMetrics:
+    """Per-QoS client instruments, resolved once at construction.
+
+    Same zero-overhead-off shape as the server's holder: each off-path
+    site is one ``is not None`` test, each on-path update a pre-resolved
+    instrument call.  The counter/histogram names deliberately reuse the
+    sim-side vocabulary of :mod:`repro.rpc.stack` (``rpc_issued``,
+    ``rnl_norm_ns``, ...) so the series/report layers consume either
+    world; ``attempt_latency_ns`` and the ``slo_*`` counters are
+    live-only additions.
+    """
+
+    __slots__ = (
+        "issued",
+        "downgraded",
+        "completed",
+        "completed_bytes",
+        "terminated",
+        "rnl",
+        "attempt_latency",
+        "slo_tracked",
+        "slo_miss",
+        "p_admit",
+    )
+
+    def __init__(
+        self, registry: MetricsRegistry, qos_levels: int, channel: str
+    ) -> None:
+        levels = range(qos_levels)
+        self.issued: List[Counter] = [
+            registry.counter("rpc_issued", qos=q) for q in levels
+        ]
+        self.downgraded: List[Counter] = [
+            registry.counter("rpc_downgraded", qos=q) for q in levels
+        ]
+        self.completed: List[Counter] = [
+            registry.counter("rpc_completed", qos=q) for q in levels
+        ]
+        self.completed_bytes: List[Counter] = [
+            registry.counter("rpc_completed_bytes", qos=q) for q in levels
+        ]
+        self.terminated: List[Counter] = [
+            registry.counter("rpc_terminated", qos=q) for q in levels
+        ]
+        self.rnl: List[Histogram] = [
+            registry.histogram("rnl_norm_ns", qos=q) for q in levels
+        ]
+        self.attempt_latency: List[Histogram] = [
+            registry.histogram("attempt_latency_ns", qos=q) for q in levels
+        ]
+        self.slo_tracked: List[Counter] = [
+            registry.counter("slo_tracked", qos=q) for q in levels
+        ]
+        self.slo_miss: List[Counter] = [
+            registry.counter("slo_miss", qos=q) for q in levels
+        ]
+        self.p_admit: List[Gauge] = [
+            registry.gauge("p_admit", qos=q, node=channel) for q in levels
+        ]
+
+
 class AdmissionClient:
     """One client endpoint: admission engine + connection + retries."""
 
@@ -111,6 +173,7 @@ class AdmissionClient:
         dst: str = "srv",
         src_index: int = 0,
         backoff_rng: Optional[random.Random] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         self.client_id = client_id
         self._host = host
@@ -142,6 +205,14 @@ class AdmissionClient:
         self.calls = 0
         self.failures = 0
         self.rejected = 0
+        #: Telemetry holder; None means every site is a single falsy test.
+        self._metrics: Optional[_ClientMetrics] = (
+            _ClientMetrics(
+                registry, slo_map.qos_config.num_levels, self._channel
+            )
+            if registry is not None
+            else None
+        )
 
     # ------------------------------------------------------------------
     # connection management
@@ -223,6 +294,8 @@ class AdmissionClient:
     def _log_adjust(
         self, dst: str, qos: int, p_admit: float, kind: str, now_ns: int
     ) -> None:
+        if self._metrics is not None:
+            self._metrics.p_admit[qos].set(p_admit)
         self._log.admission(
             AdmissionEvent(
                 time_ns=now_ns,
@@ -274,6 +347,10 @@ class AdmissionClient:
         self._next_id += 1
         rpc_id = self._next_id
         self.calls += 1
+        if self._metrics is not None:
+            self._metrics.issued[outcome.qos_run].inc()
+            if outcome.downgraded:
+                self._metrics.downgraded[outcome.qos_requested].inc()
 
         slo = self.engine.slo_map
         attempt = 0
@@ -281,6 +358,8 @@ class AdmissionClient:
         while attempt < self._retry.max_attempts:
             attempt += 1
             elapsed = self._clock.now_ns() - issued_ns
+            # Derived, not re-read: no extra clock call on the off path.
+            attempt_start_ns = issued_ns + elapsed
             remaining = self._retry.deadline_ns - elapsed
             if remaining <= 0:
                 status = "timeout"
@@ -312,6 +391,10 @@ class AdmissionClient:
                 self._pending.pop(rpc_id, None)
                 status = "timeout" if isinstance(exc, asyncio.TimeoutError) else "error"
                 now_ns = self._clock.now_ns()
+                if self._metrics is not None:
+                    self._metrics.attempt_latency[outcome.qos_run].observe(
+                        float(now_ns - attempt_start_ns)
+                    )
                 if (
                     attempt >= self._retry.max_attempts
                     or now_ns - issued_ns >= self._retry.deadline_ns
@@ -323,6 +406,18 @@ class AdmissionClient:
                 continue
             completed_ns = self._clock.now_ns()
             rnl_ns = completed_ns - issued_ns
+            if self._metrics is not None:
+                self._metrics.attempt_latency[outcome.qos_run].observe(
+                    float(completed_ns - attempt_start_ns)
+                )
+                if response.status == "ok":
+                    self._metrics.completed[outcome.qos_run].inc()
+                    self._metrics.completed_bytes[outcome.qos_run].inc(
+                        payload_bytes
+                    )
+                    self._metrics.rnl[outcome.qos_run].observe(
+                        rnl_ns / size_mtus
+                    )
             if response.status == "rejected":
                 self.rejected += 1
                 if slo.has_slo(outcome.qos_run):
@@ -345,6 +440,10 @@ class AdmissionClient:
                     and response.status == "ok"
                     and slo.get(outcome.qos_requested).is_met(rnl_ns, size_mtus)
                 )
+            if self._metrics is not None and slo_met is not None:
+                self._metrics.slo_tracked[outcome.qos_requested].inc()
+                if not slo_met:
+                    self._metrics.slo_miss[outcome.qos_requested].inc()
             self._log_span(
                 rpc_id,
                 outcome,
@@ -375,6 +474,11 @@ class AdmissionClient:
             )
         self.failures += 1
         slo_met = False if slo.has_slo(outcome.qos_requested) else None
+        if self._metrics is not None:
+            self._metrics.terminated[outcome.qos_run].inc()
+            if slo_met is not None:
+                self._metrics.slo_tracked[outcome.qos_requested].inc()
+                self._metrics.slo_miss[outcome.qos_requested].inc()
         self._log_span(
             rpc_id,
             outcome,
@@ -418,6 +522,7 @@ async def run_client(
     clock: ClockSource,
     log: EventLog,
     retry: RetryPolicy = RetryPolicy(),
+    registry: Optional[MetricsRegistry] = None,
 ) -> Dict[str, int]:
     """Open-loop driver: one task per scheduled arrival, never waiting."""
     client = AdmissionClient(
@@ -434,6 +539,7 @@ async def run_client(
         backoff_rng=substream(
             workload.seed, f"live:backoff:{workload.client_id(index)}"
         ),
+        registry=registry,
     )
     schedule = arrival_schedule(workload, index)
     in_flight: "List[asyncio.Task[CallResult]]" = []

@@ -29,7 +29,10 @@ from repro.live.client import run_client
 from repro.live.clock import WallClock
 from repro.live.events import EventLog
 from repro.live.server import LiveServer
+from repro.live.telemetry import LiveTelemetry, TelemetryConfig, TelemetryEndpoint
 from repro.live.workload import LiveWorkload
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import BurnRateConfig, SloMonitor
 
 #: Seconds allowed for the server to report its bound port.
 _PORT_TIMEOUT_S = 15.0
@@ -49,22 +52,49 @@ class LiveRunResult:
     #: Child exit codes, server first (None = had to be terminated).
     exit_codes: Tuple[Optional[int], ...]
     problems: Tuple[str, ...]
+    #: Scrape endpoint port (0 = telemetry was off).
+    metrics_port: int = 0
+    #: Per-process metrics snapshot logs, server first (empty when off).
+    metrics_logs: Tuple[Path, ...] = ()
 
 
 # ----------------------------------------------------------------------
 # child entry points (module level: the spawn context pickles by name)
 # ----------------------------------------------------------------------
+def workload_header_fields(workload: LiveWorkload) -> Dict[str, Any]:
+    """The workload descriptor every run header carries, so a bare log
+    directory is self-describing enough for ``repro report``."""
+    return {
+        "clients": workload.clients,
+        "duration_s": workload.duration_s,
+        "seed": workload.seed,
+        "overload_factor": workload.overload_factor,
+        "service_ms_per_mtu": workload.service_ms_per_mtu,
+        "scavenger_fraction": workload.scavenger_fraction,
+        "payload_bytes": workload.payload_bytes,
+        "slo_ms": workload.slo_ms,
+        "slo_percentile": workload.slo_percentile,
+        "capacity_rps": workload.capacity_rps,
+    }
+
+
+def _metrics_log_path(log_path: str, role: str) -> Path:
+    return Path(log_path).parent / f"metrics-{role}.jsonl"
+
+
 async def _server_async(
     workload: LiveWorkload,
     host: str,
     port: int,
     origin_ns: int,
     log_path: str,
-    port_queue: "mp.queues.Queue[int]",
+    port_queue: "mp.queues.Queue[Tuple[int, int]]",
     stop_event: Any,
+    telemetry: Optional[TelemetryConfig],
 ) -> None:
     clock = WallClock(origin_ns)
     with EventLog(log_path) as log:
+        registry = MetricsRegistry() if telemetry is not None else None
         server = LiveServer(
             clock,
             log,
@@ -73,18 +103,40 @@ async def _server_async(
             queue_limit=workload.queue_limit,
             host=host,
             port=port,
+            registry=registry,
         )
         bound = await server.start()
-        log.run_header(
-            role="server",
-            port=bound,
-            seed=workload.seed,
-            duration_s=workload.duration_s,
-        )
-        port_queue.put(bound)
+        endpoint: Optional[TelemetryEndpoint] = None
+        sampler: Optional[LiveTelemetry] = None
+        metrics_port = 0
+        if telemetry is not None and registry is not None:
+            endpoint = TelemetryEndpoint(
+                registry, host=host, port=telemetry.metrics_port
+            )
+            metrics_port = await endpoint.start()
+            sampler = LiveTelemetry(
+                registry,
+                clock,
+                EventLog(_metrics_log_path(log_path, "server")),
+                interval_ns=telemetry.sample_interval_ns,
+            )
+            await sampler.start()
+        header: Dict[str, Any] = {
+            "role": "server",
+            "port": bound,
+            **workload_header_fields(workload),
+        }
+        if telemetry is not None:
+            header["metrics_port"] = metrics_port
+        log.run_header(**header)
+        port_queue.put((bound, metrics_port))
         loop = asyncio.get_running_loop()
         await loop.run_in_executor(None, stop_event.wait)
         await server.stop()
+        if sampler is not None:
+            await sampler.stop()
+        if endpoint is not None:
+            await endpoint.stop()
         log.run_header(role="server", served=server.served)
 
 
@@ -94,11 +146,21 @@ def _server_main(
     port: int,
     origin_ns: int,
     log_path: str,
-    port_queue: "mp.queues.Queue[int]",
+    port_queue: "mp.queues.Queue[Tuple[int, int]]",
     stop_event: Any,
+    telemetry: Optional[TelemetryConfig] = None,
 ) -> None:
     asyncio.run(
-        _server_async(workload, host, port, origin_ns, log_path, port_queue, stop_event)
+        _server_async(
+            workload,
+            host,
+            port,
+            origin_ns,
+            log_path,
+            port_queue,
+            stop_event,
+            telemetry,
+        )
     )
 
 
@@ -109,16 +171,41 @@ async def _client_async(
     port: int,
     origin_ns: int,
     log_path: str,
+    telemetry: Optional[TelemetryConfig],
 ) -> Dict[str, int]:
     clock = WallClock(origin_ns)
     with EventLog(log_path) as log:
         log.run_header(
             role="client",
             client=workload.client_id(index),
-            seed=workload.seed,
-            duration_s=workload.duration_s,
+            **workload_header_fields(workload),
         )
-        return await run_client(workload, index, host, port, clock, log)
+        registry: Optional[MetricsRegistry] = None
+        sampler: Optional[LiveTelemetry] = None
+        if telemetry is not None:
+            registry = MetricsRegistry()
+            monitor = SloMonitor.from_slo_map(
+                workload.slo_map(),
+                BurnRateConfig().scaled_to(workload.duration_ns),
+            )
+            sampler = LiveTelemetry(
+                registry,
+                clock,
+                EventLog(
+                    _metrics_log_path(log_path, workload.client_id(index))
+                ),
+                event_log=log,
+                monitor=monitor,
+                interval_ns=telemetry.sample_interval_ns,
+            )
+            await sampler.start()
+        try:
+            return await run_client(
+                workload, index, host, port, clock, log, registry=registry
+            )
+        finally:
+            if sampler is not None:
+                await sampler.stop()
 
 
 def _client_main(
@@ -129,8 +216,11 @@ def _client_main(
     origin_ns: int,
     log_path: str,
     result_queue: "mp.queues.Queue[Dict[str, int]]",
+    telemetry: Optional[TelemetryConfig] = None,
 ) -> None:
-    stats = asyncio.run(_client_async(workload, index, host, port, origin_ns, log_path))
+    stats = asyncio.run(
+        _client_async(workload, index, host, port, origin_ns, log_path, telemetry)
+    )
     result_queue.put(stats)
 
 
@@ -161,11 +251,16 @@ def run_live(
     host: str = "127.0.0.1",
     port: int = 0,
     log: Optional[Callable[[str], None]] = None,
+    telemetry: Optional[TelemetryConfig] = None,
 ) -> LiveRunResult:
     """Run the demo topology as real processes; blocks until done.
 
     ``log`` is an optional progress sink (the CLI passes its printer;
-    library callers and tests usually leave it unset).
+    library callers and tests usually leave it unset).  ``telemetry``
+    arms the live telemetry plane: per-process metrics snapshot logs,
+    SLO burn-rate alerts in the client event logs, and an OpenMetrics
+    scrape endpoint on the server (left ``None``, every process runs
+    the identical pre-telemetry event-log path).
     """
     say = log if log is not None else (lambda _line: None)
     log_dir = Path(log_dir)
@@ -174,9 +269,18 @@ def run_live(
     client_logs = tuple(
         log_dir / f"{workload.client_id(i)}.jsonl" for i in range(workload.clients)
     )
+    metrics_logs: Tuple[Path, ...] = ()
+    if telemetry is not None:
+        metrics_logs = (
+            log_dir / "metrics-server.jsonl",
+            *(
+                log_dir / f"metrics-{workload.client_id(i)}.jsonl"
+                for i in range(workload.clients)
+            ),
+        )
     origin_ns = WallClock().origin_ns
     ctx = mp.get_context("spawn")
-    port_queue: "mp.queues.Queue[int]" = ctx.Queue()
+    port_queue: "mp.queues.Queue[Tuple[int, int]]" = ctx.Queue()
     result_queue: "mp.queues.Queue[Dict[str, int]]" = ctx.Queue()
     stop_event = ctx.Event()
     problems: List[str] = []
@@ -191,12 +295,13 @@ def run_live(
             str(server_log),
             port_queue,
             stop_event,
+            telemetry,
         ),
         name="repro-live-server",
     )
     server_proc.start()
     try:
-        bound_port = port_queue.get(timeout=_PORT_TIMEOUT_S)
+        bound_port, metrics_port = port_queue.get(timeout=_PORT_TIMEOUT_S)
     except queue_mod.Empty:
         stop_event.set()
         code = _join(server_proc, 5.0)
@@ -208,8 +313,11 @@ def run_live(
             client_stats=(),
             exit_codes=(code,),
             problems=("server never reported a port",),
+            metrics_logs=metrics_logs,
         )
     say(f"live: server listening on {host}:{bound_port}")
+    if metrics_port:
+        say(f"live: metrics endpoint on http://{host}:{metrics_port}/metrics")
 
     client_procs = []
     for index in range(workload.clients):
@@ -223,6 +331,7 @@ def run_live(
                 origin_ns,
                 str(client_logs[index]),
                 result_queue,
+                telemetry,
             ),
             name=f"repro-live-{workload.client_id(index)}",
         )
@@ -264,7 +373,9 @@ def run_live(
         client_stats=tuple(stats),
         exit_codes=(server_code, *exit_codes),
         problems=tuple(problems),
+        metrics_port=metrics_port,
+        metrics_logs=metrics_logs,
     )
 
 
-__all__ = ["LiveRunResult", "run_live"]
+__all__ = ["LiveRunResult", "run_live", "workload_header_fields"]

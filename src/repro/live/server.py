@@ -44,6 +44,7 @@ from repro.live.wire import (
     read_frame,
     write_message,
 )
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.trace import QueueSpan
 
 #: ``on_request`` verdicts understood by the connection reader.
@@ -53,6 +54,42 @@ FAULT_DROP = "drop"
 #: One queued unit of work: the request, its enqueue time, and the
 #: writer the response goes back on.
 _Work = Tuple[Request, int, asyncio.StreamWriter]
+
+
+class _ServerMetrics:
+    """Per-QoS server instruments, resolved once at construction.
+
+    The zero-overhead-off contract (PR 4) carries over to the live
+    server: every hot-path telemetry site is a single ``is not None``
+    test on the holder, and with the holder present each update is one
+    pre-resolved instrument call — no registry lookups per request.
+    """
+
+    __slots__ = ("enqueued", "served", "rejected", "depth", "wait")
+
+    def __init__(
+        self, registry: MetricsRegistry, qos_levels: int, node: str
+    ) -> None:
+        self.enqueued: List[Counter] = [
+            registry.counter("server_enqueued", qos=q, node=node)
+            for q in range(qos_levels)
+        ]
+        self.served: List[Counter] = [
+            registry.counter("server_served", qos=q, node=node)
+            for q in range(qos_levels)
+        ]
+        self.rejected: List[Counter] = [
+            registry.counter("server_rejected", qos=q, node=node)
+            for q in range(qos_levels)
+        ]
+        self.depth: List[Gauge] = [
+            registry.gauge("queue_depth", qos=q, node=node)
+            for q in range(qos_levels)
+        ]
+        self.wait: List[Histogram] = [
+            registry.histogram("queue_wait_ns", qos=q, node=node)
+            for q in range(qos_levels)
+        ]
 
 
 class LiveServer:
@@ -70,6 +107,7 @@ class LiveServer:
         host: str = "127.0.0.1",
         port: int = 0,
         on_request: Optional[Callable[[Request], Optional[str]]] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if qos_levels < 1:
             raise ValueError("need at least one QoS level")
@@ -95,6 +133,12 @@ class LiveServer:
         self._free_ns = 0
         self.served = 0
         self.rejected = 0
+        #: Telemetry holder; None means every site is a single falsy test.
+        self._metrics: Optional[_ServerMetrics] = (
+            _ServerMetrics(registry, qos_levels, node)
+            if registry is not None
+            else None
+        )
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -176,6 +220,8 @@ class LiveServer:
                     # deadline has long passed — the definitive reject
                     # is what keeps retry storms from amplifying load.
                     self.rejected += 1
+                    if self._metrics is not None:
+                        self._metrics.rejected[qos].inc()
                     try:
                         await write_message(
                             writer,
@@ -190,6 +236,9 @@ class LiveServer:
                         break
                     continue
                 self._queues[qos].append((request, self._clock.now_ns(), writer))
+                if self._metrics is not None:
+                    self._metrics.enqueued[qos].inc()
+                    self._metrics.depth[qos].set(float(len(self._queues[qos])))
                 self._work_ready.set()
         finally:
             self._conns.pop(writer, None)
@@ -214,6 +263,10 @@ class LiveServer:
                 continue
             qos, (request, enqueued_ns, writer) = picked
             dequeued_ns = self._clock.now_ns()
+            if self._metrics is not None:
+                self._metrics.depth[qos].set(float(len(self._queues[qos])))
+                self._metrics.wait[qos].observe(float(dequeued_ns - enqueued_ns))
+                self._metrics.served[qos].inc()
             service_ns = self._service_ns_per_mtu * max(1, request.size_mtus)
             # Pace against the virtual schedule: the unit frees up
             # service_ns after it last freed (or after this request

@@ -274,3 +274,150 @@ class MetricsRegistry:
                 sim.post(cadence_ns, _tick)
 
         sim.post(cadence_ns, _tick)
+
+    def all_histogram_bounds(self) -> Dict[str, List[float]]:
+        """Bucket bounds per histogram label — the companion metadata a
+        snapshot consumer needs to difference bucket counts (the live
+        metrics JSONL carries this alongside each snapshot)."""
+        return {h.name: list(h.bounds) for h in self._histograms.values()}
+
+
+# ----------------------------------------------------------------------
+# OpenMetrics text exposition
+# ----------------------------------------------------------------------
+#: Content type an OpenMetrics scrape endpoint must declare.
+OPENMETRICS_CONTENT_TYPE = (
+    "application/openmetrics-text; version=1.0.0; charset=utf-8"
+)
+
+#: Help text for the metric families this reproduction emits; families
+#: not listed fall back to the family name itself.
+_HELP_TEXTS: Dict[str, str] = {
+    "rnl_norm_ns": "Per-MTU-normalized RPC network latency in nanoseconds.",
+    "rpc_completed_bytes": "Payload bytes of completed RPCs.",
+    "rpc_issued": "Logical RPCs issued (post-admission).",
+    "rpc_downgraded": "RPCs downgraded below their requested QoS.",
+    "rpc_completed": "Logical RPCs that received a response.",
+    "rpc_terminated": "Logical RPCs abandoned (deadline or retry budget).",
+    "attempt_latency_ns": "Wall-clock latency of individual RPC attempts.",
+    "p_admit": "Current AIMD admit probability per channel QoS.",
+    "slo_tracked": "SLO-class logical RPCs resolved (completed or failed).",
+    "slo_miss": "SLO-class logical RPCs that missed their latency target.",
+    "queue_depth": "Requests currently parked in a server QoS queue.",
+    "queue_wait_ns": "Time requests spent queued before dispatch.",
+    "server_enqueued": "Requests accepted into a server QoS queue.",
+    "server_served": "Requests dispatched and answered by the server.",
+    "server_rejected": "Requests tail-dropped at a full QoS queue.",
+}
+
+
+def _escape_label_value(value: str) -> str:
+    """OpenMetrics label-value escaping: backslash, quote, newline."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _sanitize_name(name: str) -> str:
+    """Restrict a metric family name to the OpenMetrics charset."""
+    safe = "".join(
+        ch if ch.isalnum() or ch in "_:" else "_" for ch in name
+    )
+    if not safe or not (safe[0].isalpha() or safe[0] in "_:"):
+        safe = "_" + safe
+    return safe
+
+
+def _render_labels(
+    qos: Optional[int], node: Optional[str], extra: str = ""
+) -> str:
+    parts: List[str] = []
+    if qos is not None:
+        parts.append(f'qos="{qos}"')
+    if node is not None:
+        parts.append(f'node="{_escape_label_value(node)}"')
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _fmt_value(value: float) -> str:
+    """Shortest faithful decimal; integral floats render without '.0'."""
+    if isinstance(value, int):
+        return str(value)
+    if value != value or value in (float("inf"), float("-inf")):
+        return {float("inf"): "+Inf", float("-inf"): "-Inf"}.get(value, "NaN")
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def render_openmetrics(
+    registry: MetricsRegistry, prefix: str = "repro"
+) -> str:
+    """Render every instrument as OpenMetrics 1.0 text exposition.
+
+    Families are grouped per metric name with ``# TYPE`` / ``# HELP``
+    metadata, counters carry the mandated ``_total`` sample suffix,
+    histograms expose cumulative ``_bucket{le=...}`` series plus
+    ``_count`` / ``_sum``, and the body terminates with ``# EOF``.
+    Rendering only reads instrument state, so a scrape can never
+    perturb the process being observed.
+    """
+    lines: List[str] = []
+
+    def _family(name: str, kind: str) -> str:
+        fam = _sanitize_name(f"{prefix}_{name}" if prefix else name)
+        help_text = _HELP_TEXTS.get(name, name)
+        lines.append(f"# TYPE {fam} {kind}")
+        lines.append(f"# HELP {fam} {_escape_label_value(help_text)}")
+        return fam
+
+    def _sorted_keys(keys: "Sequence[MetricKey]") -> List[MetricKey]:
+        return sorted(
+            keys,
+            key=lambda k: (k[0], k[1] if k[1] is not None else -1, k[2] or ""),
+        )
+
+    by_name: Dict[str, List[MetricKey]] = {}
+    for key in registry._counters:
+        by_name.setdefault(key[0], []).append(key)
+    for name in sorted(by_name):
+        fam = _family(name, "counter")
+        for key in _sorted_keys(by_name[name]):
+            labels = _render_labels(key[1], key[2])
+            value = registry._counters[key].value
+            lines.append(f"{fam}_total{labels} {_fmt_value(value)}")
+
+    by_name = {}
+    for key in registry._gauges:
+        by_name.setdefault(key[0], []).append(key)
+    for name in sorted(by_name):
+        fam = _family(name, "gauge")
+        for key in _sorted_keys(by_name[name]):
+            labels = _render_labels(key[1], key[2])
+            value = registry._gauges[key].value
+            lines.append(f"{fam}{labels} {_fmt_value(value)}")
+
+    by_name = {}
+    for key in registry._histograms:
+        by_name.setdefault(key[0], []).append(key)
+    for name in sorted(by_name):
+        fam = _family(name, "histogram")
+        for key in _sorted_keys(by_name[name]):
+            hist = registry._histograms[key]
+            cumulative = 0
+            for edge, count in zip(hist.bounds, hist.counts):
+                cumulative += count
+                labels = _render_labels(
+                    key[1], key[2], extra=f'le="{_fmt_value(edge)}"'
+                )
+                lines.append(f"{fam}_bucket{labels} {cumulative}")
+            labels = _render_labels(key[1], key[2], extra='le="+Inf"')
+            lines.append(f"{fam}_bucket{labels} {hist.count}")
+            labels = _render_labels(key[1], key[2])
+            lines.append(f"{fam}_count{labels} {hist.count}")
+            lines.append(f"{fam}_sum{labels} {_fmt_value(hist.total)}")
+
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"

@@ -26,7 +26,7 @@ untouched.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.slo import SLOMap
 from repro.obs.metrics import MetricsRegistry
@@ -82,18 +82,25 @@ def p_admit_tracks(
     events = p_admit_events(tracer)
     if grid is None or not grid:
         return events
-    out: Dict[str, Track] = {}
-    for key, track in events.items():
-        filled: Track = []
-        value = 1.0  # every channel starts fully admitting
-        i = 0
-        for t in grid:
-            while i < len(track) and track[i][0] <= t:
-                value = track[i][1]
-                i += 1
-            filled.append((t, value))
-        out[key] = filled
-    return out
+    return {key: fill_on_grid(track, grid) for key, track in events.items()}
+
+
+def fill_on_grid(track: Track, grid: Sequence[int], initial: float = 1.0) -> Track:
+    """Forward-fill a step-function event track onto a time grid.
+
+    ``p_admit`` starts at ``initial`` (1.0 — Algorithm 1's optimistic
+    start) and holds its last adjusted value between adjustments, which
+    is exactly how the controller's state behaves.
+    """
+    filled: Track = []
+    value = initial
+    i = 0
+    for t in grid:
+        while i < len(track) and track[i][0] <= t:
+            value = track[i][1]
+            i += 1
+        filled.append((t, value))
+    return filled
 
 
 def _counts_quantile(
@@ -293,4 +300,302 @@ def build_series(
         "queue_residency": queue_residency(tracer),
         "flows": flow_summary(tracer),
         "snapshots": len(registry.series),
+    }
+
+
+# ----------------------------------------------------------------------
+# Live-run ingestion: record- and snapshot-level builders
+# ----------------------------------------------------------------------
+# The live runtime leaves a run as JSONL records (the obs span
+# vocabulary) plus per-process metrics snapshot logs.  The builders
+# below consume those plain structures — no repro.live import, so the
+# layering stays obs -> live-agnostic — and produce the *same* series
+# document shape as :func:`build_series`, which is what lets
+# ``repro report`` render sim and live runs through one code path.
+
+#: One process's sampled snapshots: (wall_time_ns, snapshot) in order.
+SnapshotSeries = List[Tuple[int, Dict[str, object]]]
+
+
+def uniform_grid(duration_ns: int, points: int = 120) -> List[int]:
+    """A uniform analysis grid over ``[0, duration_ns]``."""
+    if points < 2:
+        raise ValueError("need at least two grid points")
+    step = duration_ns / (points - 1)
+    return [int(i * step) for i in range(points)]
+
+
+def admission_tracks_from_records(
+    records: Sequence[Mapping[str, Any]],
+) -> Dict[str, Track]:
+    """Raw AIMD adjustment tracks per ``src->dst/qosN`` channel from
+    ``"admission"`` JSONL records (any number of processes merged)."""
+    tracks: Dict[str, Track] = {}
+    for record in records:
+        if record.get("type") != "admission":
+            continue
+        key = f"{record['channel']}/qos{record['qos']}"
+        tracks.setdefault(key, []).append(
+            (int(record["time_ns"]), float(record["p_admit"]))
+        )
+    for track in tracks.values():
+        track.sort(key=lambda point: point[0])
+    return tracks
+
+
+def slo_miss_rates_from_spans(
+    records: Sequence[Mapping[str, Any]],
+) -> Dict[str, float]:
+    """Whole-run SLO miss rate per requested QoS from ``"rpc"`` records.
+
+    Live spans carry an explicit ``slo_met`` verdict (terminated RPCs
+    included, unlike the histogram-derived sim rate which only sees
+    completions), so this is exact, not interpolated.
+    """
+    tracked: Dict[int, int] = {}
+    missed: Dict[int, int] = {}
+    for record in records:
+        if record.get("type") != "rpc":
+            continue
+        met = record.get("slo_met")
+        if met is None:
+            continue
+        qos = int(record["qos_requested"])
+        tracked[qos] = tracked.get(qos, 0) + 1
+        if not met:
+            missed[qos] = missed.get(qos, 0) + 1
+    return {
+        str(qos): missed.get(qos, 0) / count
+        for qos, count in sorted(tracked.items())
+        if count
+    }
+
+
+def queue_residency_from_records(
+    records: Sequence[Mapping[str, Any]],
+) -> Dict[str, List[float]]:
+    """Aggregate ``node/qosN`` residency from ``"queue"`` records —
+    the live twin of :func:`queue_residency`."""
+    out: Dict[str, List[float]] = {}
+    for record in records:
+        if record.get("type") != "queue":
+            continue
+        key = f"{record['node']}/qos{record['qos']}"
+        wait = float(int(record["dequeued_ns"]) - int(record["enqueued_ns"]))
+        entry = out.setdefault(key, [0.0, 0.0, 0.0])
+        entry[0] += 1.0
+        entry[1] += wait
+        entry[2] = max(entry[2], wait)
+    return out
+
+
+def alerts_from_records(
+    records: Sequence[Mapping[str, Any]],
+) -> List[Dict[str, Any]]:
+    """All ``"alert"`` records (burn-rate state transitions), in time
+    order."""
+    alerts = [dict(r) for r in records if r.get("type") == "alert"]
+    alerts.sort(key=lambda r: int(r.get("time_ns", 0)))
+    return alerts
+
+
+def snapshot_series_from_records(
+    records: Sequence[Mapping[str, Any]],
+) -> Tuple[SnapshotSeries, Dict[str, List[float]]]:
+    """One process's ``"metrics"`` log parsed into a snapshot series
+    plus the accumulated histogram bucket bounds (bounds ride on a
+    snapshot line only when they change)."""
+    series: SnapshotSeries = []
+    bounds: Dict[str, List[float]] = {}
+    for record in records:
+        if record.get("type") != "metrics":
+            continue
+        snap = record.get("metrics")
+        if not isinstance(snap, dict):
+            continue
+        series.append((int(record["time_ns"]), snap))
+        carried = record.get("bounds")
+        if isinstance(carried, dict):
+            for label, edges in carried.items():
+                bounds[label] = [float(e) for e in edges]
+    series.sort(key=lambda point: point[0])
+    return series, bounds
+
+
+def _latest_at(series: SnapshotSeries, t_ns: int) -> Optional[Dict[str, object]]:
+    """Youngest snapshot taken at or before ``t_ns`` (None if none)."""
+    latest: Optional[Dict[str, object]] = None
+    for time_ns, snap in series:
+        if time_ns > t_ns:
+            break
+        latest = snap
+    return latest
+
+
+def _labels_in(series_list: Sequence[SnapshotSeries], metric: str) -> Dict[str, int]:
+    return {
+        label: qos
+        for series in series_list
+        for _t, snap in series
+        for label in snap
+        if (qos := _parse_qos(label, metric)) is not None
+    }
+
+
+def rnl_tracks_from_snapshots(
+    series_list: Sequence[SnapshotSeries],
+    bounds_by_label: Mapping[str, Sequence[float]],
+    grid: Sequence[int],
+    percentiles: Sequence[float] = RNL_PERCENTILES,
+) -> Dict[str, Dict[str, Track]]:
+    """Rolling per-QoS RNL percentiles from per-process snapshot logs.
+
+    Cumulative bucket counts are summable across processes, so at each
+    grid time every process contributes its youngest snapshot at or
+    before that time; consecutive merged totals are then differenced
+    into windowed histograms exactly as the sim-side
+    :func:`rnl_percentile_tracks` does (each process's contribution
+    lags by at most one sampling interval).
+    """
+    out: Dict[str, Dict[str, Track]] = {}
+    for label, qos in sorted(_labels_in(series_list, "rnl_norm_ns").items()):
+        bounds = bounds_by_label.get(label)
+        if bounds is None:
+            continue
+        prev: Optional[List[int]] = None
+        tracks: Dict[str, Track] = {f"p{p:g}": [] for p in percentiles}
+        for t in grid:
+            merged = [0] * (len(bounds) + 1)
+            seen = False
+            for series in series_list:
+                snap = _latest_at(series, t)
+                if snap is None:
+                    continue
+                buckets = _snapshot_buckets(snap, label)
+                if buckets is None or len(buckets) != len(merged):
+                    continue
+                seen = True
+                for i, count in enumerate(buckets):
+                    merged[i] += count
+            if not seen:
+                continue
+            if prev is not None:
+                window = [b - a for a, b in zip(prev, merged)]
+                if sum(window) > 0:
+                    for p in percentiles:
+                        value = _counts_quantile(window, bounds, p / 100.0)
+                        tracks[f"p{p:g}"].append((t, value))
+            prev = merged
+        out[str(qos)] = tracks
+    return out
+
+
+def goodput_tracks_from_snapshots(
+    series_list: Sequence[SnapshotSeries], grid: Sequence[int]
+) -> Dict[str, Track]:
+    """Windowed per-QoS goodput in Gbps from per-process snapshot logs
+    (cumulative ``rpc_completed_bytes`` counters summed across
+    processes at each grid time, then differenced)."""
+    out: Dict[str, Track] = {}
+    for label, qos in sorted(
+        _labels_in(series_list, "rpc_completed_bytes").items()
+    ):
+        prev_t: Optional[int] = None
+        prev_v: Optional[float] = None
+        track: Track = []
+        for t in grid:
+            total = 0.0
+            seen = False
+            for series in series_list:
+                snap = _latest_at(series, t)
+                if snap is None:
+                    continue
+                value = snap.get(label)
+                if isinstance(value, (int, float)):
+                    total += float(value)
+                    seen = True
+            if not seen:
+                continue
+            if prev_t is not None and prev_v is not None and t > prev_t:
+                track.append((t, (total - prev_v) * 8.0 / (t - prev_t)))
+            prev_t, prev_v = t, total
+        out[str(qos)] = track
+    return out
+
+
+def live_flow_summary(
+    records: Sequence[Mapping[str, Any]],
+) -> Dict[str, object]:
+    """The transport digest of a live run, in the :func:`flow_summary`
+    shape: one "flow" per connection peer, retries as the live analog
+    of retransmits."""
+    retries: Dict[str, int] = {}
+    peers = set()
+    for record in records:
+        kind = record.get("type")
+        if kind == "retry":
+            key = str(record.get("reason", "retry"))
+            retries[key] = retries.get(key, 0) + 1
+        elif kind == "conn":
+            peers.add(str(record.get("peer", "?")))
+    return {"cwnd_samples": 0, "flows": len(peers), "retransmits": retries}
+
+
+def build_live_series(
+    client_records: Sequence[Sequence[Mapping[str, Any]]],
+    server_records: Sequence[Mapping[str, Any]],
+    metrics_records: Sequence[Sequence[Mapping[str, Any]]] = (),
+    *,
+    duration_ns: int,
+    slo_ns: Optional[Mapping[str, float]] = None,
+    grid_points: int = 120,
+) -> Dict[str, object]:
+    """Assemble the sim-shaped series document for one live run.
+
+    ``client_records`` / ``server_records`` are parsed event logs;
+    ``metrics_records`` the parsed per-process metrics snapshot logs
+    (empty when the run had telemetry off — the snapshot-derived panels
+    degrade to empty tracks, everything event-derived still works).
+    """
+    all_client: List[Mapping[str, Any]] = [
+        record for records in client_records for record in records
+    ]
+    grid = uniform_grid(max(1, duration_ns), grid_points)
+    raw_tracks = admission_tracks_from_records(all_client)
+    snapshot_series: List[SnapshotSeries] = []
+    bounds_by_label: Dict[str, List[float]] = {}
+    for records in metrics_records:
+        series, bounds = snapshot_series_from_records(records)
+        if series:
+            snapshot_series.append(series)
+        bounds_by_label.update(bounds)
+    alerts = alerts_from_records(all_client) + [
+        dict(r)
+        for records in metrics_records
+        for r in records
+        if r.get("type") == "alert"
+    ]
+    seen_alerts = set()
+    unique_alerts: List[Dict[str, Any]] = []
+    for alert in sorted(alerts, key=lambda r: int(r.get("time_ns", 0))):
+        key = (alert.get("time_ns"), alert.get("qos"), alert.get("state"))
+        if key in seen_alerts:
+            continue
+        seen_alerts.add(key)
+        unique_alerts.append(alert)
+    return {
+        "schema": SERIES_SCHEMA,
+        "p_admit": {
+            key: fill_on_grid(track, grid)
+            for key, track in raw_tracks.items()
+        },
+        "p_admit_events": raw_tracks,
+        "rnl": rnl_tracks_from_snapshots(snapshot_series, bounds_by_label, grid),
+        "slo_ns": dict(slo_ns) if slo_ns else {},
+        "slo_miss_rate": slo_miss_rates_from_spans(all_client),
+        "goodput_gbps": goodput_tracks_from_snapshots(snapshot_series, grid),
+        "queue_residency": queue_residency_from_records(server_records),
+        "flows": live_flow_summary(all_client),
+        "snapshots": sum(len(s) for s in snapshot_series),
+        "alerts": unique_alerts,
     }

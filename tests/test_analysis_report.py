@@ -177,6 +177,17 @@ def test_row_regression_breaches():
     assert any("row field 'y'" in b for b in result.breaches)
 
 
+def test_row_abs_floor_forgives_small_count_jitter():
+    """A relative gate is meaningless on tiny counts: 2.0 -> 3.0 is a
+    50% rel delta but only 1 absolute — under the floor it must pass,
+    while a genuinely large move must still breach."""
+    assert _diff(make_doc(row_y=2.0), make_doc(row_y=3.0), row_abs_floor=2.0).ok
+    result = _diff(
+        make_doc(row_y=2.0), make_doc(row_y=30.0), row_abs_floor=2.0
+    )
+    assert any("row field 'y'" in b for b in result.breaches)
+
+
 def test_settled_p_admit_shift_breaches():
     result = _diff(make_doc(settled0=0.6), make_doc(settled0=0.3))
     assert any("settled p_admit moved" in b for b in result.breaches)

@@ -145,3 +145,24 @@ def test_live_short_run_exits_clean(tmp_path, capsys):
     assert "live run ok" in out
     assert (tmp_path / "server.jsonl").exists()
     assert (tmp_path / "c0.jsonl").exists()
+    # Telemetry off: no metrics sidecars, no endpoint line.
+    assert not list(tmp_path.glob("metrics-*.jsonl"))
+    assert "metrics endpoint" not in out
+
+
+def test_live_telemetry_run_then_report_on_dir(tmp_path, capsys):
+    log_dir = tmp_path / "logs"
+    code = main([
+        "live", "--duration", "1", "--seed", "11", "--clients", "2",
+        "--telemetry", "--log-dir", str(log_dir),
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "metrics endpoint on http://" in out
+    assert (log_dir / "metrics-server.jsonl").exists()
+    assert (log_dir / "metrics-c0.jsonl").exists()
+
+    assert main(["report", str(log_dir), "--no-html"]) == 0
+    report_out = capsys.readouterr().out
+    assert "p_admit convergence" in report_out
+    assert "digest n/a (live)" in report_out

@@ -9,7 +9,14 @@ types, the idempotent-close contract, and the track-extraction helpers
 the convergence gate is built on.
 """
 
+import json
+import os
+import signal
+import subprocess
+import sys
 from dataclasses import asdict, fields
+
+import pytest
 
 from repro.live.events import (
     EventLog,
@@ -89,6 +96,144 @@ class TestEventLog:
         with open(path, "a", encoding="utf-8") as fh:
             fh.write("\n   \n")
         assert len(read_events(path)) == 6
+
+
+class TestTornTail:
+    def test_truncated_final_line_skipped_with_warning(self, tmp_path):
+        """A process killed mid-write leaves a torn last line; reading
+        the log must salvage everything before it."""
+        path = write_sample_log(tmp_path / "log.jsonl")
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"type":"rpc","rpc_id":99,"iss')  # no newline either
+        with pytest.warns(RuntimeWarning, match="truncated final line"):
+            records = read_events(path)
+        assert len(records) == 6
+        assert all(r.get("rpc_id") != 99 for r in records)
+
+    def test_strict_mode_raises_on_torn_tail(self, tmp_path):
+        path = write_sample_log(tmp_path / "log.jsonl")
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"broken')
+        with pytest.raises(json.JSONDecodeError):
+            read_events(path, strict=True)
+
+    def test_mid_file_corruption_always_raises(self, tmp_path):
+        """A malformed line with valid records after it is corruption,
+        not a torn tail — salvaging would silently drop data."""
+        path = tmp_path / "log.jsonl"
+        path.write_text(
+            '{"type":"run","seed":1}\n{"bro\n{"type":"rpc","rpc_id":1}\n'
+        )
+        with pytest.raises(ValueError, match="not a truncated final line"):
+            read_events(path)
+
+    def test_two_malformed_lines_raise(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_text('{"type":"run"}\n{"bro\n{"ken\n')
+        with pytest.raises(ValueError, match="not a truncated final line"):
+            read_events(path)
+
+
+class SteppingClock:
+    def __init__(self, step_ns=1):
+        self._now = 0
+        self._step = step_ns
+
+    def now_ns(self):
+        self._now += self._step
+        return self._now
+
+
+class TestFlushPolicy:
+    def test_default_writes_through_every_line(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        log = EventLog(path)
+        log.rpc(RPC)
+        # Visible to a concurrent reader before close: flushed per line.
+        assert len(read_events(path)) == 1
+        log.close()
+
+    def test_line_batching_defers_then_close_flushes(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        log = EventLog(path, flush_lines=10)
+        for _ in range(9):
+            log.rpc(RPC)
+        assert read_events(path) == []  # still buffered
+        log.rpc(RPC)  # tenth line trips the policy
+        assert len(read_events(path)) == 10
+        log.rpc(RPC)
+        log.close()  # close flushes the partial batch
+        assert len(read_events(path)) == 11
+
+    def test_explicit_flush_overrides_policy(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        with EventLog(path, flush_lines=100) as log:
+            log.rpc(RPC)
+            log.flush()
+            assert len(read_events(path)) == 1
+
+    def test_interval_policy_flushes_on_clock(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        clock = SteppingClock(step_ns=400)
+        log = EventLog(
+            path, flush_lines=1000, flush_interval_ns=1000, clock=clock
+        )
+        log.rpc(RPC)  # 400 ns since last flush: held
+        assert read_events(path) == []
+        log.rpc(RPC)
+        log.rpc(RPC)  # crosses the 1000 ns interval: flushed
+        assert len(read_events(path)) == 3
+        log.close()
+
+    def test_policy_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            EventLog(tmp_path / "a.jsonl", flush_lines=0)
+        with pytest.raises(ValueError):
+            EventLog(tmp_path / "b.jsonl", flush_interval_ns=5)  # no clock
+        with pytest.raises(ValueError):
+            EventLog(
+                tmp_path / "c.jsonl",
+                flush_interval_ns=0,
+                clock=SteppingClock(),
+            )
+
+
+_SIGTERM_CHILD = """\
+import signal, sys, time
+sys.path.insert(0, {src!r})
+from repro.live.events import EventLog
+
+log = EventLog({path!r}, flush_lines=5)
+signal.signal(signal.SIGTERM, lambda *a: sys.exit(0))
+for i in range(12):
+    log.write_record({{"type": "tick", "i": i}})
+print("ready", flush=True)
+time.sleep(30)
+"""
+
+
+def test_sigtermed_child_log_still_parses(tmp_path):
+    """The batch policy loses at most the unflushed tail on SIGTERM, and
+    what hit the disk parses cleanly."""
+    path = tmp_path / "child.jsonl"
+    src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+    child = subprocess.Popen(
+        [sys.executable, "-c",
+         _SIGTERM_CHILD.format(src=os.path.abspath(src), path=str(path))],
+        stdout=subprocess.PIPE,
+    )
+    try:
+        assert child.stdout.readline().strip() == b"ready"
+        child.send_signal(signal.SIGTERM)
+        assert child.wait(timeout=10) == 0
+    finally:
+        if child.poll() is None:
+            child.kill()
+    records = read_events(path)
+    # Two full batches of five definitely flushed; the last two lines
+    # were policy-buffered and may or may not have survived exit.
+    assert len(records) >= 10
+    assert [r["i"] for r in records] == list(range(len(records)))
 
 
 class TestTrackExtraction:

@@ -1,0 +1,215 @@
+"""Report-layer ingestion of live run directories.
+
+A synthetic log directory — hand-written JSONL in the exact shapes the
+live runtime emits, no subprocesses — goes through
+:func:`load_live_run` and must come out as a run document that the
+whole report stack (summarize / render_text / render_html /
+diff_summaries) consumes exactly like a sim sweep's.  The CLI path
+(``python -m repro report <dir>``) is covered on top.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.report import (
+    diff_summaries,
+    is_live_run_dir,
+    load_live_run,
+    render_html,
+    render_text,
+    summarize,
+)
+from repro.cli import main
+from repro.live.events import EventLog
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import AdmissionEvent, QueueSpan, RpcSpan
+
+MS = 1_000_000
+S = 1_000_000_000
+
+HEADER = {
+    "role": "server",
+    "port": 40000,
+    "clients": 2,
+    "duration_s": 4.0,
+    "seed": 7,
+    "overload_factor": 1.8,
+    "service_ms_per_mtu": 2.5,
+    "scavenger_fraction": 0.25,
+    "payload_bytes": 4096,
+    "slo_ms": 25.0,
+    "slo_percentile": 90.0,
+    "capacity_rps": 400.0,
+}
+
+
+def _rpc(rpc_id, issued_ns, rnl_ns, qos=0, slo_met=True, terminated=False):
+    return RpcSpan(
+        rpc_id=rpc_id, src=0, dst=0, qos_requested=qos, qos_run=qos,
+        downgraded=False, issued_ns=issued_ns, payload_bytes=4096,
+        size_mtus=1,
+        completed_ns=None if terminated else issued_ns + rnl_ns,
+        rnl_ns=None if terminated else rnl_ns,
+        slo_met=slo_met, terminated=terminated,
+    )
+
+
+ALERT = {
+    "time_ns": 1 * S, "qos": 0, "state": "firing", "burn_short": 5.0,
+    "burn_long": 5.0, "miss_rate_short": 0.5, "miss_rate_long": 0.5,
+    "allowed_miss_rate": 0.1, "short_window_ns": 400 * MS,
+    "long_window_ns": 1333 * MS,
+}
+
+
+def make_live_dir(tmp_path, with_metrics=True):
+    run_dir = tmp_path / "live-synth"
+    run_dir.mkdir()
+    with EventLog(run_dir / "server.jsonl") as log:
+        log.run_header(**HEADER)
+        for i in range(8):
+            log.queue(QueueSpan(
+                node="srv", qos=i % 2, enqueued_ns=i * 100 * MS,
+                dequeued_ns=i * 100 * MS + 5 * MS, size_bytes=4096, kind=0,
+            ))
+        log.run_header(role="server", served=8)
+    for client in ("c0", "c1"):
+        with EventLog(run_dir / f"{client}.jsonl") as log:
+            log.run_header(role="client", client=client,
+                           **{k: v for k, v in HEADER.items()
+                              if k not in ("role", "port")})
+            channel = f"{client}->srv"
+            for i, p in enumerate((0.8, 0.6, 0.5, 0.55)):
+                log.admission(AdmissionEvent(
+                    time_ns=(i + 1) * 800 * MS, channel=channel, qos=0,
+                    p_admit=p, kind="decrease" if p < 0.8 else "increase",
+                ))
+            for i in range(20):
+                slow = i % 4 == 0
+                log.rpc(_rpc(i + 1, i * 180 * MS,
+                             rnl_ns=40 * MS if slow else 8 * MS,
+                             slo_met=not slow))
+            log.rpc(_rpc(99, 3_700 * MS, 0, slo_met=False, terminated=True))
+            log.rpc(_rpc(100, 500 * MS, 12 * MS, qos=1, slo_met=None))
+            # The same alert lands in the event log AND the metrics log
+            # (the sampler writes both); ingestion must dedupe it.
+            log.alert(dict(ALERT))
+    if with_metrics:
+        registry = MetricsRegistry()
+        rnl = registry.histogram("rnl_norm_ns", qos=0)
+        done = registry.counter("rpc_completed_bytes", qos=0)
+        with EventLog(run_dir / "metrics-c0.jsonl") as log:
+            for t in range(1, 5):
+                for _ in range(5):
+                    rnl.observe(8e6 * t)
+                done.inc(5 * 4096)
+                record = {
+                    "type": "metrics", "time_ns": t * S,
+                    "metrics": registry.snapshot(include_buckets=True),
+                }
+                if t == 1:
+                    record["bounds"] = registry.all_histogram_bounds()
+                log.write_record(record)
+            log.write_record({**ALERT, "type": "alert"})
+    return run_dir
+
+
+class TestLoadLiveRun:
+    def test_is_live_run_dir(self, tmp_path):
+        run_dir = make_live_dir(tmp_path)
+        assert is_live_run_dir(run_dir)
+        assert not is_live_run_dir(tmp_path)  # no server.jsonl
+        assert not is_live_run_dir(run_dir / "server.jsonl")  # not a dir
+
+    def test_doc_shape_matches_sim_documents(self, tmp_path):
+        doc = load_live_run(make_live_dir(tmp_path))
+        assert doc["experiment"] == "live"
+        assert doc["run_id"] == "live-synth"
+        assert doc["checks"]["passed"] is True
+        (point,) = doc["points"]
+        assert point["params"]["seed"] == 7
+        assert point["params"]["overload_factor"] == 1.8
+        assert "port" not in point["params"]  # not a workload field
+        row = point["row"]
+        assert row["calls"] == 44  # 22 spans per client
+        assert row["completed"] == 42
+        assert row["terminated"] == 2
+        assert row["served"] == 8
+
+    def test_series_panels(self, tmp_path):
+        series = load_live_run(make_live_dir(tmp_path))["series"]
+        assert set(series["p_admit"]) == {"c0->srv/qos0", "c1->srv/qos0"}
+        for track in series["p_admit"].values():
+            assert track[0][1] == 1.0  # grid-filled from the 1.0 start
+            assert track[-1][1] == 0.55
+        assert series["slo_ns"] == {"0": 25.0 * MS}
+        # 5 of every 20 tracked QoS-0 RPCs missed, plus the terminated
+        # one: 6/21 per client.
+        assert series["slo_miss_rate"]["0"] == pytest.approx(6 / 21)
+        assert "srv/qos0" in series["queue_residency"]
+        # The rnl panel comes from differenced metrics snapshots.
+        assert "p99" in series["rnl"]["0"]
+        assert series["goodput_gbps"]["0"]
+        # One alert, deduped across the event and metrics logs.
+        assert len(series["alerts"]) == 1
+        assert series["alerts"][0]["state"] == "firing"
+
+    def test_loads_without_metrics_logs(self, tmp_path):
+        doc = load_live_run(make_live_dir(tmp_path, with_metrics=False))
+        series = doc["series"]
+        assert series["rnl"] == {}  # no snapshots to difference
+        assert len(series["alerts"]) == 1  # event-log copy still there
+        assert summarize(doc)["qos"]["0"]["slo_miss_rate"] is not None
+
+    def test_not_a_live_dir_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_live_run(tmp_path)
+
+
+class TestRenderAndDiff:
+    def test_render_text_has_live_panels(self, tmp_path):
+        text = render_text(load_live_run(make_live_dir(tmp_path)))
+        assert "digest n/a (live)" in text
+        assert "p_admit convergence" in text
+        assert "SLO burn-rate alerts: 1 transition" in text
+        assert "firing" in text
+        assert "still firing at end of run: QoS 0" in text
+
+    def test_render_html_self_contained(self, tmp_path):
+        html = render_html(load_live_run(make_live_dir(tmp_path)))
+        assert html.startswith("<!doctype html>")
+        assert "<script" not in html  # static SVG, no JS
+        assert "live-synth" in html
+
+    def test_self_diff_is_clean_and_gate_trips(self, tmp_path):
+        doc = load_live_run(make_live_dir(tmp_path))
+        base = summarize(doc)
+        assert diff_summaries(base, base).ok
+        shifted = json.loads(json.dumps(base))
+        shifted["points"][0]["row"]["completed"] = 10
+        assert not diff_summaries(base, shifted).ok
+
+
+class TestCli:
+    def test_report_on_live_dir_writes_html_inside_it(self, tmp_path, capsys):
+        run_dir = make_live_dir(tmp_path)
+        summary_path = tmp_path / "live.summary.json"
+        assert main([
+            "report", str(run_dir), "--emit-summary", str(summary_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "SLO burn-rate alerts" in out
+        assert (run_dir / "report.html").is_file()
+        assert summary_path.is_file()
+
+    def test_diff_live_dir_against_emitted_summary(self, tmp_path, capsys):
+        run_dir = make_live_dir(tmp_path)
+        summary_path = tmp_path / "golden.json"
+        main(["report", str(run_dir), "--no-html",
+              "--emit-summary", str(summary_path)])
+        capsys.readouterr()
+        assert main([
+            "report", "--diff", str(summary_path), str(run_dir),
+        ]) == 0
+        assert "no threshold breaches" in capsys.readouterr().out

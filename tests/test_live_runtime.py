@@ -17,6 +17,7 @@ from repro.live.convergence import compare_tracks, tracks_from_logs
 from repro.live.events import read_events
 from repro.live.runtime import run_live
 from repro.live.simref import run_sim_reference
+from repro.live.telemetry import TelemetryConfig
 from repro.live.workload import LiveWorkload
 
 
@@ -66,6 +67,48 @@ class TestShortRun:
         } <= set(tracks)
         for path in result.client_logs:
             assert any(r["type"] == "rpc" for r in read_events(path))
+
+
+@pytest.fixture(scope="module")
+def telemetry_run(tmp_path_factory):
+    workload = LiveWorkload(clients=2, duration_s=1.5, seed=11)
+    log_dir = tmp_path_factory.mktemp("live-telemetry")
+    result = run_live(workload, log_dir, telemetry=TelemetryConfig())
+    return workload, result
+
+
+class TestTelemetryRun:
+    def test_armed_run_still_clean(self, telemetry_run):
+        _, result = telemetry_run
+        assert result.ok, result.problems
+        assert result.metrics_port > 0
+
+    def test_every_process_wrote_a_metrics_log(self, telemetry_run):
+        workload, result = telemetry_run
+        assert len(result.metrics_logs) == workload.clients + 1
+        for path in result.metrics_logs:
+            records = read_events(path)
+            snapshots = [r for r in records if r["type"] == "metrics"]
+            assert snapshots, path
+            # The first snapshot carries the bucket-bounds sidecar once
+            # histograms exist; every one carries the flat metrics map.
+            assert all("metrics" in r for r in snapshots)
+
+    def test_headers_carry_workload_and_metrics_port(self, telemetry_run):
+        _, result = telemetry_run
+        header = read_events(result.server_log)[0]
+        assert header["metrics_port"] == result.metrics_port
+        assert header["overload_factor"] == 1.8
+        assert header["slo_ms"] == 25.0
+
+    def test_live_dir_loads_as_report_document(self, telemetry_run):
+        from repro.analysis.report import load_live_run, render_text
+
+        _, result = telemetry_run
+        doc = load_live_run(result.server_log.parent)
+        assert doc["points"][0]["row"]["calls"] > 0
+        assert doc["series"]["p_admit"]
+        assert "p_admit convergence" in render_text(doc)
 
 
 @pytest.mark.skipif(

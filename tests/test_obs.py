@@ -464,3 +464,118 @@ def test_activate_binds_components_at_construction(monkeypatch):
     assert sim.profiler is None  # engine picked the plain run loop
     deactivate()
     assert active() is None
+
+
+# ----------------------------------------------------------------------
+# Wall-clock-span histogram accuracy + OpenMetrics exposition
+# ----------------------------------------------------------------------
+def test_histogram_percentiles_vs_exact_order_statistics_us_to_s_span():
+    """Live attempt latencies span five decades (fast loopback RPCs in
+    the tens of µs, queued ones in ms, deadline stragglers near 1 s);
+    the fixed log bounds must hold their one-bucket accuracy bound
+    (~33% at 8/decade) across that whole span, per mode and mixed."""
+    rng = random.Random(7)
+    modes = [
+        lambda: rng.uniform(20e3, 80e3),        # 20-80 us: loopback RTT
+        lambda: rng.lognormvariate(16.1, 0.5),  # ~10 ms: queued behind work
+        lambda: rng.uniform(0.5e9, 1.0e9),      # 0.5-1 s: deadline stragglers
+    ]
+    weights = (0.70, 0.25, 0.05)
+    samples = []
+    for _ in range(20_000):
+        pick = rng.random()
+        mode = 0 if pick < weights[0] else (1 if pick < weights[0] + weights[1] else 2)
+        samples.append(modes[mode]())
+
+    hist = Histogram("attempt_latency_ns")
+    for s in samples:
+        hist.observe(s)
+
+    assert hist.quantile(0.0) == pytest.approx(min(samples))
+    assert hist.quantile(1.0) == pytest.approx(max(samples))
+    # 10^(1/8) bucket ratio: interpolation error is bounded by one
+    # bucket's relative width at every interior percentile, including
+    # the ones that land inside each mode and in the gaps between them.
+    for pctl in (1.0, 10.0, 25.0, 50.0, 69.0, 75.0, 90.0, 95.0, 99.0, 99.9):
+        exact = exact_percentile(samples, pctl)
+        assert hist.percentile(pctl) == pytest.approx(exact, rel=0.34), pctl
+    # Percentiles are monotone in the percentile argument.
+    grid = [hist.percentile(p) for p in range(0, 101, 5)]
+    assert grid == sorted(grid)
+
+
+def test_openmetrics_exposition_format():
+    """Golden-format assertions for the scrape body: metadata lines,
+    counter suffix, escaped label values, cumulative buckets, EOF."""
+    from repro.obs.metrics import OPENMETRICS_CONTENT_TYPE, render_openmetrics
+
+    reg = MetricsRegistry()
+    reg.counter("rpc_issued", qos=0).inc(7)
+    reg.counter("rpc_issued", qos=1).inc(2)
+    reg.gauge("p_admit", qos=0, node='c0->srv "odd"\\path\nx').set(0.55)
+    hist = reg.histogram("rnl_norm_ns", qos=0, bounds=(100.0, 1000.0))
+    for value in (50.0, 500.0, 5000.0):
+        hist.observe(value)
+
+    text = render_openmetrics(reg)
+    lines = text.splitlines()
+
+    assert "version=1.0.0" in OPENMETRICS_CONTENT_TYPE
+    assert text.endswith("# EOF\n")
+    assert lines[-1] == "# EOF"
+
+    # Every family announces TYPE then HELP, exactly once.
+    assert "# TYPE repro_rpc_issued counter" in lines
+    assert "# TYPE repro_p_admit gauge" in lines
+    assert "# TYPE repro_rnl_norm_ns histogram" in lines
+    for family in ("repro_rpc_issued", "repro_p_admit", "repro_rnl_norm_ns"):
+        type_lines = [l for l in lines if l.startswith(f"# TYPE {family} ")]
+        help_lines = [l for l in lines if l.startswith(f"# HELP {family} ")]
+        assert len(type_lines) == 1 and len(help_lines) == 1
+        assert lines.index(type_lines[0]) < lines.index(help_lines[0])
+
+    # Counters get the mandated _total suffix and keep label order.
+    assert 'repro_rpc_issued_total{qos="0"} 7' in lines
+    assert 'repro_rpc_issued_total{qos="1"} 2' in lines
+
+    # Label values escape backslash, double quote, and newline.
+    gauge_line = next(l for l in lines if l.startswith("repro_p_admit{"))
+    assert '\\"odd\\"' in gauge_line
+    assert "\\\\path" in gauge_line
+    assert "\\n" in gauge_line and "\n" not in gauge_line
+    assert gauge_line.endswith(" 0.55")
+
+    # Histogram buckets are cumulative, end at le="+Inf" == _count, and
+    # _sum carries the total.
+    buckets = [l for l in lines if l.startswith("repro_rnl_norm_ns_bucket")]
+    assert buckets == [
+        'repro_rnl_norm_ns_bucket{qos="0",le="100"} 1',
+        'repro_rnl_norm_ns_bucket{qos="0",le="1000"} 2',
+        'repro_rnl_norm_ns_bucket{qos="0",le="+Inf"} 3',
+    ]
+    assert 'repro_rnl_norm_ns_count{qos="0"} 3' in lines
+    assert 'repro_rnl_norm_ns_sum{qos="0"} 5550' in lines
+
+
+def test_openmetrics_rendering_is_read_only_and_monotone():
+    from repro.obs.metrics import render_openmetrics
+
+    reg = MetricsRegistry()
+    counter = reg.counter("rpc_issued", qos=0)
+    counter.inc(3)
+    first = render_openmetrics(reg)
+    assert render_openmetrics(reg) == first  # no state perturbed
+    counter.inc()
+    second = render_openmetrics(reg)
+    assert 'repro_rpc_issued_total{qos="0"} 3' in first
+    assert 'repro_rpc_issued_total{qos="0"} 4' in second
+
+
+def test_openmetrics_sanitizes_hostile_family_names():
+    from repro.obs.metrics import render_openmetrics
+
+    reg = MetricsRegistry()
+    reg.counter("2weird-name.x").inc()
+    text = render_openmetrics(reg, prefix="")
+    assert "# TYPE _2weird_name_x counter" in text
+    assert "_2weird_name_x_total 1" in text
