@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Regenerate the committed CI golden summaries in ci/:
+#
+#   ci/fig08-fast.golden.json — traced fast-profile fig08 sweep
+#   ci/live-10s.golden.json   — the CI-spec 10 s live run (seed 7,
+#                               telemetry + tracing on)
+#
+# Run from anywhere inside the repo after a change that legitimately
+# moves run behavior (new series fields, new attribution segments,
+# retuned workloads), then commit the updated JSON alongside the code
+# change.  CI diffs fresh runs against these files with the thresholds
+# in .github/workflows/ci.yml.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+# fig08, fast profile, traced: the summary embeds the series-derived
+# per-QoS behavioral block, attribution shares included.  --no-cache so
+# a stale point cache can never leak into the golden.
+python -m repro run fig08 --profile fast --trace --no-cache \
+  --results-dir "$workdir/results"
+run_id=$(python - "$workdir/results" <<'EOF'
+import json, pathlib, sys
+doc = sorted(pathlib.Path(sys.argv[1], "fig08").glob("*.json"))[-1]
+print(json.loads(doc.read_text())["run_id"])
+EOF
+)
+python -m repro report "$run_id" --results-dir "$workdir/results" --no-html \
+  --emit-summary ci/fig08-fast.golden.json
+
+# The CI-spec live run: matches the live-smoke job's invocation
+# (including --trace, so the golden carries attribution shares for the
+# diff gate to compare against).
+python -m repro live --duration 10 --seed 7 --telemetry --trace \
+  --log-dir "$workdir/live" --check-convergence --tolerance 0.2
+python -m repro report "$workdir/live" --no-html \
+  --emit-summary ci/live-10s.golden.json
+
+echo "regenerated ci/fig08-fast.golden.json and ci/live-10s.golden.json"

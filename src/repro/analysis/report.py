@@ -26,6 +26,11 @@ from html import escape
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
+from repro.analysis.attribution import (
+    SEGMENT_ORDER,
+    render_attribution_block,
+    segment_bucket,
+)
 from repro.analysis.convergence import per_qos_convergence
 
 #: Version of the summary schema (bump on breaking change).
@@ -73,10 +78,17 @@ def _qos_summary(series: Mapping[str, Any]) -> Dict[str, Dict[str, Any]]:
     rollup = per_qos_convergence(tracks)
     miss_rates = series.get("slo_miss_rate", {})
     goodput = series.get("goodput_gbps", {})
+    attribution = series.get("attribution")
+    attribution_qos: Mapping[str, Any] = {}
+    if isinstance(attribution, Mapping):
+        per_qos = attribution.get("per_qos")
+        if isinstance(per_qos, Mapping):
+            attribution_qos = per_qos
     qos_keys = (
         {str(q) for q in rollup}
         | set(miss_rates)
         | set(goodput)
+        | set(attribution_qos)
     )
     out: Dict[str, Dict[str, Any]] = {}
     for key in sorted(qos_keys, key=_qos_sort_key):
@@ -97,6 +109,14 @@ def _qos_summary(series: Mapping[str, Any]) -> Dict[str, Dict[str, Any]]:
         if track:
             values = [float(v) for _t, v in track]
             block["goodput_gbps_mean"] = sum(values) / len(values)
+        qos_attr = attribution_qos.get(key)
+        if isinstance(qos_attr, Mapping) and isinstance(
+            qos_attr.get("shares"), Mapping
+        ):
+            block["attribution_shares"] = {
+                str(bucket): float(share)
+                for bucket, share in qos_attr["shares"].items()
+            }
         out[key] = block
     return out
 
@@ -303,6 +323,11 @@ def render_text(doc: Mapping[str, Any], top_k: int = 5) -> str:
                 f"  {name:<22} {float(total) / 1e3:10.1f} us over "
                 f"{int(pkts)} pkts (max {float(peak) / 1e3:.2f} us)"
             )
+    attribution = series.get("attribution")
+    if isinstance(attribution, Mapping) and attribution.get("rpcs"):
+        lines.append("")
+        lines.append(render_attribution_block(attribution))
+
     flows = series.get("flows", {})
     if flows:
         retx = flows.get("retransmits", {})
@@ -430,6 +455,106 @@ def _svg_chart(
     )
 
 
+def _segment_color(label: str) -> str:
+    bucket = segment_bucket(label)
+    if bucket in SEGMENT_ORDER:
+        return _PALETTE[SEGMENT_ORDER.index(bucket) % len(_PALETTE)]
+    return _PALETTE[-1]
+
+
+def _segment_sort_key(label: str) -> Tuple[int, str]:
+    bucket = segment_bucket(label)
+    if bucket in SEGMENT_ORDER:
+        return (SEGMENT_ORDER.index(bucket), label)
+    return (len(SEGMENT_ORDER), label)
+
+
+def _svg_attribution(block: Mapping[str, Any], width: int = 640) -> str:
+    """The RNL-attribution figure: per-QoS stacked share bars on top,
+    the slowest-exemplar waterfall (bars scaled to the slowest RPC's
+    latency) below.  Hover titles carry the exact numbers."""
+    per_qos = block.get("per_qos") or {}
+    exemplars = block.get("exemplars") or []
+    # Each row: (left label, [(segment, fraction-of-plot-width)]).
+    rows: List[Tuple[str, List[Tuple[str, float]]]] = []
+    for key in sorted(per_qos, key=_qos_sort_key):
+        shares = per_qos[key].get("shares") or {}
+        rows.append(
+            (
+                f"QoS {key} shares",
+                [
+                    (seg, float(shares[seg]))
+                    for seg in sorted(shares, key=_segment_sort_key)
+                ],
+            )
+        )
+    max_latency = max(
+        (float(ex["latency_ns"]) for ex in exemplars), default=0.0
+    )
+    for ex in exemplars:
+        segments = ex.get("segments") or {}
+        total = max(1.0, float(ex["latency_ns"]))
+        scale = float(ex["latency_ns"]) / max_latency if max_latency else 0.0
+        rows.append(
+            (
+                f"rpc {ex['rpc_id']} qos{ex['qos_requested']} "
+                f"{float(ex['latency_ns']) / 1e3:.0f}us",
+                [
+                    (seg, float(segments[seg]) / total * scale)
+                    for seg in sorted(segments, key=_segment_sort_key)
+                ],
+            )
+        )
+    if not rows:
+        return (
+            "<figure><figcaption>RNL attribution</figcaption>"
+            "<p>no traced completed RPCs</p></figure>"
+        )
+    pad_l, bar_h, gap, pad_top = 170, 16, 8, 6
+    plot_w = width - pad_l - 10
+    height = pad_top + len(rows) * (bar_h + gap) + 24
+    parts = [
+        f'<svg viewBox="0 0 {width} {height}" width="{width}" '
+        f'height="{height}" xmlns="http://www.w3.org/2000/svg" '
+        'style="background:#fff">'
+    ]
+    for i, (label, segments) in enumerate(rows):
+        y = pad_top + i * (bar_h + gap)
+        parts.append(
+            f'<text x="{pad_l - 6}" y="{y + bar_h - 4}" text-anchor="end" '
+            f'font-size="11" fill="#333">{escape(label)}</text>'
+        )
+        x = float(pad_l)
+        for segment, fraction in segments:
+            seg_w = max(0.0, fraction) * plot_w
+            if seg_w <= 0.0:
+                continue
+            parts.append(
+                f'<rect x="{x:.1f}" y="{y}" width="{seg_w:.1f}" '
+                f'height="{bar_h}" fill="{_segment_color(segment)}">'
+                f"<title>{escape(segment)}: {fraction * 100:.1f}%</title>"
+                "</rect>"
+            )
+            x += seg_w
+    legend_x = float(pad_l)
+    legend_y = height - 14
+    for bucket in SEGMENT_ORDER:
+        parts.append(
+            f'<rect x="{legend_x:.1f}" y="{legend_y - 9}" width="9" '
+            f'height="9" fill="{_segment_color(bucket)}"/>'
+        )
+        parts.append(
+            f'<text x="{legend_x + 12:.1f}" y="{legend_y}" font-size="10" '
+            f'fill="#555">{escape(bucket)}</text>'
+        )
+        legend_x += 14 + 6.2 * len(bucket) + 8
+    parts.append("</svg>")
+    return (
+        "<figure><figcaption>RNL attribution: per-QoS shares and "
+        "slowest-exemplar waterfall</figcaption>" + "".join(parts) + "</figure>"
+    )
+
+
 def _tracks_for_qos(
     p_admit: Mapping[str, JsonTrack], qos_key: str
 ) -> Dict[str, JsonTrack]:
@@ -483,6 +608,10 @@ def render_html(doc: Mapping[str, Any]) -> str:
                 "per-QoS goodput (Gbps)",
             )
         )
+        attribution = series.get("attribution")
+        if isinstance(attribution, Mapping) and attribution.get("rpcs"):
+            body.append("<h2>RNL attribution</h2>")
+            body.append(_svg_attribution(attribution))
     html = (
         "<!doctype html><html><head><meta charset='utf-8'>"
         f"<title>{escape(str(title))}</title>"
@@ -515,6 +644,11 @@ class DiffThresholds:
     max_slo_miss_delta: float = 0.02
     #: Max convergence-time delta in milliseconds.
     max_convergence_delta_ms: float = 2.0
+    #: Max absolute shift of any per-QoS attribution share (fraction of
+    #: total latency) — catches latency *moving between causes* (e.g.
+    #: queueing share flowing into retry backoff) even when the end-to-
+    #: end numbers look flat.
+    max_attribution_shift: float = 0.10
 
 
 @dataclass
@@ -649,6 +783,31 @@ def diff_summaries(
                     f"QoS {key} SLO miss rate moved {delta * 100:.2f}pp "
                     f"(> {thresholds.max_slo_miss_delta * 100:.2f}pp)"
                 )
+        shares_a = blk_a.get("attribution_shares")
+        shares_b = blk_b.get("attribution_shares")
+        if isinstance(shares_a, Mapping) and isinstance(shares_b, Mapping):
+            # Union of segment names: a segment absent on one side is a
+            # 0.0 share there, so latency *appearing* in a new cause
+            # (say retry backoff where there was none) still gates.
+            worst_seg: Tuple[float, str] = (0.0, "")
+            for segment in sorted(set(shares_a) | set(shares_b)):
+                shift = abs(
+                    float(shares_a.get(segment, 0.0))
+                    - float(shares_b.get(segment, 0.0))
+                )
+                if shift > worst_seg[0]:
+                    worst_seg = (shift, segment)
+                if shift > thresholds.max_attribution_shift:
+                    result.breaches.append(
+                        f"QoS {key} attribution share {segment!r} moved "
+                        f"{shift * 100:.1f}pp "
+                        f"(> {thresholds.max_attribution_shift * 100:.1f}pp)"
+                    )
+            result.lines.append(
+                f"  QoS {key}: attribution worst share shift "
+                f"{worst_seg[0] * 100:.1f}pp"
+                + (f" ({worst_seg[1]})" if worst_seg[1] else "")
+            )
     return result
 
 

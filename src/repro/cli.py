@@ -309,10 +309,18 @@ def _trace_main(argv: Sequence[str]) -> int:
         default=5,
         help="top-K entries per section of the text report (default: 5)",
     )
+    parser.add_argument(
+        "--top-k",
+        type=int,
+        default=5,
+        help="bound on exemplar rows in the attribution waterfall "
+        "(default: 5; keeps paper-profile sweeps readable)",
+    )
     args = parser.parse_args(argv)
 
     from pathlib import Path
 
+    from repro.analysis.attribution import attribute_tracer, attribution_report
     from repro.obs.export import (
         trace_report,
         write_chrome_trace,
@@ -349,6 +357,8 @@ def _trace_main(argv: Sequence[str]) -> int:
 
     print(f"== trace {args.experiment} ({args.profile}, seed {traced.cfg.seed}) ==")
     print(trace_report(traced.tracer, traced.profiler, top_k=args.top))
+    print()
+    print(attribution_report(attribute_tracer(traced.tracer), top_k=args.top_k))
     print(f"chrome trace: {chrome_path} (load at https://ui.perfetto.dev)")
     print(f"span log:     {outdir / (stem + '.spans.jsonl')}")
     print(f"metric series: {outdir / (stem + '.metrics.jsonl')}")
@@ -440,6 +450,14 @@ def _report_main(argv: Sequence[str]) -> int:
         default=2.0,
         help="diff: max convergence-time delta in ms per QoS (default: 2.0)",
     )
+    parser.add_argument(
+        "--max-attribution-shift",
+        type=float,
+        default=0.10,
+        help="diff: max absolute shift of any per-QoS attribution "
+        "segment share (default: 0.10) — catches regressions that "
+        "move latency between segments while total RNL stays flat",
+    )
     args = parser.parse_args(argv)
 
     from pathlib import Path
@@ -491,6 +509,7 @@ def _report_main(argv: Sequence[str]) -> int:
                 max_p_admit_delta=args.max_p_admit_delta,
                 max_slo_miss_delta=args.max_slo_miss_delta,
                 max_convergence_delta_ms=args.max_convergence_delta_ms,
+                max_attribution_shift=args.max_attribution_shift,
             ),
         )
         print(result.report())
@@ -592,6 +611,14 @@ def _live_main(argv: Sequence[str]) -> int:
         help="telemetry snapshot cadence in milliseconds (default: 250)",
     )
     parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="arm causal tracing: clients propagate W3C-style trace "
+        "contexts over the wire so client- and server-side events "
+        "join into one trace per RPC (off: event streams are "
+        "byte-identical to an untraced run)",
+    )
+    parser.add_argument(
         "--check-convergence",
         action="store_true",
         help="also run the workload in the simulator and require the "
@@ -630,7 +657,12 @@ def _live_main(argv: Sequence[str]) -> int:
         return 2
 
     result = run_live(
-        workload, args.log_dir, port=args.port, log=print, telemetry=telemetry
+        workload,
+        args.log_dir,
+        port=args.port,
+        log=print,
+        telemetry=telemetry,
+        trace=args.trace,
     )
     for stats in result.client_stats:
         print(

@@ -46,7 +46,13 @@ from repro.live.wire import (
 from repro.live.workload import LiveWorkload
 from repro.net.packet import mtus_for_bytes
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
-from repro.obs.trace import AdmissionEvent, RpcSpan
+from repro.obs.trace import (
+    AdmissionEvent,
+    RpcSpan,
+    derive_span_id,
+    derive_trace_id,
+    traceparent_of,
+)
 from repro.sim.rng import poisson_interarrivals_ns, substream
 
 
@@ -174,8 +180,13 @@ class AdmissionClient:
         src_index: int = 0,
         backoff_rng: Optional[random.Random] = None,
         registry: Optional[MetricsRegistry] = None,
+        trace: bool = False,
     ) -> None:
         self.client_id = client_id
+        #: Causal tracing: off by default (zero-overhead-off — no extra
+        #: clock reads, no extra log fields, no wire-header changes).
+        self._trace = trace
+        self._completing_rpc_id = 0
         self._host = host
         self._port = port
         self._clock = clock
@@ -303,8 +314,23 @@ class AdmissionClient:
                 qos=qos,
                 p_admit=p_admit,
                 kind=kind,
+                rpc_id=self._completing_rpc_id,
             )
         )
+
+    def _engine_complete(
+        self, rpc_id: int, rnl_ns: int, size_mtus: int, qos: int
+    ) -> None:
+        """Feed one RNL measurement back, attributing the AIMD
+        adjustment it triggers to the completing RPC when traced."""
+        if self._trace:
+            self._completing_rpc_id = rpc_id
+            try:
+                self.engine.complete(self._dst, rnl_ns, size_mtus, qos)
+            finally:
+                self._completing_rpc_id = 0
+        else:
+            self.engine.complete(self._dst, rnl_ns, size_mtus, qos)
 
     def _log_span(
         self,
@@ -317,6 +343,7 @@ class AdmissionClient:
         rnl_ns: Optional[int],
         slo_met: Optional[bool],
         terminated: bool,
+        extra: Optional[Dict[str, object]] = None,
     ) -> None:
         self._log.rpc(
             RpcSpan(
@@ -333,7 +360,8 @@ class AdmissionClient:
                 rnl_ns=rnl_ns,
                 slo_met=slo_met,
                 terminated=terminated,
-            )
+            ),
+            **(extra or {}),
         )
 
     # ------------------------------------------------------------------
@@ -347,6 +375,16 @@ class AdmissionClient:
         self._next_id += 1
         rpc_id = self._next_id
         self.calls += 1
+        trace_id = ""
+        span_id = ""
+        decide_ns = 0
+        if self._trace:
+            # One extra clock read per call, gated on the trace flag, so
+            # untraced clock-read sequences (and logs) stay identical.
+            decide_ns = self._clock.now_ns() - issued_ns
+            key = f"{self.client_id}:{rpc_id}"
+            trace_id = derive_trace_id(key)
+            span_id = derive_span_id(key)
         if self._metrics is not None:
             self._metrics.issued[outcome.qos_run].inc()
             if outcome.downgraded:
@@ -364,6 +402,13 @@ class AdmissionClient:
             if remaining <= 0:
                 status = "timeout"
                 break
+            attempt_span_id = ""
+            traceparent = ""
+            if self._trace:
+                attempt_span_id = derive_span_id(
+                    f"{self.client_id}:{rpc_id}:{attempt}"
+                )
+                traceparent = traceparent_of(trace_id, attempt_span_id)
             try:
                 writer = await self._ensure_conn()
                 future: "asyncio.Future[Response]" = (
@@ -382,6 +427,7 @@ class AdmissionClient:
                         size_mtus=size_mtus,
                         attempt=attempt,
                         issued_ns=issued_ns,
+                        traceparent=traceparent,
                     ),
                     body_len=payload_bytes,
                 )
@@ -395,17 +441,55 @@ class AdmissionClient:
                     self._metrics.attempt_latency[outcome.qos_run].observe(
                         float(now_ns - attempt_start_ns)
                     )
+                if self._trace:
+                    self._log.write_record(
+                        {
+                            "type": "attempt",
+                            "trace_id": trace_id,
+                            "span_id": attempt_span_id,
+                            "parent_id": span_id,
+                            "request_id": rpc_id,
+                            "attempt": attempt,
+                            "start_ns": attempt_start_ns,
+                            "end_ns": now_ns,
+                            "status": status,
+                        }
+                    )
                 if (
                     attempt >= self._retry.max_attempts
                     or now_ns - issued_ns >= self._retry.deadline_ns
                 ):
                     break
                 delay_ns = self._retry.backoff_ns(attempt, self._backoff_rng)
-                self._log.retry(rpc_id, attempt, delay_ns, status, now_ns)
+                self._log.retry(
+                    rpc_id,
+                    attempt,
+                    delay_ns,
+                    status,
+                    now_ns,
+                    trace_id=trace_id if self._trace else None,
+                )
                 await asyncio.sleep(delay_ns / 1e9)
                 continue
             completed_ns = self._clock.now_ns()
             rnl_ns = completed_ns - issued_ns
+            if self._trace:
+                self._log.write_record(
+                    {
+                        "type": "attempt",
+                        "trace_id": trace_id,
+                        "span_id": attempt_span_id,
+                        "parent_id": span_id,
+                        "request_id": rpc_id,
+                        "attempt": attempt,
+                        "start_ns": attempt_start_ns,
+                        "end_ns": completed_ns,
+                        "status": response.status,
+                        "queue_ns": response.queue_ns,
+                        "service_ns": response.service_ns,
+                        "server_traceparent": response.traceparent,
+                    }
+                )
             if self._metrics is not None:
                 self._metrics.attempt_latency[outcome.qos_run].observe(
                     float(completed_ns - attempt_start_ns)
@@ -425,14 +509,14 @@ class AdmissionClient:
                     # miss by construction; feed exactly the budget so
                     # the signal is identical in sim and live (the
                     # decrement is size-based, not magnitude-based).
-                    self.engine.complete(
-                        self._dst,
+                    self._engine_complete(
+                        rpc_id,
                         slo.get(outcome.qos_run).budget_ns(size_mtus),
                         size_mtus,
                         outcome.qos_run,
                     )
             else:
-                self.engine.complete(self._dst, rnl_ns, size_mtus, outcome.qos_run)
+                self._engine_complete(rpc_id, rnl_ns, size_mtus, outcome.qos_run)
             slo_met: Optional[bool] = None
             if slo.has_slo(outcome.qos_requested):
                 slo_met = (
@@ -454,6 +538,16 @@ class AdmissionClient:
                 rnl_ns,
                 slo_met,
                 terminated=False,
+                extra=(
+                    {
+                        "trace_id": trace_id,
+                        "span_id": span_id,
+                        "decide_ns": decide_ns,
+                        "attempts": attempt,
+                    }
+                    if self._trace
+                    else None
+                ),
             )
             return CallResult(
                 ok=response.status == "ok",
@@ -469,8 +563,8 @@ class AdmissionClient:
         # like it throttles when the server answers late.
         failed_ns = self._clock.now_ns()
         if slo.has_slo(outcome.qos_run):
-            self.engine.complete(
-                self._dst, failed_ns - issued_ns, size_mtus, outcome.qos_run
+            self._engine_complete(
+                rpc_id, failed_ns - issued_ns, size_mtus, outcome.qos_run
             )
         self.failures += 1
         slo_met = False if slo.has_slo(outcome.qos_requested) else None
@@ -489,6 +583,16 @@ class AdmissionClient:
             rnl_ns=None,
             slo_met=slo_met,
             terminated=True,
+            extra=(
+                {
+                    "trace_id": trace_id,
+                    "span_id": span_id,
+                    "decide_ns": decide_ns,
+                    "attempts": attempt,
+                }
+                if self._trace
+                else None
+            ),
         )
         return CallResult(ok=False, status=status, attempts=attempt, outcome=outcome)
 
@@ -523,6 +627,7 @@ async def run_client(
     log: EventLog,
     retry: RetryPolicy = RetryPolicy(),
     registry: Optional[MetricsRegistry] = None,
+    trace: bool = False,
 ) -> Dict[str, int]:
     """Open-loop driver: one task per scheduled arrival, never waiting."""
     client = AdmissionClient(
@@ -540,6 +645,7 @@ async def run_client(
             workload.seed, f"live:backoff:{workload.client_id(index)}"
         ),
         registry=registry,
+        trace=trace,
     )
     schedule = arrival_schedule(workload, index)
     in_flight: "List[asyncio.Task[CallResult]]" = []

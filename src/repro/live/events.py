@@ -113,14 +113,17 @@ class EventLog:
     def run_header(self, **fields: Any) -> None:
         self._write({"type": "run", **fields})
 
-    def rpc(self, span: RpcSpan) -> None:
-        self._write({"type": "rpc", **asdict(span)})
+    def rpc(self, span: RpcSpan, **extra: Any) -> None:
+        """``extra`` carries trace context (``trace_id``, ``span_id``,
+        ``decide_ns``) only when the process runs with tracing on, so
+        untraced records keep the exact span-vocabulary field set."""
+        self._write({"type": "rpc", **asdict(span), **extra})
 
     def admission(self, event: AdmissionEvent) -> None:
         self._write({"type": "admission", **asdict(event)})
 
-    def queue(self, span: QueueSpan) -> None:
-        self._write({"type": "queue", **asdict(span)})
+    def queue(self, span: QueueSpan, **extra: Any) -> None:
+        self._write({"type": "queue", **asdict(span), **extra})
 
     def retry(
         self,
@@ -129,17 +132,19 @@ class EventLog:
         delay_ns: int,
         reason: str,
         time_ns: int,
+        trace_id: Optional[str] = None,
     ) -> None:
-        self._write(
-            {
-                "type": "retry",
-                "request_id": request_id,
-                "attempt": attempt,
-                "delay_ns": delay_ns,
-                "reason": reason,
-                "time_ns": time_ns,
-            }
-        )
+        record: Dict[str, Any] = {
+            "type": "retry",
+            "request_id": request_id,
+            "attempt": attempt,
+            "delay_ns": delay_ns,
+            "reason": reason,
+            "time_ns": time_ns,
+        }
+        if trace_id is not None:
+            record["trace_id"] = trace_id
+        self._write(record)
 
     def conn(self, event: str, peer: str, time_ns: int) -> None:
         self._write({"type": "conn", "event": event, "peer": peer, "time_ns": time_ns})

@@ -172,14 +172,19 @@ async def _client_async(
     origin_ns: int,
     log_path: str,
     telemetry: Optional[TelemetryConfig],
+    trace: bool = False,
 ) -> Dict[str, int]:
     clock = WallClock(origin_ns)
     with EventLog(log_path) as log:
-        log.run_header(
-            role="client",
-            client=workload.client_id(index),
+        header: Dict[str, Any] = {
+            "role": "client",
+            "client": workload.client_id(index),
             **workload_header_fields(workload),
-        )
+        }
+        if trace:
+            # Only stamped when on: untraced headers stay byte-identical.
+            header["trace"] = True
+        log.run_header(**header)
         registry: Optional[MetricsRegistry] = None
         sampler: Optional[LiveTelemetry] = None
         if telemetry is not None:
@@ -201,7 +206,14 @@ async def _client_async(
             await sampler.start()
         try:
             return await run_client(
-                workload, index, host, port, clock, log, registry=registry
+                workload,
+                index,
+                host,
+                port,
+                clock,
+                log,
+                registry=registry,
+                trace=trace,
             )
         finally:
             if sampler is not None:
@@ -217,9 +229,12 @@ def _client_main(
     log_path: str,
     result_queue: "mp.queues.Queue[Dict[str, int]]",
     telemetry: Optional[TelemetryConfig] = None,
+    trace: bool = False,
 ) -> None:
     stats = asyncio.run(
-        _client_async(workload, index, host, port, origin_ns, log_path, telemetry)
+        _client_async(
+            workload, index, host, port, origin_ns, log_path, telemetry, trace
+        )
     )
     result_queue.put(stats)
 
@@ -252,6 +267,7 @@ def run_live(
     port: int = 0,
     log: Optional[Callable[[str], None]] = None,
     telemetry: Optional[TelemetryConfig] = None,
+    trace: bool = False,
 ) -> LiveRunResult:
     """Run the demo topology as real processes; blocks until done.
 
@@ -260,7 +276,10 @@ def run_live(
     arms the live telemetry plane: per-process metrics snapshot logs,
     SLO burn-rate alerts in the client event logs, and an OpenMetrics
     scrape endpoint on the server (left ``None``, every process runs
-    the identical pre-telemetry event-log path).
+    the identical pre-telemetry event-log path).  ``trace`` arms causal
+    tracing on every client: wire-propagated trace contexts join
+    client- and server-side events into one trace per RPC (left False,
+    event streams are byte-identical to an untraced run).
     """
     say = log if log is not None else (lambda _line: None)
     log_dir = Path(log_dir)
@@ -332,6 +351,7 @@ def run_live(
                 str(client_logs[index]),
                 result_queue,
                 telemetry,
+                trace,
             ),
             name=f"repro-live-{workload.client_id(index)}",
         )

@@ -45,7 +45,7 @@ from repro.live.wire import (
     write_message,
 )
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
-from repro.obs.trace import QueueSpan
+from repro.obs.trace import QueueSpan, parse_traceparent
 
 #: ``on_request`` verdicts understood by the connection reader.
 FAULT_RESET = "reset"
@@ -230,6 +230,7 @@ class LiveServer:
                                 status="rejected",
                                 queue_ns=0,
                                 service_ns=0,
+                                traceparent=request.traceparent,
                             ),
                         )
                     except (ConnectionError, RuntimeError):
@@ -279,22 +280,63 @@ class LiveServer:
             sleep_ns = self._free_ns - dequeued_ns
             if sleep_ns > 0:
                 await asyncio.sleep(sleep_ns / 1e9)
-            self._log.queue(
-                QueueSpan(
-                    node=self._node,
-                    qos=qos,
-                    enqueued_ns=enqueued_ns,
-                    dequeued_ns=dequeued_ns,
-                    size_bytes=request.payload_bytes,
-                    kind=0,
-                )
+            # Causal join: a propagated trace context attaches the
+            # server-side segments to the client's attempt span.  Purely
+            # data-driven — an untraced client sends no traceparent and
+            # the log stays byte-identical to the pre-tracing stream.
+            context = (
+                parse_traceparent(request.traceparent)
+                if request.traceparent
+                else None
             )
+            if context is None:
+                self._log.queue(
+                    QueueSpan(
+                        node=self._node,
+                        qos=qos,
+                        enqueued_ns=enqueued_ns,
+                        dequeued_ns=dequeued_ns,
+                        size_bytes=request.payload_bytes,
+                        kind=0,
+                    )
+                )
+            else:
+                trace_id, parent_id = context
+                self._log.queue(
+                    QueueSpan(
+                        node=self._node,
+                        qos=qos,
+                        enqueued_ns=enqueued_ns,
+                        dequeued_ns=dequeued_ns,
+                        size_bytes=request.payload_bytes,
+                        kind=0,
+                    ),
+                    trace_id=trace_id,
+                    parent_id=parent_id,
+                )
+                # The service segment on the virtual schedule: it starts
+                # when the unit freed up for this request and runs for
+                # service_ns.  Derived, not re-read — no extra clock
+                # calls on the dispatch path even with tracing on.
+                self._log.write_record(
+                    {
+                        "type": "service",
+                        "trace_id": trace_id,
+                        "parent_id": parent_id,
+                        "node": self._node,
+                        "qos": qos,
+                        "request_id": request.request_id,
+                        "start_ns": self._free_ns - service_ns,
+                        "duration_ns": service_ns,
+                    }
+                )
             self.served += 1
             response = Response(
                 request_id=request.request_id,
                 status="ok",
                 queue_ns=dequeued_ns - enqueued_ns,
                 service_ns=service_ns,
+                traceparent=request.traceparent,
             )
             try:
                 await write_message(writer, response)

@@ -45,7 +45,13 @@ class FrameError(Exception):
 
 @dataclass(frozen=True)
 class Request:
-    """One RPC attempt as it crosses the wire (client -> server)."""
+    """One RPC attempt as it crosses the wire (client -> server).
+
+    ``traceparent`` is a W3C-style trace context (``00-<trace>-<span>-01``)
+    propagated only when the client runs with tracing on; it is dropped
+    from the encoded header when empty so untraced wire bytes are
+    identical to the pre-tracing format.
+    """
 
     request_id: int
     client: str
@@ -56,16 +62,22 @@ class Request:
     size_mtus: int
     attempt: int
     issued_ns: int
+    traceparent: str = ""
 
 
 @dataclass(frozen=True)
 class Response:
-    """The server's completion record for one request."""
+    """The server's completion record for one request.
+
+    ``traceparent`` echoes the request's context back so the client can
+    assert the join without trusting its own bookkeeping.
+    """
 
     request_id: int
     status: str  # "ok" | "error"
     queue_ns: int
     service_ns: int
+    traceparent: str = ""
 
 
 _T = TypeVar("_T", Request, Response)
@@ -76,6 +88,10 @@ _KIND_OF: Dict[type, str] = {Request: KIND_REQUEST, Response: KIND_RESPONSE}
 def encode_frame(message: "Request | Response", body_len: int = 0) -> bytes:
     """Serialize one message (header only; the body is written separately)."""
     header: Dict[str, Any] = asdict(message)
+    if not header.get("traceparent"):
+        # Byte-identity with tracing off: an empty context never hits
+        # the wire, so untraced frames match the pre-tracing format.
+        header.pop("traceparent", None)
     header["kind"] = _KIND_OF[type(message)]
     header["body_len"] = body_len
     blob = json.dumps(header, separators=(",", ":")).encode("utf-8")

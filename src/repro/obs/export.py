@@ -24,15 +24,24 @@ from __future__ import annotations
 import json
 from dataclasses import asdict
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union, cast
 
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profile import SimProfiler
-from repro.obs.trace import Tracer
+from repro.obs.trace import Tracer, sim_span_id, sim_trace_id
 
 
 def _us(ns: int) -> float:
     return ns / 1000.0
+
+
+def _event_sort_key(event: Dict[str, object]) -> Tuple[float, int, str, str]:
+    return (
+        cast(float, event.get("ts", 0.0)),
+        cast(int, event["pid"]),
+        str(event.get("tid", "")),
+        cast(str, event["name"]),
+    )
 
 
 def chrome_trace(
@@ -68,8 +77,46 @@ def chrome_trace(
             }
         )
 
+    # Flow-event bookkeeping: where each RPC slice lives (the arrow
+    # source) and one "s"/"f" pair per causally-linked child slice.
+    rpc_anchor: Dict[int, Tuple[int, float]] = {}
+    flow_events: List[Dict[str, object]] = []
+    known_rpcs = {span.rpc_id for span in tracer.rpc_spans}
+
+    def _link(rpc_id: int, pid: int, tid: object, ts: float) -> None:
+        """Draw a Perfetto arrow from an RPC slice to a child slice."""
+        anchor = rpc_anchor.get(rpc_id)
+        if anchor is None:
+            return
+        src_tid, src_ts = anchor
+        flow_id = f"{rpc_id}:{len(flow_events) // 2}"
+        flow_events.append(
+            {
+                "name": "causal",
+                "cat": "flow",
+                "ph": "s",
+                "id": flow_id,
+                "pid": rpc_pid,
+                "tid": src_tid,
+                "ts": src_ts,
+            }
+        )
+        flow_events.append(
+            {
+                "name": "causal",
+                "cat": "flow",
+                "ph": "f",
+                "bp": "e",
+                "id": flow_id,
+                "pid": pid,
+                "tid": tid,
+                "ts": ts,
+            }
+        )
+
     for span in tracer.rpc_spans:
         if span.completed_ns is not None:
+            rpc_anchor[span.rpc_id] = (span.src, _us(span.issued_ns))
             events.append(
                 {
                     "name": f"rpc {span.src}->{span.dst} q{span.qos_run}",
@@ -81,6 +128,8 @@ def chrome_trace(
                     "dur": _us(span.completed_ns - span.issued_ns),
                     "args": {
                         "rpc_id": span.rpc_id,
+                        "trace_id": span.trace_id,
+                        "span_id": span.span_id,
                         "qos_requested": span.qos_requested,
                         "qos_run": span.qos_run,
                         "downgraded": span.downgraded,
@@ -100,11 +149,20 @@ def chrome_trace(
                     "pid": rpc_pid,
                     "tid": span.src,
                     "ts": _us(span.issued_ns),
-                    "args": {"rpc_id": span.rpc_id, "qos_run": span.qos_run},
+                    "args": {
+                        "rpc_id": span.rpc_id,
+                        "trace_id": span.trace_id,
+                        "qos_run": span.qos_run,
+                    },
                 }
             )
 
     for qspan in tracer.queue_spans:
+        args: Dict[str, object] = {"bytes": qspan.size_bytes, "kind": qspan.kind}
+        if qspan.rpc_id in known_rpcs:
+            args["rpc_id"] = qspan.rpc_id
+            args["trace_id"] = sim_trace_id(qspan.rpc_id)
+            _link(qspan.rpc_id, pids[qspan.node], qspan.qos, _us(qspan.enqueued_ns))
         events.append(
             {
                 "name": f"queue q{qspan.qos}",
@@ -114,11 +172,16 @@ def chrome_trace(
                 "tid": qspan.qos,
                 "ts": _us(qspan.enqueued_ns),
                 "dur": _us(qspan.residency_ns),
-                "args": {"bytes": qspan.size_bytes, "kind": qspan.kind},
+                "args": args,
             }
         )
 
     for tspan in tracer.tx_spans:
+        args = {"bytes": tspan.size_bytes}
+        if tspan.rpc_id in known_rpcs:
+            args["rpc_id"] = tspan.rpc_id
+            args["trace_id"] = sim_trace_id(tspan.rpc_id)
+            _link(tspan.rpc_id, pids[tspan.node], tspan.qos, _us(tspan.start_ns))
         events.append(
             {
                 "name": f"tx q{tspan.qos}",
@@ -128,11 +191,15 @@ def chrome_trace(
                 "tid": tspan.qos,
                 "ts": _us(tspan.start_ns),
                 "dur": _us(tspan.duration_ns),
-                "args": {"bytes": tspan.size_bytes},
+                "args": args,
             }
         )
 
     for drop in tracer.drops:
+        args = {"bytes": drop.size_bytes}
+        if drop.rpc_id in known_rpcs:
+            args["rpc_id"] = drop.rpc_id
+            args["trace_id"] = sim_trace_id(drop.rpc_id)
         events.append(
             {
                 "name": f"drop ({drop.reason})",
@@ -142,9 +209,11 @@ def chrome_trace(
                 "pid": pids[drop.node],
                 "tid": drop.qos,
                 "ts": _us(drop.time_ns),
-                "args": {"bytes": drop.size_bytes},
+                "args": args,
             }
         )
+
+    events.extend(flow_events)
 
     for adm in tracer.admission_events:
         events.append(
@@ -205,12 +274,19 @@ def chrome_trace(
                 }
             )
 
+    # Deterministic export ordering: metadata first (insertion order is
+    # already stable — pids ascend), then a stable sort of the rest by
+    # (ts, pid, tid, name) so traces with equal digests diff cleanly.
+    meta = [e for e in events if e["ph"] == "M"]
+    body = sorted((e for e in events if e["ph"] != "M"), key=_event_sort_key)
     doc: Dict[str, object] = {
-        "traceEvents": events,
+        "traceEvents": meta + body,
         "displayTimeUnit": "ns",
     }
+    other: Dict[str, object] = {"spans_dropped": tracer.spans_dropped}
     if registry is not None and registry.series:
-        doc["otherData"] = {"metrics_series_samples": len(registry.series)}
+        other["metrics_series_samples"] = len(registry.series)
+    doc["otherData"] = other
     return doc
 
 
@@ -231,21 +307,61 @@ def write_jsonl(path: Union[str, Path], tracer: Tracer) -> Path:
     """Write every trace record as one typed JSON object per line."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
+    def _causal(rpc_id: int) -> Dict[str, str]:
+        """Derived trace context for a span owned by ``rpc_id``."""
+        if not rpc_id:
+            return {}
+        return {
+            "trace_id": sim_trace_id(rpc_id),
+            "parent_id": sim_span_id(rpc_id),
+        }
+
     with open(path, "w") as fh:
         for rspan in tracer.rpc_spans:
-            fh.write(json.dumps({"type": "rpc", **asdict(rspan)}) + "\n")
+            record = {
+                "type": "rpc",
+                **asdict(rspan),
+                "trace_id": rspan.trace_id,
+                "span_id": rspan.span_id,
+            }
+            fh.write(json.dumps(record) + "\n")
         for qspan in tracer.queue_spans:
-            fh.write(json.dumps({"type": "queue", **asdict(qspan)}) + "\n")
+            fh.write(
+                json.dumps(
+                    {"type": "queue", **asdict(qspan), **_causal(qspan.rpc_id)}
+                )
+                + "\n"
+            )
         for tspan in tracer.tx_spans:
-            fh.write(json.dumps({"type": "tx", **asdict(tspan)}) + "\n")
+            fh.write(
+                json.dumps({"type": "tx", **asdict(tspan), **_causal(tspan.rpc_id)})
+                + "\n"
+            )
         for drop in tracer.drops:
-            fh.write(json.dumps({"type": "drop", **asdict(drop)}) + "\n")
+            fh.write(
+                json.dumps({"type": "drop", **asdict(drop), **_causal(drop.rpc_id)})
+                + "\n"
+            )
         for adm in tracer.admission_events:
-            fh.write(json.dumps({"type": "admission", **asdict(adm)}) + "\n")
+            fh.write(
+                json.dumps(
+                    {"type": "admission", **asdict(adm), **_causal(adm.rpc_id)}
+                )
+                + "\n"
+            )
         for sample in tracer.flow_cwnd_samples:
             fh.write(json.dumps({"type": "flow", **asdict(sample)}) + "\n")
         for retx in tracer.flow_retransmits:
-            fh.write(json.dumps({"type": "flow_retransmit", **asdict(retx)}) + "\n")
+            fh.write(
+                json.dumps(
+                    {
+                        "type": "flow_retransmit",
+                        **asdict(retx),
+                        **_causal(retx.rpc_id),
+                    }
+                )
+                + "\n"
+            )
     return path
 
 
@@ -301,6 +417,11 @@ def rpc_report(tracer: Tracer) -> str:
     """Per-QoS RPC lifecycle counts and SLO verdicts."""
     spans = tracer.rpc_spans
     if not spans:
+        if tracer.spans_dropped:
+            return (
+                f"rpcs: no spans recorded ({tracer.spans_dropped} lifecycle "
+                f"events dropped: RPCs issued before tracer activation)"
+            )
         return "rpcs: no spans recorded"
     by_qos: Dict[int, List[int]] = {}
     for span in spans:
@@ -315,6 +436,11 @@ def rpc_report(tracer: Tracer) -> str:
         if span.terminated:
             row[4] += 1
     lines = [f"rpcs: {len(spans)} issued"]
+    if tracer.spans_dropped:
+        lines.append(
+            f"  ({tracer.spans_dropped} lifecycle events dropped: RPCs "
+            f"issued before tracer activation)"
+        )
     for qos in sorted(by_qos):
         issued, downgraded, completed, met, terminated = by_qos[qos]
         lines.append(

@@ -281,6 +281,10 @@ def build_series(
     slo_map: Optional[SLOMap] = None,
 ) -> Dict[str, object]:
     """Assemble the full JSON-safe series document for one traced run."""
+    # Deferred import, mirroring load_live_run's pattern: repro.analysis
+    # sits above repro.obs, so the dependency stays out of module scope.
+    from repro.analysis.attribution import attribute_tracer, attribution_block
+
     rnl = rnl_percentile_tracks(registry)
     slo_ns: Dict[str, float] = {}
     miss_rates: Dict[str, float] = {}
@@ -300,6 +304,7 @@ def build_series(
         "queue_residency": queue_residency(tracer),
         "flows": flow_summary(tracer),
         "snapshots": len(registry.series),
+        "attribution": attribution_block(attribute_tracer(tracer)),
     }
 
 
@@ -557,6 +562,8 @@ def build_live_series(
     (empty when the run had telemetry off — the snapshot-derived panels
     degrade to empty tracks, everything event-derived still works).
     """
+    from repro.analysis.attribution import attribute_live, attribution_block
+
     all_client: List[Mapping[str, Any]] = [
         record for records in client_records for record in records
     ]
@@ -598,4 +605,7 @@ def build_live_series(
         "flows": live_flow_summary(all_client),
         "snapshots": sum(len(s) for s in snapshot_series),
         "alerts": unique_alerts,
+        "attribution": attribution_block(
+            attribute_live(client_records, server_records)
+        ),
     }

@@ -25,12 +25,59 @@ results and digests.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.net.packet import Packet
     from repro.rpc.message import Rpc
+
+
+# ----------------------------------------------------------------------
+# Deterministic trace / span identifiers
+# ----------------------------------------------------------------------
+def sim_trace_id(rpc_id: int) -> str:
+    """128-bit trace id for a simulated RPC (W3C traceparent width).
+
+    Simulated rpc_ids are globally unique integers, so the hex form is
+    already collision-free and — unlike a hash — trivially invertible
+    when eyeballing a trace.
+    """
+    return f"{rpc_id:032x}"
+
+
+def sim_span_id(rpc_id: int) -> str:
+    """64-bit root span id for a simulated RPC."""
+    return f"{rpc_id:016x}"
+
+
+def derive_trace_id(key: str) -> str:
+    """128-bit trace id derived from a string key (live processes).
+
+    Live per-client request counters collide across clients, so the id
+    is hashed from a ``client:rpc`` key.  SHA-256 keeps the derivation
+    deterministic (simlint bans unseeded randomness) and collision-safe.
+    """
+    return hashlib.sha256(key.encode()).hexdigest()[:32]
+
+
+def derive_span_id(key: str) -> str:
+    """64-bit span id derived from a string key (live processes)."""
+    return hashlib.sha256(key.encode()).hexdigest()[:16]
+
+
+def traceparent_of(trace_id: str, span_id: str) -> str:
+    """W3C-style ``traceparent`` header value (version 00, sampled)."""
+    return f"00-{trace_id}-{span_id}-01"
+
+
+def parse_traceparent(value: str) -> Optional[Tuple[str, str]]:
+    """``(trace_id, parent_span_id)`` from a traceparent, or None."""
+    parts = value.split("-")
+    if len(parts) != 4 or len(parts[1]) != 32 or len(parts[2]) != 16:
+        return None
+    return parts[1], parts[2]
 
 
 @dataclass(slots=True)
@@ -58,10 +105,23 @@ class RpcSpan:
     def completed(self) -> bool:
         return self.completed_ns is not None
 
+    @property
+    def trace_id(self) -> str:
+        return sim_trace_id(self.rpc_id)
+
+    @property
+    def span_id(self) -> str:
+        return sim_span_id(self.rpc_id)
+
 
 @dataclass(slots=True)
 class QueueSpan:
-    """One packet's residency in one egress scheduler."""
+    """One packet's residency in one egress scheduler.
+
+    ``rpc_id`` is the causal link to the owning RPC span (0 when the
+    packet carries no message — pure control traffic — or the tracer
+    never saw the RPC issue).
+    """
 
     node: str
     qos: int
@@ -69,6 +129,7 @@ class QueueSpan:
     dequeued_ns: int
     size_bytes: int
     kind: int
+    rpc_id: int = 0
 
     @property
     def residency_ns(self) -> int:
@@ -84,6 +145,7 @@ class TxSpan:
     start_ns: int
     duration_ns: int
     size_bytes: int
+    rpc_id: int = 0
 
 
 @dataclass(slots=True)
@@ -95,17 +157,23 @@ class DropEvent:
     time_ns: int
     size_bytes: int
     reason: str  # "refused" | "evicted"
+    rpc_id: int = 0
 
 
 @dataclass(slots=True)
 class AdmissionEvent:
-    """One AIMD adjustment of a channel's admit probability."""
+    """One AIMD adjustment of a channel's admit probability.
+
+    ``rpc_id`` names the completing RPC whose RNL sample drove the
+    adjustment (0 for adjustments outside any RPC completion).
+    """
 
     time_ns: int
     channel: str
     qos: int
     p_admit: float
     kind: str  # "increase" | "decrease"
+    rpc_id: int = 0
 
 
 @dataclass(slots=True)
@@ -125,6 +193,8 @@ class FlowRetransmit:
     time_ns: int
     flow: str
     seq: int
+    msg_id: int = 0
+    rpc_id: int = 0
 
 
 class Tracer:
@@ -143,6 +213,13 @@ class Tracer:
         self.admission_events: List[AdmissionEvent] = []
         self.flow_cwnd_samples: List[FlowCwndSample] = []
         self.flow_retransmits: List[FlowRetransmit] = []
+        #: Lifecycle hooks for RPCs the tracer never saw issue (it was
+        #: activated mid-run).  Counted, not silently dropped.
+        self.spans_dropped: int = 0
+        # Causal joins: message id -> owning RPC id, and the RPC whose
+        # completion is currently driving AIMD adjustments.
+        self._msg_rpc: Dict[int, int] = {}
+        self._completing_rpc_id: int = 0
 
     # ------------------------------------------------------------------
     # RPC lifecycle (called by repro.rpc.stack)
@@ -163,9 +240,20 @@ class Tracer:
             size_mtus=rpc.size_mtus,
         )
 
+    def on_rpc_message(self, rpc_id: int, msg_id: int) -> None:
+        """Bind a transport message to its owning RPC.
+
+        ``Rpc.rpc_id`` and ``Message.msg_id`` are independent counters;
+        this is the one place the two namespaces meet, and it is what
+        lets packet-level spans (queue, tx, drop, retransmit) resolve
+        back to the RPC whose critical path they sit on.
+        """
+        self._msg_rpc[msg_id] = rpc_id
+
     def on_rpc_completed(self, rpc: "Rpc", slo_met: Optional[bool]) -> None:
         span = self._rpc_spans.get(rpc.rpc_id)
         if span is None:  # issued before the tracer was activated
+            self.spans_dropped += 1
             return
         span.completed_ns = rpc.completed_ns
         span.rnl_ns = rpc.rnl_ns
@@ -173,8 +261,17 @@ class Tracer:
 
     def on_rpc_terminated(self, rpc: "Rpc") -> None:
         span = self._rpc_spans.get(rpc.rpc_id)
-        if span is not None:
-            span.terminated = True
+        if span is None:
+            self.spans_dropped += 1
+            return
+        span.terminated = True
+
+    def begin_rpc_completion(self, rpc_id: int) -> None:
+        """Attribute subsequent AIMD adjustments to this completing RPC."""
+        self._completing_rpc_id = rpc_id
+
+    def end_rpc_completion(self) -> None:
+        self._completing_rpc_id = 0
 
     # ------------------------------------------------------------------
     # Queueing and transmission (called by repro.net.link / queues)
@@ -192,6 +289,7 @@ class Tracer:
                 dequeued_ns=now_ns,
                 size_bytes=pkt.size_bytes,
                 kind=int(pkt.kind),
+                rpc_id=self._msg_rpc.get(pkt.msg_id, 0),
             )
         )
 
@@ -203,6 +301,7 @@ class Tracer:
                 start_ns=now_ns,
                 duration_ns=tx_ns,
                 size_bytes=pkt.size_bytes,
+                rpc_id=self._msg_rpc.get(pkt.msg_id, 0),
             )
         )
 
@@ -214,6 +313,7 @@ class Tracer:
                 time_ns=now_ns,
                 size_bytes=pkt.size_bytes,
                 reason=reason,
+                rpc_id=self._msg_rpc.get(pkt.msg_id, 0),
             )
         )
 
@@ -225,7 +325,12 @@ class Tracer:
     ) -> None:
         self.admission_events.append(
             AdmissionEvent(
-                time_ns=now_ns, channel=channel, qos=qos, p_admit=p_admit, kind=kind
+                time_ns=now_ns,
+                channel=channel,
+                qos=qos,
+                p_admit=p_admit,
+                kind=kind,
+                rpc_id=self._completing_rpc_id,
             )
         )
 
@@ -238,9 +343,17 @@ class Tracer:
             FlowCwndSample(time_ns=now_ns, flow=flow, cwnd=cwnd, rtt_ns=rtt_ns)
         )
 
-    def on_flow_retransmit(self, flow: str, seq: int, now_ns: int) -> None:
+    def on_flow_retransmit(
+        self, flow: str, seq: int, now_ns: int, msg_id: int = 0
+    ) -> None:
         self.flow_retransmits.append(
-            FlowRetransmit(time_ns=now_ns, flow=flow, seq=seq)
+            FlowRetransmit(
+                time_ns=now_ns,
+                flow=flow,
+                seq=seq,
+                msg_id=msg_id,
+                rpc_id=self._msg_rpc.get(msg_id, 0),
+            )
         )
 
     # ------------------------------------------------------------------
@@ -253,6 +366,22 @@ class Tracer:
 
     def rpc_span(self, rpc_id: int) -> Optional[RpcSpan]:
         return self._rpc_spans.get(rpc_id)
+
+    def orphan_spans(self) -> Tuple[List[QueueSpan], List[TxSpan]]:
+        """Queue/tx spans that do not resolve to exactly one RPC span.
+
+        A span is an orphan when its ``rpc_id`` is 0 (unbound packet)
+        or names an RPC the tracer has no span for.  With tracing armed
+        from t=0 over a reliable transport both lists are empty — the
+        join-coverage property the tests pin.
+        """
+        orphan_queues = [
+            s for s in self.queue_spans if s.rpc_id not in self._rpc_spans
+        ]
+        orphan_txs = [
+            s for s in self.tx_spans if s.rpc_id not in self._rpc_spans
+        ]
+        return orphan_queues, orphan_txs
 
     def queue_residency_by_node(
         self, qos: Optional[int] = None

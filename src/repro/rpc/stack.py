@@ -548,6 +548,10 @@ class RpcStack:
             deadline_ns=deadline,
             context=rpc,
         )
+        if self._tracer is not None:
+            # Bind the message id to the RPC id before any packet can
+            # move: packet-level spans join back through this mapping.
+            self._tracer.on_rpc_message(rpc.rpc_id, msg.msg_id)
         self.endpoint.send_message(msg)
         return rpc
 
@@ -565,7 +569,16 @@ class RpcStack:
         rpc.completed_ns = msg.completed_ns
         rpc.rnl_ns = rnl_ns
         qos_run = rpc.qos_run if rpc.qos_run is not None else 0
-        self.admission.complete(rpc.dst, rnl_ns, rpc.size_mtus, qos_run)
+        if self._tracer is not None:
+            # AIMD adjustments fired by this completion attribute to
+            # this RPC — the "admission feedback" edge of the trace.
+            self._tracer.begin_rpc_completion(rpc.rpc_id)
+            try:
+                self.admission.complete(rpc.dst, rnl_ns, rpc.size_mtus, qos_run)
+            finally:
+                self._tracer.end_rpc_completion()
+        else:
+            self.admission.complete(rpc.dst, rnl_ns, rpc.size_mtus, qos_run)
         self.metrics.record_completion(rpc)
         if self._tracer is not None:
             slo_met: Optional[bool] = None

@@ -214,7 +214,9 @@ class Flow:
             entry.retransmits += 1
             self.retransmitted_packets += 1
             if self._tracer is not None:
-                self._tracer.on_flow_retransmit(self._flow_label, seq, self.sim.now)
+                self._tracer.on_flow_retransmit(
+                    self._flow_label, seq, self.sim.now, msg_id=msg.msg_id
+                )
         self.sent_packets += 1
         self.endpoint.host.send(pkt)
         self._arm_timer()

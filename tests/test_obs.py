@@ -347,7 +347,7 @@ def test_chrome_trace_schema(traced_run):
 
     assert doc["displayTimeUnit"] == "ns"
     events = doc["traceEvents"]
-    assert {e["ph"] for e in events} <= {"X", "i", "C", "M"}
+    assert {e["ph"] for e in events} <= {"X", "i", "C", "M", "s", "f"}
 
     named_pids = {
         e["pid"]: e["args"]["name"]
@@ -381,6 +381,66 @@ def test_chrome_trace_schema(traced_run):
         assert len(cwnd) == len(context.tracer.flow_cwnd_samples)
         assert len(rtt) == len(context.tracer.flow_cwnd_samples)
         assert "transport" in named_pids.values()
+
+
+def test_chrome_trace_flow_events_join_children_to_rpcs(traced_run):
+    context, _metrics = traced_run
+    tracer = context.tracer
+    doc = chrome_trace(tracer)
+    events = doc["traceEvents"]
+
+    starts = [e for e in events if e["ph"] == "s"]
+    finishes = [e for e in events if e["ph"] == "f"]
+    # One arrow per causally-linked child slice: paired s/f with equal
+    # ids; every start sits on the rpcs process, every finish elsewhere.
+    assert starts and len(starts) == len(finishes)
+    assert {e["id"] for e in starts} == {e["id"] for e in finishes}
+    assert all(e["pid"] == 1 for e in starts)
+    assert all(e["bp"] == "e" for e in finishes)
+    completed = {s.rpc_id for s in tracer.rpc_spans if s.completed}
+    for event in starts:
+        rpc_id = int(str(event["id"]).split(":")[0])
+        assert rpc_id in completed
+
+    # Child slices carry the causal args that make the arrows greppable.
+    queue_events = [e for e in events if e.get("cat") == "queue"]
+    linked = [e for e in queue_events if "trace_id" in e["args"]]
+    assert linked
+    for event in linked:
+        assert event["args"]["trace_id"] == f"{event['args']['rpc_id']:032x}"
+
+
+def test_chrome_trace_ordering_is_deterministic(traced_run):
+    context, _metrics = traced_run
+    doc_a = chrome_trace(context.tracer)
+    doc_b = chrome_trace(context.tracer)
+    assert json.dumps(doc_a, sort_keys=True) == json.dumps(doc_b, sort_keys=True)
+    events = doc_a["traceEvents"]
+    meta_len = sum(1 for e in events if e["ph"] == "M")
+    assert all(e["ph"] == "M" for e in events[:meta_len])
+    body = events[meta_len:]
+    keys = [
+        (e.get("ts", 0.0), e["pid"], str(e.get("tid", "")), e["name"])
+        for e in body
+    ]
+    assert keys == sorted(keys)
+
+
+def test_tracer_counts_spans_dropped_instead_of_losing_them():
+    from repro.rpc.message import Rpc
+
+    tracer = Tracer()
+    rpc = Rpc(src=0, dst=1, priority=Priority.PC, payload_bytes=4096,
+              issued_ns=0)
+    rpc.completed_ns = 10_000
+    rpc.rnl_ns = 10_000
+    # Completion and termination of RPCs the tracer never saw issue.
+    tracer.on_rpc_completed(rpc, slo_met=True)
+    tracer.on_rpc_terminated(rpc)
+    assert tracer.spans_dropped == 2
+    assert "dropped" in rpc_report(tracer)
+    doc = chrome_trace(tracer)
+    assert doc["otherData"]["spans_dropped"] == 2
 
 
 def test_export_writers_round_trip(tmp_path, traced_run):

@@ -176,6 +176,7 @@ def test_build_series_schema_and_grid():
         "queue_residency",
         "flows",
         "snapshots",
+        "attribution",
     }
     assert series["snapshots"] == 2
     # p_admit is forward-filled onto the registry's snapshot grid.
